@@ -1,0 +1,74 @@
+// Ablation (google-benchmark): the CPU cost of SOLAR's integrity options
+// (§4.5): per-block software CRC (what offloading avoids) vs the XOR-
+// aggregate check (one CRC pass per RPC, what SOLAR's DPU CPU actually
+// runs) vs crc32_combine bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace repro {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> make_blocks(int n, std::size_t len) {
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> blocks(static_cast<std::size_t>(n));
+  for (auto& b : blocks) {
+    b.resize(len);
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.next());
+  }
+  return blocks;
+}
+
+void BM_PerBlockSoftwareCrc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto blocks = make_blocks(n, 4096);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto& b : blocks) acc ^= crc32_raw(b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          4096);
+}
+BENCHMARK(BM_PerBlockSoftwareCrc)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_XorAggregateCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto blocks = make_blocks(n, 4096);
+  std::vector<std::uint32_t> crcs;
+  for (const auto& b : blocks) crcs.push_back(crc32_raw(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc_aggregate_check(blocks, crcs));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          4096);
+}
+BENCHMARK(BM_XorAggregateCheck)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Crc32Combine(benchmark::State& state) {
+  Rng rng(2);
+  const std::uint32_t a = static_cast<std::uint32_t>(rng.next());
+  const std::uint32_t b = static_cast<std::uint32_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_combine(a, b, 4096));
+  }
+}
+BENCHMARK(BM_Crc32Combine);
+
+void BM_Crc32SingleBlock(benchmark::State& state) {
+  auto blocks = make_blocks(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_raw(blocks[0]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32SingleBlock)->Arg(512)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace repro
+
+BENCHMARK_MAIN();

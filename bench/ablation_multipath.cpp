@@ -1,0 +1,80 @@
+// Ablation: how many paths does SOLAR need? (design choice in §4.5: 4
+// persistent paths per block-server peer).
+//
+// Sweep paths_per_peer in {1,2,4,8} and measure (a) healthy-cluster 4KB
+// write latency, (b) recovery behaviour under a silent 50% blackhole at a
+// core switch: hangs and worst-case I/O completion time.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace repro;
+using ebs::StackKind;
+
+namespace {
+
+struct Row {
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t hangs = 0;
+  double worst_ms = 0;
+  std::uint64_t redraws = 0;
+};
+
+Row run(int paths) {
+  auto params = bench::default_params(StackKind::kSolar, 1, 4, 31 + paths);
+  params.solar.path.paths_per_peer = paths;
+  auto c = bench::make_cluster(params);
+  auto& eng = *c.engine;
+  Row row;
+
+  // Healthy-phase latency.
+  workload::FioConfig cfg;
+  cfg.vd_id = c.vds[0];
+  cfg.block_size = 4096;
+  cfg.iodepth = 4;
+  cfg.read_fraction = 0.2;
+  workload::FioJob job(eng, bench::submit_via(*c.cluster, 0), cfg, Rng(3));
+  eng.at(0, [&] { job.start(); });
+  eng.run_until(ms(30));
+  job.metrics().clear();
+  eng.run_until(ms(80));
+  row.p50_us = to_us(job.metrics().total().percentile(0.5));
+  row.p99_us = to_us(job.metrics().total().percentile(0.99));
+
+  // Failure phase: silent partial blackhole on a core switch.
+  job.metrics().clear();
+  SampleSet completion_ms;
+  c.cluster->network().set_blackhole(*c.cluster->clos().cores[0], 0.5);
+  eng.run_until(eng.now() + seconds(3));
+  job.stop();
+  c.cluster->network().set_blackhole(*c.cluster->clos().cores[0], 0.0);
+  eng.run_until(eng.now() + seconds(30));
+  row.hangs = job.metrics().hangs();
+  row.worst_ms = to_ms(job.metrics().total().max());
+  row.redraws = c.cluster->compute(0).solar()->stats().path_redraws;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: SOLAR path count (1/2/4/8 paths per peer)",
+      "design choice of §4.5; Table 2's zeros rely on path diversity");
+  TextTable t({"paths", "p50 (us)", "p99 (us)", "hangs under blackhole",
+               "worst I/O (ms)", "path redraws"});
+  for (int paths : {1, 2, 4, 8}) {
+    const Row r = run(paths);
+    t.add_row({TextTable::num(static_cast<std::int64_t>(paths)),
+               TextTable::num(r.p50_us), TextTable::num(r.p99_us),
+               TextTable::num(static_cast<std::int64_t>(r.hangs)),
+               TextTable::num(r.worst_ms),
+               TextTable::num(static_cast<std::int64_t>(r.redraws))});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("expected shape: healthy latency is flat in path count; "
+              "recovery tails shrink sharply from 1 -> 4 paths and saturate "
+              "after — the paper's choice of 4 is the knee\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared plumbing for the experiment harnesses: cluster construction per
+// stack generation, warmup/measure fio runs, and uniform table printing.
+//
+// Each bench binary regenerates one of the paper's tables/figures; see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for paper-vs-
+// measured notes.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "ebs/cluster.h"
+#include "ebs/metrics.h"
+#include "workload/fio.h"
+
+namespace repro::bench {
+
+struct ClusterUnderTest {
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<ebs::Cluster> cluster;
+  std::vector<std::uint64_t> vds;  ///< one per compute node
+};
+
+inline ebs::ClusterParams default_params(ebs::StackKind stack,
+                                         int compute = 2, int storage = 8,
+                                         std::uint64_t seed = 42) {
+  ebs::ClusterParams p;
+  p.topo.compute_servers = compute;
+  p.topo.storage_servers = storage;
+  p.topo.servers_per_rack = 8;
+  p.topo.spines_per_pod = 2;
+  p.topo.core_switches = 2;
+  p.stack = stack;
+  p.seed = seed;
+  // Benches run placeholder payloads: byte-level work is covered by the
+  // unit/property tests and the fig11 campaign.
+  p.block_server.store_payload = false;
+  return p;
+}
+
+inline ClusterUnderTest make_cluster(ebs::ClusterParams params,
+                                     std::uint64_t vd_size = 8ull << 30) {
+  ClusterUnderTest c;
+  c.engine = std::make_unique<sim::Engine>();
+  c.cluster = std::make_unique<ebs::Cluster>(*c.engine, params);
+  for (int i = 0; i < c.cluster->num_compute(); ++i) {
+    c.vds.push_back(c.cluster->create_vd(vd_size));
+  }
+  return c;
+}
+
+inline workload::SubmitFn submit_via(ebs::Cluster& cluster, int node) {
+  return [&cluster, node](transport::IoRequest io,
+                          transport::IoCompleteFn done) {
+    cluster.compute(node).submit_io(std::move(io), std::move(done));
+  };
+}
+
+/// Runs a closed-loop fio job on compute node 0: `warmup` to fill caches
+/// and windows, then measures for `measure`. Returns the job's metrics
+/// (cleared after warmup) and reports consumed cores over the window.
+struct FioRunResult {
+  ebs::MetricSink metrics;
+  double consumed_cores = 0.0;
+  TimeNs measured_ns = 0;
+};
+
+inline FioRunResult run_fio(ClusterUnderTest& c, workload::FioConfig cfg,
+                            TimeNs warmup, TimeNs measure, int node = 0,
+                            std::uint64_t seed = 7) {
+  auto& eng = *c.engine;
+  cfg.vd_id = c.vds[static_cast<std::size_t>(node)];
+  workload::FioJob job(eng, submit_via(*c.cluster, node), cfg, Rng(seed));
+  eng.at(eng.now(), [&] { job.start(); });
+  eng.run_until(eng.now() + warmup);
+  job.metrics().clear();
+  c.cluster->compute(node).reset_accounting();
+  const TimeNs t0 = eng.now();
+  eng.run_until(t0 + measure);
+  job.stop();
+  FioRunResult res;
+  res.metrics = job.metrics();
+  res.measured_ns = eng.now() - t0;
+  res.consumed_cores = c.cluster->compute(node).consumed_cores(res.measured_ns);
+  // Drain stragglers so destructors run on a quiet engine.
+  eng.run_until(eng.now() + ms(50));
+  return res;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace repro::bench

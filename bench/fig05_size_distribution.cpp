@@ -1,0 +1,45 @@
+// Figure 5: CDF of I/O and FN RPC sizes ("typical sizes are 4K, 16K and
+// 64K bytes"; ~40% of RPCs up to 4K; nothing above 128K).
+//
+// The distributions are workload *inputs* in the paper (production
+// monitoring); here the calibrated samplers regenerate the same CDF and a
+// Monte-Carlo run confirms sampling matches the analytic curve.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "workload/size_dist.h"
+
+using namespace repro;
+
+int main() {
+  bench::print_header("Figure 5: distribution of I/O and FN RPC sizes",
+                      "Fig. 5 (SIGCOMM'22), steps at 4K/16K/64K, <=128K");
+
+  auto io = workload::SizeDist::io_sizes();
+  auto rpc = workload::SizeDist::rpc_sizes();
+
+  // Monte-Carlo sampling (1M draws) against the analytic CDF.
+  Rng rng(1);
+  constexpr int kSamples = 1'000'000;
+  std::map<std::uint32_t, int> io_counts;
+  for (int i = 0; i < kSamples; ++i) ++io_counts[io.sample(rng)];
+
+  TextTable t({"size", "IO CDF %", "IO sampled %", "RPC CDF %"});
+  double cum_sampled = 0;
+  for (const auto& p : io.points()) {
+    cum_sampled += 100.0 * io_counts[p.bytes] / kSamples;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%uK", p.bytes / 1024);
+    t.add_row({label, TextTable::num(100.0 * io.cdf(p.bytes)),
+               TextTable::num(cum_sampled),
+               TextTable::num(100.0 * rpc.cdf(p.bytes))});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("mean I/O size: %.0f bytes; write fraction: %.0f%% "
+              "(writes are %.1fx reads)\n",
+              io.mean(), 100.0 * workload::kWriteFraction,
+              workload::kWriteFraction / (1.0 - workload::kWriteFraction));
+  std::printf("paper anchors: ~40%% of RPCs <= 4K; all FN RPCs <= 128K\n");
+  return 0;
+}

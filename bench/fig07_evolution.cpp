@@ -1,0 +1,117 @@
+// Figure 7: the five-year evolution of per-server average I/O latency and
+// IOPS as LUNA and then SOLAR rolled out — latency -72%, IOPS ~3.2x.
+//
+// Method: measure each stack generation's average 4KB-mixed latency and
+// per-server achievable IOPS in the simulator, then blend them with the
+// quarterly deployment fractions from the paper's narrative (LUNA ramping
+// 2019Q1-2021Q1, SOLAR at scale from 2020Q4). The *measured* stack numbers
+// drive the curve; only the rollout schedule is taken from the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace repro;
+using ebs::StackKind;
+
+namespace {
+
+struct StackPerf {
+  double avg_latency_us = 0;
+  double kiops_per_server = 0;
+};
+
+StackPerf measure(StackKind stack) {
+  StackPerf p;
+  // Latency: shallow queue depth (what a guest's synchronous I/O sees).
+  {
+    auto params = bench::default_params(stack, 1, 8);
+    if (stack == StackKind::kSolar) params.on_dpu = true;
+    auto c = bench::make_cluster(params);
+    workload::FioConfig cfg;
+    cfg.block_size = 0;  // production size mix
+    cfg.iodepth = 12;    // production-loaded server, not an idle lab
+    cfg.read_fraction = 1.0 - workload::kWriteFraction;
+    auto res = bench::run_fio(*&c, cfg, ms(10), ms(40));
+    p.avg_latency_us = to_us(static_cast<TimeNs>(res.metrics.total().mean()));
+  }
+  // IOPS capability: deep queue of 4KB I/Os on a *single core* (the
+  // paper's per-core basis, Fig. 14b / §4.8; fleet IOPS scales with the
+  // per-era core budget).
+  {
+    auto params = bench::default_params(stack, 1, 8);
+    if (stack == StackKind::kSolar) params.on_dpu = true;
+    params.host_cpu_cores = 1;
+    params.dpu.cpu_cores = 1;
+    auto c = bench::make_cluster(params);
+    workload::FioConfig cfg;
+    cfg.block_size = 4096;
+    cfg.iodepth = 64;
+    cfg.read_fraction = 1.0 - workload::kWriteFraction;
+    auto res = bench::run_fio(*&c, cfg, ms(10), ms(40));
+    p.kiops_per_server = res.metrics.iops(res.measured_ns) / 1e3;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7: evolution of average latency and IOPS per server",
+      "Fig. 7 (latency -72%, IOPS ~3.2x over 2019Q1-2021Q4)");
+
+  const StackPerf kernel = measure(StackKind::kKernelTcp);
+  const StackPerf luna = measure(StackKind::kLuna);
+  const StackPerf solar = measure(StackKind::kSolar);
+  std::printf("measured per-stack (size-mix fio, depth 16): kernel %.0fus/"
+              "%.0fK, luna %.0fus/%.0fK, solar %.0fus/%.0fK\n\n",
+              kernel.avg_latency_us, kernel.kiops_per_server,
+              luna.avg_latency_us, luna.kiops_per_server,
+              solar.avg_latency_us, solar.kiops_per_server);
+
+  // Deployment fractions per quarter (paper narrative: LUNA released 2019,
+  // fully deployed 2021Q1; SOLAR deployed from 2020, at scale 2021).
+  struct Quarter {
+    const char* name;
+    double luna;
+    double solar;
+  };
+  const Quarter quarters[] = {
+      {"19Q1", 0.05, 0.00}, {"19Q2", 0.15, 0.00}, {"19Q3", 0.30, 0.00},
+      {"19Q4", 0.45, 0.00}, {"20Q1", 0.60, 0.02}, {"20Q2", 0.72, 0.06},
+      {"20Q3", 0.82, 0.12}, {"20Q4", 0.90, 0.20}, {"21Q1", 0.97, 0.30},
+      {"21Q2", 0.80, 0.45}, {"21Q3", 0.55, 0.65}, {"21Q4", 0.35, 0.85},
+  };
+
+  TextTable t({"quarter", "luna %", "solar %", "avg latency (us)",
+               "norm latency", "KIOPS", "norm IOPS"});
+  double lat0 = 0, iops_last = 0;
+  std::vector<std::array<double, 2>> series;
+  for (const auto& q : quarters) {
+    const double kernel_frac = std::max(0.0, 1.0 - q.luna - q.solar);
+    const double lat = kernel_frac * kernel.avg_latency_us +
+                       q.luna * luna.avg_latency_us +
+                       q.solar * solar.avg_latency_us;
+    const double iops = kernel_frac * kernel.kiops_per_server +
+                        q.luna * luna.kiops_per_server +
+                        q.solar * solar.kiops_per_server;
+    if (lat0 == 0) lat0 = lat;
+    iops_last = iops;
+    series.push_back({lat, iops});
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& q = quarters[i];
+    t.add_row({q.name, TextTable::num(100 * q.luna, 0),
+               TextTable::num(100 * q.solar, 0),
+               TextTable::num(series[i][0], 0),
+               TextTable::num(series[i][0] / lat0, 2),
+               TextTable::num(series[i][1], 0),
+               TextTable::num(series[i][1] / iops_last, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("shape: latency reduction over the period = %.0f%% "
+              "(paper: 72%%); IOPS scale-up = %.1fx (paper: ~3.2x)\n",
+              100.0 * (1.0 - series.back()[0] / lat0),
+              series.back()[1] / series.front()[1]);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Core microbenchmarks (google-benchmark): the building blocks whose speed
+// bounds how much simulated traffic the experiment harnesses can push —
+// event engine, flow hashing, histogram recording, P4 pipeline processing,
+// and the block cipher.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "net/packet.h"
+#include "p4/solar_program.h"
+#include "proto/headers.h"
+#include "sa/crypto.h"
+#include "sim/engine.h"
+
+namespace repro {
+namespace {
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eng.after(i, [&sink] { ++sink; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_FlowHash(benchmark::State& state) {
+  net::FlowKey flow{1, 2, 3, 4, net::Proto::kUdp};
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::flow_hash(flow, salt++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.record(static_cast<std::int64_t>(rng.next_below(1'000'000)));
+  }
+  benchmark::DoNotOptimize(h.percentile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_P4ReadRxPipeline(benchmark::State& state) {
+  auto pipe = p4::make_read_rx_pipeline(p4::SolarProgramConfig{});
+  pipe.table("addr")->add_entry({1, 0}, "dma", {0x1000});
+  Rng rng(2);
+  std::vector<std::uint8_t> payload(proto::kBlockSize);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  proto::RpcHeader rpc;
+  rpc.rpc_id = 1;
+  rpc.msg_type = proto::RpcMsgType::kReadResponse;
+  proto::EbsHeader ebs;
+  ebs.block_len = proto::kBlockSize;
+  ebs.payload_crc = crc32_raw(payload);
+  ebs.op = proto::EbsOp::kRead;
+  const auto bytes = encode_solar_packet(rpc, ebs, payload);
+  for (auto _ : state) {
+    p4::PacketCtx ctx;
+    ctx.bytes = bytes;
+    benchmark::DoNotOptimize(pipe.process(ctx));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_P4ReadRxPipeline);
+
+void BM_BlockCipher4K(benchmark::State& state) {
+  sa::BlockCipher cipher(0xFEED);
+  std::vector<std::uint8_t> data(4096, 0xAB);
+  for (auto _ : state) {
+    cipher.apply(1, 4096, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_BlockCipher4K);
+
+void BM_SolarPacketParse(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint8_t> payload(proto::kBlockSize);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  proto::RpcHeader rpc;
+  rpc.msg_type = proto::RpcMsgType::kWriteRequest;
+  proto::EbsHeader ebs;
+  ebs.block_len = proto::kBlockSize;
+  const auto bytes = encode_solar_packet(rpc, ebs, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::parse_solar_packet(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolarPacketParse);
+
+}  // namespace
+}  // namespace repro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// DPU offload tour (§4.6): the storage-agent data path as a P4-style
+// match-action pipeline, running on real wire bytes.
+//
+// Walks a 4 KB block through the WRITE TX pipeline (QoS -> Block -> CRC ->
+// SEC -> PktGen), puts the result on the "wire", then walks the response
+// through the READ RX pipeline (Addr -> SEC -> CRC -> DMA). Also prints
+// the FPGA resource bill for the whole thing (Table 3).
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dpu/resources.h"
+#include "p4/solar_program.h"
+#include "proto/headers.h"
+#include "sa/segment_table.h"
+
+using namespace repro;
+
+int main() {
+  std::printf("SOLAR's SA data path expressed as P4 pipelines (§4.6)\n\n");
+
+  p4::SolarProgramConfig cfg;
+  cfg.encrypt = true;
+
+  // --- control plane: populate the match-action tables -------------------
+  auto tx = p4::make_write_tx_pipeline(cfg);
+  tx.table("qos")->add_entry({/*vd=*/7}, "qos_pass");
+  tx.table("block")->add_entry({7, /*segment_index=*/3}, "route",
+                               {/*segment_id=*/1234, /*server=*/42});
+
+  auto rx = p4::make_read_rx_pipeline(cfg);
+  rx.table("addr")->add_entry({/*rpc=*/99, /*pkt=*/0}, "dma",
+                              {/*guest addr=*/0xFEED0000ull});
+
+  // --- WRITE TX: guest page in, routed+encrypted packet out --------------
+  Rng rng(3);
+  p4::PacketCtx wctx;
+  wctx.fields["nvme.vd"] = 7;
+  wctx.fields["nvme.lba"] = 3ull * sa::SegmentTable::kSegmentBytes;
+  wctx.fields["nvme.segment_index"] = 3;
+  wctx.payload.resize(4096);
+  for (auto& b : wctx.payload) b = static_cast<std::uint8_t>(rng.next());
+  const auto plaintext = wctx.payload;
+
+  if (!tx.process(wctx)) {
+    std::printf("TX pipeline dropped the block: %s\n",
+                wctx.drop_reason.c_str());
+    return 1;
+  }
+  std::printf("WRITE TX: verdict=%s  segment=%llu  server=%llu  "
+              "crc=0x%08llx  payload %s\n",
+              wctx.verdict.c_str(),
+              static_cast<unsigned long long>(wctx.field("route.segment_id")),
+              static_cast<unsigned long long>(wctx.field("route.server")),
+              static_cast<unsigned long long>(wctx.field("ebs.payload_crc")),
+              wctx.payload == plaintext ? "PLAINTEXT (bug!)" : "encrypted");
+
+  // --- the wire: encode a read response carrying that block --------------
+  proto::RpcHeader rpc;
+  rpc.rpc_id = 99;
+  rpc.pkt_id = 0;
+  rpc.msg_type = proto::RpcMsgType::kReadResponse;
+  proto::EbsHeader ebs;
+  ebs.vd_id = 7;
+  ebs.lba = wctx.field("nvme.lba");
+  ebs.block_len = 4096;
+  ebs.payload_crc =
+      static_cast<std::uint32_t>(wctx.field("ebs.payload_crc"));
+  ebs.op = proto::EbsOp::kRead;
+  const auto wire_bytes = encode_solar_packet(rpc, ebs, wctx.payload);
+  std::printf("WIRE    : %zu bytes = RPC HDR(%zu) | EBS HDR(%zu) | 4K "
+              "block\n",
+              wire_bytes.size(), proto::RpcHeader::kWireSize,
+              proto::EbsHeader::kWireSize);
+
+  // --- READ RX: packet in, decrypted verified block DMA'd to the guest ---
+  p4::PacketCtx rctx;
+  rctx.bytes = wire_bytes;
+  if (!rx.process(rctx)) {
+    std::printf("RX pipeline dropped the packet: %s\n",
+                rctx.drop_reason.c_str());
+    return 1;
+  }
+  std::printf("READ RX : verdict=%s  dma_addr=0x%llx  decrypted+verified "
+              "round trip: %s\n",
+              rctx.verdict.c_str(),
+              static_cast<unsigned long long>(rctx.field("dma_addr")),
+              rctx.payload == plaintext ? "intact" : "CORRUPT");
+
+  // Corruption demo: one bit flip anywhere drops at the CRC stage.
+  p4::PacketCtx bad;
+  bad.bytes = wire_bytes;
+  bad.bytes[bad.bytes.size() - 100] ^= 0x04;
+  const bool accepted = rx.process(bad);
+  std::printf("TAMPERED: accepted=%s (drop reason: %s)\n",
+              accepted ? "yes (bug!)" : "no",
+              bad.drop_reason.c_str());
+
+  // --- Table 3: what this costs in the FPGA ------------------------------
+  std::printf("\nFPGA bill for these pipelines (Table 3 cost model):\n");
+  for (const auto& m : dpu::solar_resource_usage(dpu::SolarHwConfig{})) {
+    std::printf("  %-6s %6.1f%% LUT  %6.1f%% BRAM\n", m.name.c_str(),
+                m.lut_pct, m.bram_pct);
+  }
+  std::printf("\nThe whole EBS data path fits in <10%% of the FPGA — and "
+              "maps 1:1 onto the\nmatch-action model commodity DPUs expose "
+              "via P4 (§4.6).\n");
+  return rctx.payload == plaintext && !accepted ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Failure drill: replay the paper's §3.3 incident — a silently failing
+// switch blackholing part of the traffic — against LUNA and SOLAR, and
+// narrate what each stack experiences second by second.
+//
+// LUNA's connections are pinned to their 5-tuple: I/Os whose path crosses
+// the dead element hang until operators repair it (minutes). SOLAR's
+// multi-path transport times out per packet, redraws the path's UDP source
+// port, and recovers within milliseconds (Table 2).
+#include <cstdio>
+
+#include "ebs/cluster.h"
+#include "workload/fio.h"
+
+using namespace repro;
+
+namespace {
+
+void drill(ebs::StackKind stack) {
+  std::printf("\n=== %s under a silent ToR blackhole ===\n",
+              ebs::to_string(stack).c_str());
+  sim::Engine engine;
+  ebs::ClusterParams params;
+  params.topo.compute_servers = 4;
+  params.topo.storage_servers = 4;
+  params.topo.servers_per_rack = 2;
+  params.stack = stack;
+  params.block_server.store_payload = false;
+  ebs::Cluster cluster(engine, params);
+
+  std::vector<std::unique_ptr<workload::FioJob>> jobs;
+  for (int node = 0; node < cluster.num_compute(); ++node) {
+    const std::uint64_t vd = cluster.create_vd(1ull << 30);
+    workload::FioConfig cfg;
+    cfg.vd_id = vd;
+    cfg.iodepth = 4;
+    cfg.read_fraction = 0.2;
+    jobs.push_back(std::make_unique<workload::FioJob>(
+        engine,
+        [&cluster, node](transport::IoRequest io,
+                         transport::IoCompleteFn done) {
+          cluster.compute(node).submit_io(std::move(io), std::move(done));
+        },
+        cfg, Rng(10 + static_cast<std::uint64_t>(node))));
+    engine.at(0, [j = jobs.back().get()] { j->start(); });
+  }
+
+  auto report = [&](const char* phase) {
+    std::uint64_t ios = 0, hangs = 0;
+    double worst_ms = 0;
+    for (auto& j : jobs) {
+      ios += j->metrics().ios();
+      hangs += j->metrics().hangs();
+      worst_ms = std::max(worst_ms, to_ms(j->metrics().total().max()));
+      j->metrics().clear();
+    }
+    std::printf("  [t=%6.2fs] %-28s completed=%6llu  hangs(>=1s)=%4llu  "
+                "worst=%.1f ms\n",
+                to_sec(engine.now()), phase,
+                static_cast<unsigned long long>(ios),
+                static_cast<unsigned long long>(hangs), worst_ms);
+  };
+
+  engine.run_until(seconds(1));
+  report("healthy baseline");
+
+  // A line card starts blackholing half the flows through ToR 0 — carrier
+  // stays up, routing sees nothing (the §3.3 incident pattern).
+  auto* tor = cluster.clos().compute_tors[0];
+  cluster.network().set_blackhole(*tor, 0.5);
+  std::printf("  [t=%6.2fs] *** ToR line card fails silently (50%% of "
+              "flows blackholed) ***\n", to_sec(engine.now()));
+
+  engine.run_until(engine.now() + seconds(3));
+  report("during failure (3s)");
+
+  cluster.network().set_blackhole(*tor, 0.0);
+  std::printf("  [t=%6.2fs] *** operators isolate the card ***\n",
+              to_sec(engine.now()));
+  for (auto& j : jobs) j->stop();
+  engine.run_until(engine.now() + seconds(30));
+  report("after repair (drained)");
+
+  if (stack == ebs::StackKind::kSolar) {
+    const auto& stats = cluster.compute(0).solar()->stats();
+    std::printf("  solar path redraws: %llu, packet timeouts: %llu — "
+                "recovery happened here, not in network ops\n",
+                static_cast<unsigned long long>(stats.path_redraws),
+                static_cast<unsigned long long>(stats.pkt_timeouts));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Failure drill: silent partial blackhole (the class of "
+              "failure that caused\nthe paper's 42-minute incident, §3.3)\n");
+  drill(ebs::StackKind::kLuna);
+  drill(ebs::StackKind::kSolar);
+  std::printf("\nLUNA hangs until ops repair the device; SOLAR reroutes in "
+              "milliseconds and\nnever surfaces an I/O hang to the guest "
+              "(Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace repro {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+std::uint32_t crc_core(std::uint32_t state,
+                       std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) {
+    state = kTable[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+// GF(2) 32x32 matrix ops for crc32_combine (after zlib).
+using Matrix = std::array<std::uint32_t, 32>;
+
+std::uint32_t gf2_times_vec(const Matrix& m, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec; ++i, vec >>= 1) {
+    if (vec & 1) sum ^= m[i];
+  }
+  return sum;
+}
+
+Matrix gf2_square(const Matrix& m) {
+  Matrix sq{};
+  for (int i = 0; i < 32; ++i) sq[i] = gf2_times_vec(m, m[i]);
+  return sq;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) {
+  return crc_core(state, data);
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  return crc_core(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_raw(std::span<const std::uint8_t> data) {
+  return crc_core(0, data);
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  // odd = matrix applying one zero bit to the CRC register.
+  Matrix odd{};
+  odd[0] = kPoly;
+  for (int i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
+  Matrix even = gf2_square(odd);  // two zero bits
+  odd = gf2_square(even);         // four zero bits
+
+  // Apply len_b zero *bytes* == 8 * len_b zero bits to crc_a.
+  std::uint64_t len = len_b;
+  do {
+    even = gf2_square(odd);
+    if (len & 1) crc_a = gf2_times_vec(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    odd = gf2_square(even);
+    if (len & 1) crc_a = gf2_times_vec(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+  return crc_a ^ crc_b;
+}
+
+void xor_accumulate(std::vector<std::uint8_t>& agg,
+                    std::span<const std::uint8_t> block,
+                    std::size_t block_len) {
+  if (agg.size() != block_len) agg.assign(block_len, 0);
+  for (std::size_t i = 0; i < block_len && i < block.size(); ++i) {
+    agg[i] ^= block[i];
+  }
+}
+
+bool crc_aggregate_check(std::span<const std::vector<std::uint8_t>> blocks,
+                         std::span<const std::uint32_t> block_crcs) {
+  if (blocks.size() != block_crcs.size()) return false;
+  if (blocks.empty()) return true;
+  const std::size_t len = blocks.front().size();
+  std::vector<std::uint8_t> agg(len, 0);
+  std::uint32_t crc_xor = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].size() != len) return false;
+    xor_accumulate(agg, blocks[i], len);
+    crc_xor ^= block_crcs[i];
+  }
+  return crc32_raw(agg) == crc_xor;
+}
+
+}  // namespace repro

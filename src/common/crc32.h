@@ -1,0 +1,52 @@
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) with the two extra
+// operations SOLAR's data-integrity design relies on (§4.5 of the paper):
+//
+//  * `crc32_raw` — CRC with init=0 and no final XOR. This variant is a
+//    *linear* map over GF(2): for equal-length blocks A and B,
+//        crc32_raw(A ^ B) == crc32_raw(A) ^ crc32_raw(B).
+//    SOLAR's DPU CPU uses this to validate a whole segment's worth of
+//    FPGA-computed per-block CRCs with a single software CRC pass over the
+//    XOR-aggregate of the blocks, instead of re-CRCing every block.
+//
+//  * `crc32_combine` — concatenation: given crc(A), crc(B) and len(B),
+//    produces crc(A||B) without touching the data (zlib's GF(2) matrix
+//    trick). Used for segment-level CRC maintenance in the block server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro {
+
+/// Standard CRC-32 (init 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);
+
+/// Streaming form: feed the previous return value back in as `state`.
+/// Start with state = 0xFFFFFFFF and XOR the final state with 0xFFFFFFFF.
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+
+/// Linear CRC-32 (init 0, no final XOR). See file comment.
+std::uint32_t crc32_raw(std::span<const std::uint8_t> data);
+
+/// crc(A||B) from crc32_ieee(A), crc32_ieee(B) and len(B).
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b);
+
+/// XOR-aggregates equal-length blocks into `agg` (resized/zeroed to
+/// `block_len` if needed). Precondition: block.size() == block_len.
+void xor_accumulate(std::vector<std::uint8_t>& agg,
+                    std::span<const std::uint8_t> block,
+                    std::size_t block_len);
+
+/// SOLAR's software CRC-aggregation check. `block_crcs[i]` must be
+/// crc32_raw(blocks[i]) as computed by (possibly faulty) hardware; all
+/// blocks must share one length. Returns true iff a single software CRC of
+/// the XOR-aggregate matches the XOR of the reported per-block CRCs, i.e.
+/// no corruption happened in either the data or the CRC computation.
+bool crc_aggregate_check(std::span<const std::vector<std::uint8_t>> blocks,
+                         std::span<const std::uint32_t> block_crcs);
+
+}  // namespace repro

@@ -1,0 +1,144 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace repro {
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(v >> octave) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(octave + 1) * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_representative(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t octave = index / kSubBuckets - 1;
+  const std::size_t sub = index % kSubBuckets;
+  // `sub` holds the top kSubBucketBits bits of the value (leading bit
+  // included), so the bucket's base is simply sub << octave.
+  const std::uint64_t base = static_cast<std::uint64_t>(sub) << octave;
+  // Midpoint of the bucket's covered range for low bias.
+  const std::uint64_t width = 1ull << octave;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+std::int64_t Histogram::max() const { return count_ ? max_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_representative(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(percentile(0.50)),
+                static_cast<long long>(percentile(0.95)),
+                static_cast<long long>(percentile(0.99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+}  // namespace repro

@@ -1,0 +1,70 @@
+// Latency/size recording with percentile queries.
+//
+// `Histogram` is an HDR-style log-linear histogram: values are bucketed with
+// bounded relative error (~1/32), so it stays O(1) per record no matter how
+// many samples an experiment produces. `SampleSet` keeps exact samples for
+// small populations where exact order statistics matter in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+
+  /// Value at quantile q in [0,1]; e.g. 0.5 for the median, 0.99 for p99.
+  /// Returns 0 for an empty histogram. Result has <=~3% relative error.
+  std::int64_t percentile(double q) const;
+
+  void merge(const Histogram& other);
+  void clear();
+
+  /// Human-readable one-line summary ("n=.. mean=.. p50=.. p95=.. p99=..").
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets / octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_representative(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Exact sample container for small populations.
+class SampleSet {
+ public:
+  void record(double v) { samples_.push_back(v); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact order statistic with linear interpolation, q in [0,1].
+  double percentile(double q) const;
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace repro

@@ -1,0 +1,30 @@
+// Minimal leveled logger. Off by default so simulation hot paths stay quiet;
+// benches and examples raise the level when narrating.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace repro
+
+#define REPRO_LOG(level, msg)                              \
+  do {                                                     \
+    if (static_cast<int>(level) >=                         \
+        static_cast<int>(::repro::log_level())) {          \
+      ::repro::log_message(level, msg);                    \
+    }                                                      \
+  } while (0)
+
+#define REPRO_DEBUG(msg) REPRO_LOG(::repro::LogLevel::kDebug, msg)
+#define REPRO_INFO(msg) REPRO_LOG(::repro::LogLevel::kInfo, msg)
+#define REPRO_WARN(msg) REPRO_LOG(::repro::LogLevel::kWarn, msg)
+#define REPRO_ERROR(msg) REPRO_LOG(::repro::LogLevel::kError, msg)

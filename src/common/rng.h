@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component owns (or borrows) an `Rng` seeded from the run
+// configuration, so a whole experiment is reproducible bit-for-bit from its
+// seed. The engine is xoshiro256** (fast, high quality, tiny state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace repro {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed (splitmix64 spread).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 bits (UniformRandomBitGenerator interface).
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal parameterized by the *median* and sigma of log-space.
+  /// median = exp(mu). Handy for latency distributions with heavy tails.
+  double lognormal_median(double median, double sigma);
+
+  /// Fork a child generator with an independent stream derived from this
+  /// one's state and `stream_id`. Children are stable across runs.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace repro

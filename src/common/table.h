@@ -1,0 +1,29 @@
+// ASCII table printer used by the bench harnesses to render the paper's
+// tables and figure series in a uniform way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  /// Convenience for numeric cells.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro

@@ -1,0 +1,66 @@
+// Token bucket used by the QoS table (per-VD IOPS and bandwidth quotas).
+//
+// The bucket is driven by simulated time supplied by the caller: there is no
+// hidden clock, which keeps it usable both inside the event engine and in
+// plain unit tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace repro {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per simulated second, up to `burst`.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Attempts to consume `amount` tokens at time `now`. Returns true and
+  /// deducts on success; leaves the bucket untouched on failure.
+  bool try_consume(TimeNs now, double amount) {
+    refill(now);
+    if (tokens_ + 1e-9 < amount) return false;
+    tokens_ -= amount;
+    return true;
+  }
+
+  /// Earliest time at which `amount` tokens will be available (>= now).
+  TimeNs next_available(TimeNs now, double amount) const {
+    const double have = current_tokens(now);
+    if (have >= amount) return now;
+    if (rate_per_sec_ <= 0) return now + kSecond * 3600;  // effectively never
+    const double deficit = amount - have;
+    return now + static_cast<TimeNs>(deficit / rate_per_sec_ * 1e9) + 1;
+  }
+
+  /// Token level projected to `now`. May be negative (and `now` may lie
+  /// before the last refill point): the bucket supports reservation-style
+  /// consumption at a future instant, and linear extrapolation in both
+  /// directions is exactly what makes next_available() consistent then.
+  double current_tokens(TimeNs now) const {
+    const double elapsed = static_cast<double>(now - last_refill_) / 1e9;
+    return std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+  }
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
+
+  void set_rate(double rate_per_sec) { rate_per_sec_ = rate_per_sec; }
+
+ private:
+  void refill(TimeNs now) {
+    if (now <= last_refill_) return;  // never rewind the refill point
+    tokens_ = current_tokens(now);
+    last_refill_ = now;
+  }
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  TimeNs last_refill_ = 0;
+};
+
+}  // namespace repro

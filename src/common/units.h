@@ -1,0 +1,57 @@
+// Time, size and rate units used across the whole simulation.
+//
+// All simulated time is kept in integral nanoseconds (`TimeNs`). Using a
+// plain integral type (rather than std::chrono) keeps the event engine's
+// hot path trivial and makes serialization of traces unambiguous.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+constexpr TimeNs ns(std::int64_t v) { return v; }
+constexpr TimeNs us(std::int64_t v) { return v * kMicrosecond; }
+constexpr TimeNs ms(std::int64_t v) { return v * kMillisecond; }
+constexpr TimeNs seconds(std::int64_t v) { return v * kSecond; }
+
+/// Converts a nanosecond count to (floating) microseconds for reporting.
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / 1e3; }
+/// Converts a nanosecond count to (floating) milliseconds for reporting.
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+/// Converts a nanosecond count to (floating) seconds for reporting.
+constexpr double to_sec(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+constexpr std::uint64_t kib(std::uint64_t v) { return v * kKiB; }
+constexpr std::uint64_t mib(std::uint64_t v) { return v * kMiB; }
+
+/// Bits-per-second rate expressed as a double (values like 25e9 for 25GE).
+using BitsPerSec = double;
+
+constexpr BitsPerSec gbps(double v) { return v * 1e9; }
+
+/// Time to serialize `bytes` onto a link of rate `rate` (bits/sec).
+constexpr TimeNs serialization_delay(std::uint64_t bytes, BitsPerSec rate) {
+  if (rate <= 0) return 0;
+  return static_cast<TimeNs>(static_cast<double>(bytes) * 8.0 * 1e9 / rate);
+}
+
+/// Throughput in bits/sec achieved by `bytes` over `elapsed` time.
+constexpr BitsPerSec throughput_bps(std::uint64_t bytes, TimeNs elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 * 1e9 /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace repro

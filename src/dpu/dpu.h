@@ -1,0 +1,59 @@
+// ALI-DPU: the card's shared resources (§4.2).
+//
+//  * infra CPU — six wimpy cores for control-plane work,
+//  * internal PCIe — the under-provisioned interconnect between the NIC/
+//    FPGA complex and the DPU CPU/memory ("far less than 100Gbps" while
+//    Ethernet is 2x25G). Any stack whose data path hops through DPU memory
+//    (LUNA, RDMA, SOLAR with offload off) pays it twice per payload,
+//  * guest DMA — the host-facing PCIe the DMA engine uses to reach guest
+//    memory (fast; every stack uses it exactly once per payload),
+//  * FPGA — the programmable pipeline SOLAR's data path runs in.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dpu/fpga.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/pcie.h"
+
+namespace repro::dpu {
+
+struct DpuParams {
+  int cpu_cores = 6;
+  BitsPerSec internal_pcie_rate = gbps(38);
+  TimeNs internal_pcie_latency = ns(700);
+  BitsPerSec guest_dma_rate = gbps(120);
+  TimeNs guest_dma_latency = ns(400);
+  FpgaParams fpga;
+  std::uint64_t cipher_key = 0x5EC5EC5EC5EC5ECull;
+};
+
+class AliDpu {
+ public:
+  AliDpu(sim::Engine& engine, const DpuParams& params, Rng rng)
+      : params_(params),
+        cpu_(engine, "dpu-cpu", params.cpu_cores,
+             sim::CpuPool::Dispatch::kByHash),
+        internal_pcie_(engine, "dpu-pcie", params.internal_pcie_rate,
+                       params.internal_pcie_latency),
+        guest_dma_(engine, "guest-dma", params.guest_dma_rate,
+                   params.guest_dma_latency),
+        fpga_(params.fpga, rng, params.cipher_key) {}
+
+  sim::CpuPool& cpu() { return cpu_; }
+  sim::PcieChannel& internal_pcie() { return internal_pcie_; }
+  sim::PcieChannel& guest_dma() { return guest_dma_; }
+  FpgaPipeline& fpga() { return fpga_; }
+  const DpuParams& params() const { return params_; }
+
+ private:
+  DpuParams params_;
+  sim::CpuPool cpu_;
+  sim::PcieChannel internal_pcie_;
+  sim::PcieChannel guest_dma_;
+  FpgaPipeline fpga_;
+};
+
+}  // namespace repro::dpu

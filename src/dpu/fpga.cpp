@@ -1,0 +1,83 @@
+#include "dpu/fpga.h"
+
+#include "common/crc32.h"
+
+namespace repro::dpu {
+
+void FpgaPipeline::flip_random_bit(std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  const std::size_t byte = rng_.next_below(data.size());
+  data[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+}
+
+TimeNs FpgaPipeline::process_write_block(std::uint64_t vd_id,
+                                         transport::DataBlock& block,
+                                         bool encrypt) {
+  ++stats_.blocks_processed;
+  TimeNs latency = params_.crc_latency;
+  // Figure 12 stage order: CRC over the plaintext, then SEC. The CRC in
+  // the EBS header therefore always covers the guest's original bytes.
+  //
+  // Corruption *before* the CRC stage: the CRC matches the corrupted
+  // bytes, so no per-block check anywhere can see it — only the software
+  // aggregation against the guest's original data does.
+  if (block.has_payload() &&
+      rng_.bernoulli(params_.faults.pre_crc_bitflip_rate)) {
+    flip_random_bit(block.data);
+    ++stats_.pre_crc_bitflips;
+  }
+  block.crc = block.has_payload()
+                  ? crc32_raw(block.data)
+                  : static_cast<std::uint32_t>(block.lba * 2654435761u);
+  if (rng_.bernoulli(params_.faults.crc_engine_error_rate)) {
+    block.crc ^= 1u << rng_.next_below(32);
+    ++stats_.crc_engine_errors;
+  }
+  // Corruption after the CRC stage (e.g. on the way to SEC/PktGen).
+  if (block.has_payload() &&
+      rng_.bernoulli(params_.faults.data_bitflip_rate)) {
+    flip_random_bit(block.data);
+    ++stats_.data_bitflips;
+  }
+  if (encrypt) {
+    latency += params_.sec_latency;
+    if (block.has_payload()) cipher_.apply(vd_id, block.lba, block.data);
+  }
+  return latency + params_.pktgen_latency;
+}
+
+TimeNs FpgaPipeline::process_read_block(std::uint64_t vd_id,
+                                        transport::DataBlock& block,
+                                        bool decrypt, bool& hw_ok) {
+  ++stats_.blocks_processed;
+  TimeNs latency = params_.crc_latency;
+  // Reverse of the write pipeline: SEC decrypt first, then the CRC check
+  // against the plaintext CRC carried in the EBS header.
+  if (decrypt) {
+    latency += params_.sec_latency;
+    if (block.has_payload()) cipher_.apply(vd_id, block.lba, block.data);
+  }
+  // Bit flip on the inbound path before the CRC engine sees the data: the
+  // hardware check itself would catch this one...
+  if (block.has_payload() &&
+      rng_.bernoulli(params_.faults.data_bitflip_rate)) {
+    flip_random_bit(block.data);
+    ++stats_.data_bitflips;
+  }
+  hw_ok = !block.has_payload() || crc32_raw(block.data) == block.crc;
+  // ...but a faulty CRC engine can report the wrong verdict.
+  if (rng_.bernoulli(params_.faults.crc_engine_error_rate)) {
+    hw_ok = !hw_ok;
+    ++stats_.crc_engine_errors;
+  }
+  // Bit flip after the check (on the DMA path to guest memory): per-block
+  // verification passed, data is corrupt — aggregation's job again.
+  if (block.has_payload() &&
+      rng_.bernoulli(params_.faults.pre_crc_bitflip_rate)) {
+    flip_random_bit(block.data);
+    ++stats_.pre_crc_bitflips;
+  }
+  return latency;
+}
+
+}  // namespace repro::dpu

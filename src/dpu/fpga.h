@@ -1,0 +1,84 @@
+// ALI-DPU FPGA pipeline model (Figures 12/13).
+//
+// The pipeline stages SOLAR offloads — QoS/Block/Addr table lookups, CRC,
+// SEC (crypto), PktGen — are represented with per-stage latencies and,
+// crucially, with *fault injection*: production data (Fig. 11) shows FPGA
+// bit flips are the single largest cause of data corruption, which is why
+// SOLAR keeps a software CRC-aggregation check on the DPU CPU (§4.5).
+// Faults here are real: they corrupt actual payload bytes or CRC values,
+// and the software aggregation check must catch them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sa/crypto.h"
+#include "transport/message.h"
+
+namespace repro::dpu {
+
+struct FpgaFaults {
+  /// Probability that processing a block flips a bit in the data *after*
+  /// the CRC was computed (consistent CRC, corrupted payload).
+  double data_bitflip_rate = 0.0;
+  /// Probability that the CRC engine produces a wrong CRC for good data.
+  double crc_engine_error_rate = 0.0;
+  /// Probability that a block is corrupted *before* CRC (CRC matches the
+  /// corrupted data — undetectable per-block, caught by aggregation).
+  double pre_crc_bitflip_rate = 0.0;
+};
+
+struct FpgaParams {
+  TimeNs table_lookup_latency = ns(120);   ///< QoS/Block/Addr match-action
+  TimeNs crc_latency = ns(350);            ///< 4 KB through the CRC engine
+  TimeNs sec_latency = ns(450);            ///< 4 KB through the cipher
+  TimeNs pktgen_latency = ns(150);
+  FpgaFaults faults;
+};
+
+struct FpgaStats {
+  std::uint64_t blocks_processed = 0;
+  std::uint64_t data_bitflips = 0;
+  std::uint64_t crc_engine_errors = 0;
+  std::uint64_t pre_crc_bitflips = 0;
+  std::uint64_t faults_injected() const {
+    return data_bitflips + crc_engine_errors + pre_crc_bitflips;
+  }
+};
+
+class FpgaPipeline {
+ public:
+  FpgaPipeline(FpgaParams params, Rng rng, std::uint64_t cipher_key = 0)
+      : params_(params), rng_(rng), cipher_(cipher_key) {}
+
+  /// TX write path: optional SEC, then CRC. Mutates the block in place and
+  /// fills block.crc with what the (possibly faulty) hardware computed.
+  /// Returns the pipeline latency for this block.
+  TimeNs process_write_block(std::uint64_t vd_id,
+                             transport::DataBlock& block, bool encrypt);
+
+  /// RX read path: hardware CRC check (then optional decrypt). `hw_ok` is
+  /// the hardware's verdict — which can be wrong in either direction when
+  /// the fault injector fires. Returns the pipeline latency.
+  TimeNs process_read_block(std::uint64_t vd_id, transport::DataBlock& block,
+                            bool decrypt, bool& hw_ok);
+
+  TimeNs lookup_latency() const { return params_.table_lookup_latency; }
+  TimeNs pktgen_latency() const { return params_.pktgen_latency; }
+
+  const FpgaStats& stats() const { return stats_; }
+  FpgaParams& params() { return params_; }
+  const sa::BlockCipher& cipher() const { return cipher_; }
+
+ private:
+  void flip_random_bit(std::vector<std::uint8_t>& data);
+
+  FpgaParams params_;
+  Rng rng_;
+  sa::BlockCipher cipher_;
+  FpgaStats stats_;
+};
+
+}  // namespace repro::dpu

@@ -1,0 +1,66 @@
+#include "dpu/resources.h"
+
+namespace repro::dpu {
+namespace {
+
+ModuleUsage finish(std::string name, std::uint64_t luts,
+                   std::uint64_t bram_bits, const FpgaDevice& dev) {
+  ModuleUsage u;
+  u.name = std::move(name);
+  u.luts = luts;
+  u.bram_bits = bram_bits;
+  u.lut_pct = 100.0 * static_cast<double>(luts) /
+              static_cast<double>(dev.total_luts);
+  u.bram_pct = 100.0 * static_cast<double>(bram_bits) /
+               static_cast<double>(dev.total_bram_bits);
+  return u;
+}
+
+}  // namespace
+
+std::vector<ModuleUsage> solar_resource_usage(const SolarHwConfig& cfg,
+                                              const FpgaDevice& dev) {
+  std::vector<ModuleUsage> out;
+
+  // Addr: hashed lookup over outstanding READ packets. Logic scales with
+  // entry count (hash, comparators, free-list), storage with entry bits.
+  out.push_back(finish(
+      "Addr",
+      1200 + static_cast<std::uint64_t>(cfg.addr_entries * 0.78),
+      static_cast<std::uint64_t>(cfg.addr_entries) * cfg.addr_entry_bits,
+      dev));
+
+  // Block: plain match-action table; lookup logic is tiny, storage is the
+  // segment map.
+  out.push_back(finish(
+      "Block", 400 + static_cast<std::uint64_t>(cfg.block_entries * 0.01),
+      static_cast<std::uint64_t>(cfg.block_entries) * cfg.block_entry_bits,
+      dev));
+
+  // QoS: token-bucket update per VD.
+  out.push_back(finish(
+      "QoS", 300 + static_cast<std::uint64_t>(cfg.qos_entries * 0.2),
+      static_cast<std::uint64_t>(cfg.qos_entries) * cfg.qos_entry_bits, dev));
+
+  // SEC: wide pipelined cipher; logic scales with datapath width, BRAM
+  // holds round keys / s-boxes.
+  out.push_back(finish(
+      "SEC", static_cast<std::uint64_t>(cfg.datapath_bits * 28.6),
+      static_cast<std::uint64_t>(cfg.datapath_bits) * 640, dev));
+
+  // CRC: a XOR tree over the datapath; no storage at all.
+  out.push_back(
+      finish("CRC", static_cast<std::uint64_t>(cfg.datapath_bits) * 3 + 33, 0,
+             dev));
+
+  std::uint64_t luts = 0;
+  std::uint64_t bram = 0;
+  for (const auto& m : out) {
+    luts += m.luts;
+    bram += m.bram_bits;
+  }
+  out.push_back(finish("Total", luts, bram, dev));
+  return out;
+}
+
+}  // namespace repro::dpu

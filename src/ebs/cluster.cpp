@@ -1,0 +1,215 @@
+#include "ebs/cluster.h"
+
+#include <algorithm>
+
+namespace repro::ebs {
+
+std::string to_string(StackKind kind) {
+  switch (kind) {
+    case StackKind::kKernelTcp: return "kernel-tcp";
+    case StackKind::kLuna: return "luna";
+    case StackKind::kRdma: return "rdma";
+    case StackKind::kSolarStar: return "solar*";
+    case StackKind::kSolar: return "solar";
+  }
+  return "?";
+}
+
+ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
+    : cluster_(cluster), nic_(&nic) {
+  auto& eng = cluster.engine();
+  const auto& p = cluster.params_;
+  Rng rng = cluster.rng_.fork(1000 + static_cast<std::uint64_t>(index));
+
+  switch (p.stack) {
+    case StackKind::kSolar:
+    case StackKind::kSolarStar: {
+      dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
+      solar::SolarParams sp = p.solar;
+      sp.offload = p.stack == StackKind::kSolar;
+      solar_ = std::make_unique<solar::SolarClient>(
+          eng, *dpu_, nic, cluster.segments_, cluster.qos_, sp, rng.fork(2));
+      break;
+    }
+    case StackKind::kKernelTcp:
+    case StackKind::kLuna: {
+      const bool kernel = p.stack == StackKind::kKernelTcp;
+      if (p.on_dpu) {
+        dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
+        pcie_taxed_ = true;
+      }
+      const int cores = p.on_dpu ? p.dpu.cpu_cores : p.host_cpu_cores;
+      // Kernel TCP schedules work across cores with cross-core cost;
+      // LUNA is share-nothing by connection/VD hash (§3.2).
+      cpu_ = std::make_unique<sim::CpuPool>(
+          eng, "host-cpu", cores,
+          kernel ? sim::CpuPool::Dispatch::kLeastLoaded
+                 : sim::CpuPool::Dispatch::kByHash,
+          kernel ? ns(250) : 0);
+      tcp_ = std::make_unique<transport::TcpStack>(
+          eng, nic, *cpu_,
+          kernel ? transport::kernel_tcp_profile() : transport::luna_profile(),
+          rng.fork(3));
+      agent_ = std::make_unique<sa::StorageAgent>(
+          eng, *cpu_, cluster.segments_, cluster.qos_, *tcp_,
+          &cluster.cipher_, p.sa);
+      break;
+    }
+    case StackKind::kRdma: {
+      if (p.on_dpu) {
+        dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
+        pcie_taxed_ = true;
+      }
+      const int cores = p.on_dpu ? p.dpu.cpu_cores : p.host_cpu_cores;
+      cpu_ = std::make_unique<sim::CpuPool>(eng, "host-cpu", cores,
+                                            sim::CpuPool::Dispatch::kByHash);
+      rdma_ = std::make_unique<rdma::RdmaStack>(eng, nic, *cpu_, p.rdma,
+                                                rng.fork(3));
+      agent_ = std::make_unique<sa::StorageAgent>(
+          eng, *cpu_, cluster.segments_, cluster.qos_, *rdma_,
+          &cluster.cipher_, p.sa);
+      break;
+    }
+  }
+}
+
+void ComputeNode::submit_io(transport::IoRequest io,
+                            transport::IoCompleteFn done) {
+  if (solar_) {
+    solar_->submit_io(std::move(io), std::move(done));
+    return;
+  }
+  if (!pcie_taxed_) {
+    agent_->submit_io(std::move(io), std::move(done));
+    return;
+  }
+  // Bare-metal hosting with a software stack (Fig. 10 a/b): every payload
+  // byte crosses the DPU's internal PCIe twice in each direction.
+  auto& pcie = dpu_->internal_pcie();
+  const std::uint32_t len = io.len;
+  const bool write = io.op == transport::OpType::kWrite;
+  auto forward = [this, io = std::move(io), done = std::move(done), len,
+                  write]() mutable {
+    agent_->submit_io(
+        std::move(io),
+        [this, done = std::move(done), len, write](transport::IoResult res) {
+          if (write) {
+            done(std::move(res));
+            return;
+          }
+          auto& pcie2 = dpu_->internal_pcie();
+          auto shared = std::make_shared<transport::IoResult>(std::move(res));
+          pcie2.transfer(len, [this, shared, done, len]() mutable {
+            dpu_->internal_pcie().transfer(len, [shared, done] {
+              done(std::move(*shared));
+            });
+          });
+        });
+  };
+  if (write) {
+    pcie.transfer(len, [this, len, forward = std::move(forward)]() mutable {
+      dpu_->internal_pcie().transfer(len, std::move(forward));
+    });
+  } else {
+    forward();
+  }
+}
+
+double ComputeNode::consumed_cores(TimeNs over) const {
+  double total = 0.0;
+  if (cpu_) total += cpu_->consumed_cores(over);
+  if (dpu_) total += dpu_->cpu().consumed_cores(over);
+  return total;
+}
+
+void ComputeNode::reset_accounting() {
+  if (cpu_) cpu_->reset_accounting();
+  if (dpu_) dpu_->cpu().reset_accounting();
+  nic_->reset_counters();
+}
+
+StorageNode::StorageNode(Cluster& cluster, int index, net::Nic& nic)
+    : nic_(&nic) {
+  auto& eng = cluster.engine();
+  const auto& p = cluster.params_;
+  Rng rng = cluster.rng_.fork(2000 + static_cast<std::uint64_t>(index));
+  cpu_ = std::make_unique<sim::CpuPool>(eng, "storage-cpu",
+                                        p.server_stack_cores,
+                                        sim::CpuPool::Dispatch::kByHash);
+  block_server_ = std::make_unique<storage::BlockServer>(eng, p.block_server,
+                                                         rng.fork(1));
+  switch (p.stack) {
+    case StackKind::kSolar:
+    case StackKind::kSolarStar:
+      solar_ = std::make_unique<solar::SolarServer>(
+          eng, nic, *cpu_, *block_server_, solar::SolarServerParams{},
+          rng.fork(2));
+      break;
+    case StackKind::kKernelTcp:
+    case StackKind::kLuna: {
+      // Storage servers always run the user-space stack server-side once
+      // LUNA shipped; for the kernel generation they ran kernel TCP too.
+      const bool kernel = p.stack == StackKind::kKernelTcp;
+      tcp_ = std::make_unique<transport::TcpStack>(
+          eng, nic, *cpu_,
+          kernel ? transport::kernel_tcp_profile() : transport::luna_profile(),
+          rng.fork(2));
+      tcp_->set_handler(
+          [this](transport::StorageRequest req,
+                 std::function<void(transport::StorageResponse)> reply) {
+            block_server_->handle(std::move(req), std::move(reply));
+          });
+      break;
+    }
+    case StackKind::kRdma:
+      rdma_ = std::make_unique<rdma::RdmaStack>(eng, nic, *cpu_,
+                                                p.rdma, rng.fork(2));
+      rdma_->set_handler(
+          [this](transport::StorageRequest req,
+                 std::function<void(transport::StorageResponse)> reply) {
+            block_server_->handle(std::move(req), std::move(reply));
+          });
+      break;
+  }
+}
+
+Cluster::Cluster(sim::Engine& engine, ClusterParams params)
+    : engine_(&engine),
+      params_(std::move(params)),
+      rng_(params_.seed),
+      cipher_(params_.dpu.cipher_key) {
+  network_ = std::make_unique<net::Network>(engine, net::NetworkParams{},
+                                            rng_.next());
+  clos_ = net::build_clos(*network_, params_.topo);
+  for (int i = 0; i < static_cast<int>(clos_.storage.size()); ++i) {
+    storage_nodes_.push_back(
+        std::make_unique<StorageNode>(*this, i, *clos_.storage[static_cast<std::size_t>(i)]));
+  }
+  for (int i = 0; i < static_cast<int>(clos_.compute.size()); ++i) {
+    compute_nodes_.push_back(
+        std::make_unique<ComputeNode>(*this, i, *clos_.compute[static_cast<std::size_t>(i)]));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::uint64_t Cluster::create_vd(std::uint64_t size_bytes) {
+  const std::uint64_t vd = next_vd_++;
+  std::vector<net::IpAddr> servers;
+  servers.reserve(storage_nodes_.size());
+  // Stripe starting at a rotating server so VDs spread evenly.
+  const std::size_t start = static_cast<std::size_t>(vd) %
+                            storage_nodes_.size();
+  for (std::size_t i = 0; i < storage_nodes_.size(); ++i) {
+    servers.push_back(
+        storage_nodes_[(start + i) % storage_nodes_.size()]->nic().ip());
+  }
+  segments_.map_disk(vd, size_bytes, servers);
+  return vd;
+}
+
+void Cluster::set_qos(std::uint64_t vd_id, const sa::QosSpec& spec) {
+  qos_.set(vd_id, spec);
+}
+
+}  // namespace repro::ebs

@@ -1,0 +1,139 @@
+// End-to-end EBS composition: build a Clos fabric, compute nodes running a
+// chosen stack generation, storage nodes running block servers, and virtual
+// disks striped across them. Every experiment harness goes through this.
+//
+// Stack generations (the paper's timeline):
+//   kKernelTcp — SA in software + kernel TCP        (pre-2019)
+//   kLuna      — SA in software + user-space TCP    (§3)
+//   kRdma      — SA in software + RC RDMA           (the rejected option)
+//   kSolarStar — SOLAR protocol, data path on CPU   (§4.7 ablation)
+//   kSolar     — SOLAR fully offloaded              (§4)
+//
+// `on_dpu` moves the compute side onto ALI-DPU (bare-metal hosting, §4.3):
+// software stacks then run on six wimpy cores and pay the internal-PCIe
+// crossings of Fig. 10.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpu/dpu.h"
+#include "net/topology.h"
+#include "rdma/rdma.h"
+#include "sa/agent.h"
+#include "solar/client.h"
+#include "solar/server.h"
+#include "storage/block_server.h"
+#include "transport/tcp.h"
+
+namespace repro::ebs {
+
+enum class StackKind { kKernelTcp, kLuna, kRdma, kSolarStar, kSolar };
+
+std::string to_string(StackKind kind);
+
+struct ClusterParams {
+  net::ClosConfig topo;
+  StackKind stack = StackKind::kLuna;
+  bool on_dpu = false;  ///< compute side hosted on ALI-DPU (bare-metal)
+  int host_cpu_cores = 8;
+  int server_stack_cores = 6;
+  dpu::DpuParams dpu;
+  sa::SaParams sa;
+  solar::SolarParams solar;
+  rdma::RdmaParams rdma;
+  storage::BlockServerParams block_server;
+  std::uint64_t seed = 1;
+};
+
+class Cluster;
+
+/// One compute server: guest entry point + the configured data path.
+class ComputeNode {
+ public:
+  ComputeNode(Cluster& cluster, int index, net::Nic& nic);
+
+  /// Guest-visible I/O submission (the virtio/NVMe doorbell).
+  void submit_io(transport::IoRequest io, transport::IoCompleteFn done);
+
+  /// "Consumed cores" on the compute side over `over` ns (Table 1 metric).
+  double consumed_cores(TimeNs over) const;
+  void reset_accounting();
+
+  net::Nic& nic() { return *nic_; }
+  sim::CpuPool& cpu() { return *cpu_; }
+  dpu::AliDpu* dpu() { return dpu_.get(); }
+  solar::SolarClient* solar() { return solar_.get(); }
+  sa::StorageAgent* agent() { return agent_.get(); }
+  transport::TcpStack* tcp() { return tcp_.get(); }
+
+ private:
+  Cluster& cluster_;
+  net::Nic* nic_;
+  std::unique_ptr<sim::CpuPool> cpu_;
+  std::unique_ptr<dpu::AliDpu> dpu_;
+  std::unique_ptr<transport::TcpStack> tcp_;
+  std::unique_ptr<rdma::RdmaStack> rdma_;
+  std::unique_ptr<sa::StorageAgent> agent_;
+  std::unique_ptr<solar::SolarClient> solar_;
+  bool pcie_taxed_ = false;  ///< software stack on DPU: internal PCIe x2
+};
+
+/// One storage server: block server + the matching server-side stack.
+class StorageNode {
+ public:
+  StorageNode(Cluster& cluster, int index, net::Nic& nic);
+
+  storage::BlockServer& block_server() { return *block_server_; }
+  net::Nic& nic() { return *nic_; }
+
+ private:
+  net::Nic* nic_;
+  std::unique_ptr<sim::CpuPool> cpu_;
+  std::unique_ptr<storage::BlockServer> block_server_;
+  std::unique_ptr<transport::TcpStack> tcp_;
+  std::unique_ptr<rdma::RdmaStack> rdma_;
+  std::unique_ptr<solar::SolarServer> solar_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterParams params);
+  ~Cluster();
+
+  /// Creates a virtual disk striped over all storage nodes; returns vd id.
+  std::uint64_t create_vd(std::uint64_t size_bytes);
+  void set_qos(std::uint64_t vd_id, const sa::QosSpec& spec);
+
+  ComputeNode& compute(int i) { return *compute_nodes_[static_cast<std::size_t>(i)]; }
+  StorageNode& storage(int i) { return *storage_nodes_[static_cast<std::size_t>(i)]; }
+  int num_compute() const { return static_cast<int>(compute_nodes_.size()); }
+  int num_storage() const { return static_cast<int>(storage_nodes_.size()); }
+
+  sim::Engine& engine() { return *engine_; }
+  net::Network& network() { return *network_; }
+  net::Clos& clos() { return clos_; }
+  const ClusterParams& params() const { return params_; }
+  sa::SegmentTable& segments() { return segments_; }
+  sa::QosTable& qos() { return qos_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class ComputeNode;
+  friend class StorageNode;
+
+  sim::Engine* engine_;
+  ClusterParams params_;
+  Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  net::Clos clos_;
+  sa::SegmentTable segments_;
+  sa::QosTable qos_;
+  sa::BlockCipher cipher_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+  std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  std::uint64_t next_vd_ = 1;
+};
+
+}  // namespace repro::ebs

@@ -1,0 +1,35 @@
+#include "ebs/metrics.h"
+
+namespace repro::ebs {
+
+void MetricSink::record(const transport::IoRequest& io,
+                        const transport::IoResult& res, TimeNs issued_at) {
+  ++ios_;
+  bytes_ += io.len;
+  if (res.status != transport::StorageStatus::kOk) ++errors_;
+  // Latency excludes QoS queueing (Fig. 6 caption) but is wall time
+  // otherwise.
+  const TimeNs latency =
+      res.completed_at - issued_at - res.trace.qos_wait_ns;
+  if (res.completed_at - issued_at >= kHangThreshold) ++hangs_;
+  total_.record(latency);
+  (io.op == transport::OpType::kRead ? read_total_ : write_total_)
+      .record(latency);
+  sa_.record(res.trace.sa_ns);
+  fn_.record(res.trace.fn_ns);
+  bn_.record(res.trace.bn_ns);
+  ssd_.record(res.trace.ssd_ns);
+}
+
+void MetricSink::clear() {
+  total_.clear();
+  sa_.clear();
+  fn_.clear();
+  bn_.clear();
+  ssd_.clear();
+  read_total_.clear();
+  write_total_.clear();
+  ios_ = errors_ = hangs_ = bytes_ = 0;
+}
+
+}  // namespace repro::ebs

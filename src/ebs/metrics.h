@@ -1,0 +1,63 @@
+// Per-experiment metric collection: latency histograms per trace component
+// (the Fig. 6 breakdown), throughput and IOPS counters, and the I/O-hang
+// detector used by Table 2 / Fig. 8 (an I/O with no response for >= 1 s).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/units.h"
+#include "transport/message.h"
+
+namespace repro::ebs {
+
+class MetricSink {
+ public:
+  /// Threshold above which an I/O counts as a "hang" (paper: one minute of
+  /// no response marks a VM-visible hang; Table 2 counts >= 1 s).
+  static constexpr TimeNs kHangThreshold = seconds(1);
+
+  void record(const transport::IoRequest& io, const transport::IoResult& res,
+              TimeNs issued_at);
+
+  const Histogram& total() const { return total_; }
+  const Histogram& sa() const { return sa_; }
+  const Histogram& fn() const { return fn_; }
+  const Histogram& bn() const { return bn_; }
+  const Histogram& ssd() const { return ssd_; }
+  const Histogram& reads() const { return read_total_; }
+  const Histogram& writes() const { return write_total_; }
+
+  std::uint64_t ios() const { return ios_; }
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t hangs() const { return hangs_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  double iops(TimeNs over) const {
+    return over > 0 ? static_cast<double>(ios_) * 1e9 /
+                          static_cast<double>(over)
+                    : 0.0;
+  }
+  double throughput_gbps(TimeNs over) const {
+    return over > 0 ? static_cast<double>(bytes_) * 8.0 /
+                          static_cast<double>(over)
+                    : 0.0;
+  }
+  double throughput_mbps(TimeNs over) const {  // MB/s
+    return over > 0 ? static_cast<double>(bytes_) * 1e3 /
+                          static_cast<double>(over)
+                    : 0.0;
+  }
+
+  void clear();
+
+ private:
+  Histogram total_, sa_, fn_, bn_, ssd_, read_total_, write_total_;
+  std::uint64_t ios_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t hangs_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace repro::ebs

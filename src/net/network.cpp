@@ -1,0 +1,253 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace repro::net {
+
+std::uint64_t flow_hash(const FlowKey& flow, std::uint64_t salt) {
+  std::uint64_t h = salt ^ 0x9E3779B97F4A7C15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+  };
+  mix(flow.src_ip);
+  mix(flow.dst_ip);
+  mix(static_cast<std::uint64_t>(flow.src_port) << 16 | flow.dst_port);
+  mix(static_cast<std::uint64_t>(flow.proto));
+  return h;
+}
+
+Device::Device(Network& net, DeviceId id, std::string name, int num_ports,
+               bool is_host)
+    : net_(&net), id_(id), name_(std::move(name)), is_host_(is_host) {
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  for (int i = 0; i < num_ports; ++i) {
+    ports_[static_cast<std::size_t>(i)].owner_ = this;
+    ports_[static_cast<std::size_t>(i)].index_ = i;
+  }
+}
+
+void Device::send(int port_idx, Packet pkt) {
+  Port& p = port(port_idx);
+  if (!p.connected()) {
+    ++net_->drops().no_route;
+    return;
+  }
+  const int cls = pkt.priority == 0 ? 0 : 1;
+  if (p.q_bytes_[cls] + pkt.size_bytes > p.cap_bytes_) {
+    ++p.stats_.drops_queue_full;
+    ++net_->drops().queue_full;
+    return;
+  }
+  p.q_bytes_[cls] += pkt.size_bytes;
+  p.q_[cls].push_back(std::move(pkt));
+  start_tx(port_idx);
+}
+
+void Device::start_tx(int port_idx) {
+  Port& p = port(port_idx);
+  if (p.transmitting_) return;
+  int cls = -1;
+  for (int c = 0; c < Port::kNumQueues; ++c) {
+    if (!p.q_[c].empty()) {
+      cls = c;
+      break;
+    }
+  }
+  if (cls < 0) return;
+  auto pkt = std::make_shared<Packet>(std::move(p.q_[cls].front()));
+  p.q_[cls].pop_front();
+  p.q_bytes_[cls] -= pkt->size_bytes;
+  p.transmitting_ = true;
+
+  const TimeNs ser = serialization_delay(pkt->size_bytes, p.rate_);
+  net_->engine().after(ser, [this, port_idx, pkt] {
+    Port& port_ref = port(port_idx);
+    port_ref.transmitting_ = false;
+    ++port_ref.stats_.pkts_tx;
+    port_ref.stats_.bytes_tx += pkt->size_bytes;
+    // Propagate; the link may die while the packet is in flight.
+    auto* link = port_ref.link_.get();
+    Device* peer = port_ref.peer_;
+    const int peer_port = port_ref.peer_port_;
+    net_->engine().after(port_ref.prop_delay_, [this, link, peer, peer_port,
+                                                pkt] {
+      if (link == nullptr || !link->alive) {
+        ++net_->drops().link_down;
+        return;
+      }
+      peer->handle_arrival(std::move(*pkt), peer_port);
+    });
+    start_tx(port_idx);
+  });
+}
+
+void Device::handle_arrival(Packet pkt, int in_port) {
+  if (faults_.silent_dead) {
+    ++net_->drops().device_dead;
+    return;
+  }
+  if (faults_.loss_rate > 0.0 && net_->rng().bernoulli(faults_.loss_rate)) {
+    ++net_->drops().random_loss;
+    return;
+  }
+  if (faults_.blackhole_fraction > 0.0) {
+    const std::uint64_t h = flow_hash(pkt.flow, faults_.blackhole_salt);
+    if (static_cast<double>(h % 1024) <
+        faults_.blackhole_fraction * 1024.0) {
+      ++net_->drops().blackhole;
+      return;
+    }
+  }
+  receive(std::move(pkt), in_port);
+}
+
+Network::Network(sim::Engine& engine, NetworkParams params,
+                 std::uint64_t seed)
+    : engine_(&engine), params_(params), rng_(seed) {}
+
+void Network::link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
+                   TimeNs prop_delay, std::uint64_t queue_capacity) {
+  if (queue_capacity == 0) queue_capacity = params_.default_queue_capacity;
+  auto state = std::make_shared<LinkState>();
+  Port& ap = a.port(pa);
+  Port& bp = b.port(pb);
+  ap.peer_ = &b;
+  ap.peer_port_ = pb;
+  ap.rate_ = rate;
+  ap.prop_delay_ = prop_delay;
+  ap.link_ = state;
+  ap.detected_up_ = true;
+  ap.cap_bytes_ = queue_capacity;
+  bp.peer_ = &a;
+  bp.peer_port_ = pa;
+  bp.rate_ = rate;
+  bp.prop_delay_ = prop_delay;
+  bp.link_ = state;
+  bp.detected_up_ = true;
+  bp.cap_bytes_ = queue_capacity;
+}
+
+void Network::set_link_alive(Device& dev, int port, bool alive) {
+  Port& p = dev.port(port);
+  if (!p.connected() || p.link_->alive == alive) return;
+  p.link_->alive = alive;
+  Device* peer = p.peer_;
+  const int peer_port = p.peer_port_;
+  // Both ends detect the carrier change after the detection delay.
+  engine_->after(params_.link_detect_delay,
+                 [this, d = &dev, port, peer, peer_port, alive] {
+                   d->port(port).detected_up_ = alive;
+                   peer->port(peer_port).detected_up_ = alive;
+                   if (alive) {
+                     d->on_link_up(port);
+                     peer->on_link_up(peer_port);
+                   } else {
+                     d->on_link_down(port);
+                     peer->on_link_down(peer_port);
+                   }
+                   schedule_reconvergence();
+                 });
+}
+
+void Network::schedule_reconvergence() {
+  if (reconvergence_pending_) return;
+  reconvergence_pending_ = true;
+  engine_->after(params_.reconverge_delay, [this] {
+    reconvergence_pending_ = false;
+    compute_routes();
+  });
+}
+
+void Network::fail_link(Device& dev, int port) {
+  set_link_alive(dev, port, false);
+}
+
+void Network::repair_link(Device& dev, int port) {
+  set_link_alive(dev, port, true);
+}
+
+void Network::fail_device_stop(Device& dev) {
+  for (int i = 0; i < dev.num_ports(); ++i) {
+    if (dev.port(i).connected()) set_link_alive(dev, i, false);
+  }
+}
+
+void Network::fail_device_silent(Device& dev) {
+  dev.faults_.silent_dead = true;
+}
+
+void Network::repair_device(Device& dev) {
+  dev.faults_.silent_dead = false;
+  dev.faults_.loss_rate = 0.0;
+  dev.faults_.blackhole_fraction = 0.0;
+  for (int i = 0; i < dev.num_ports(); ++i) {
+    if (dev.port(i).connected()) set_link_alive(dev, i, true);
+  }
+}
+
+void Network::set_loss_rate(Device& dev, double p) {
+  dev.faults_.loss_rate = p;
+}
+
+void Network::set_blackhole(Device& dev, double fraction) {
+  dev.faults_.blackhole_fraction = fraction;
+  dev.faults_.blackhole_salt = rng_.next();
+}
+
+void Network::compute_routes() {
+  routes_.clear();
+  // BFS from every host over the control-plane-visible (detected-up) graph.
+  for (const auto& host : devices_) {
+    if (!host->is_host()) continue;
+    std::unordered_map<DeviceId, int> dist;
+    dist[host->id()] = 0;
+    std::queue<Device*> frontier;
+    frontier.push(host.get());
+    while (!frontier.empty()) {
+      Device* d = frontier.front();
+      frontier.pop();
+      const int dd = dist[d->id()];
+      // Packets never transit through another host.
+      if (d->is_host() && d != host.get()) continue;
+      for (int i = 0; i < d->num_ports(); ++i) {
+        const Port& p = d->port(i);
+        if (!p.detected_up()) continue;
+        Device* n = p.peer();
+        if (dist.contains(n->id())) continue;
+        dist[n->id()] = dd + 1;
+        frontier.push(n);
+      }
+    }
+    const IpAddr dst = host->id();
+    for (const auto& dev : devices_) {
+      if (dev.get() == host.get()) continue;
+      auto it = dist.find(dev->id());
+      if (it == dist.end()) continue;
+      std::vector<int> next_hops;
+      for (int i = 0; i < dev->num_ports(); ++i) {
+        const Port& p = dev->port(i);
+        if (!p.detected_up()) continue;
+        auto pit = dist.find(p.peer()->id());
+        if (pit == dist.end()) continue;
+        if (pit->second == it->second - 1 &&
+            (p.peer()->is_host() ? p.peer()->id() == dst : true)) {
+          next_hops.push_back(i);
+        }
+      }
+      if (!next_hops.empty()) routes_[dev->id()][dst] = std::move(next_hops);
+    }
+  }
+}
+
+const std::vector<int>* Network::routes(DeviceId dev, IpAddr dst) const {
+  auto it = routes_.find(dev);
+  if (it == routes_.end()) return nullptr;
+  auto jt = it->second.find(dst);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,224 @@
+// The fabric: devices, ports, links, failures and routing.
+//
+// `Network` owns every device and all shared link state. Devices exchange
+// packets through `Port`s: each port has a strict-priority pair of
+// byte-limited egress queues (shallow buffers, per §3.1 the FN deliberately
+// uses shallow-buffer switches), a serialization stage at link rate, and a
+// propagation stage. Failure semantics:
+//
+//  * fail-stop (link/port down, device power-off): carrier loss is detected
+//    by both ends after `link_detect_delay`; ECMP selection then excludes
+//    the port, and a routing recomputation runs after `reconverge_delay`.
+//    Packets transmitted into a dead link during the detection window are
+//    lost — the realistic sub-second blackhole.
+//  * silent failures (hung switch, post-reboot unprogrammed FIB, partial
+//    blackhole on a subset of flows, random loss): carrier stays up, the
+//    control plane sees nothing, and only endpoint action (SOLAR's
+//    multi-path timeouts) or manual ops repair ends the outage. These are
+//    the incidents behind Fig. 8 and Table 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/engine.h"
+
+namespace repro::net {
+
+class Device;
+class Network;
+
+struct LinkState {
+  bool alive = true;
+};
+
+struct PortStats {
+  std::uint64_t pkts_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t drops_link_down = 0;
+};
+
+class Port {
+ public:
+  static constexpr int kNumQueues = 2;  // 0 = high priority, 1 = best effort
+
+  bool connected() const { return peer_ != nullptr; }
+  /// Carrier as currently *known* at this end (detection lags reality).
+  bool detected_up() const { return connected() && detected_up_; }
+  Device* peer() const { return peer_; }
+  int peer_port() const { return peer_port_; }
+  BitsPerSec rate() const { return rate_; }
+  std::uint64_t queue_bytes() const { return q_bytes_[0] + q_bytes_[1]; }
+  std::uint64_t tx_bytes_total() const { return stats_.bytes_tx; }
+  const PortStats& stats() const { return stats_; }
+
+ private:
+  friend class Device;
+  friend class Network;
+
+  Device* owner_ = nullptr;
+  int index_ = -1;
+  Device* peer_ = nullptr;
+  int peer_port_ = -1;
+  BitsPerSec rate_ = 0;
+  TimeNs prop_delay_ = 0;
+  std::shared_ptr<LinkState> link_;
+  bool detected_up_ = false;
+  std::uint64_t cap_bytes_ = 0;
+  std::deque<Packet> q_[kNumQueues];
+  std::uint64_t q_bytes_[kNumQueues] = {0, 0};
+  bool transmitting_ = false;
+  PortStats stats_;
+};
+
+/// Per-device fault knobs (set via Network's failure API).
+struct DeviceFaults {
+  bool silent_dead = false;     ///< forwards nothing, carrier stays up
+  double loss_rate = 0.0;       ///< iid drop probability on receive
+  double blackhole_fraction = 0.0;  ///< fraction of flows silently dropped
+  std::uint64_t blackhole_salt = 0;
+};
+
+class Device {
+ public:
+  Device(Network& net, DeviceId id, std::string name, int num_ports,
+         bool is_host);
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  DeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool is_host() const { return is_host_; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  Port& port(int i) { return ports_[static_cast<std::size_t>(i)]; }
+  const Port& port(int i) const { return ports_[static_cast<std::size_t>(i)]; }
+
+  /// Enqueues `pkt` on `port`'s egress. Drops (with accounting) if the
+  /// queue is full or the port was never connected.
+  void send(int port, Packet pkt);
+
+  Network& network() { return *net_; }
+  const DeviceFaults& faults() const { return faults_; }
+
+ protected:
+  /// Delivered packets after fault filtering. `in_port` is the ingress.
+  virtual void receive(Packet pkt, int in_port) = 0;
+  /// Carrier change notifications (fired at *detection* time).
+  virtual void on_link_down(int port) { (void)port; }
+  virtual void on_link_up(int port) { (void)port; }
+
+ private:
+  friend class Network;
+
+  void start_tx(int port);
+  void handle_arrival(Packet pkt, int in_port);
+
+  Network* net_;
+  DeviceId id_;
+  std::string name_;
+  bool is_host_;
+  std::vector<Port> ports_;
+  DeviceFaults faults_;
+};
+
+struct NetworkParams {
+  /// Time for an endpoint/switch to notice carrier loss on a fail-stop.
+  TimeNs link_detect_delay = ms(10);
+  /// Additional time for routing to recompute after a detection.
+  TimeNs reconverge_delay = ms(50);
+  /// Default egress queue capacity per priority class (shallow buffer).
+  std::uint64_t default_queue_capacity = 384 * 1024;
+};
+
+class Network {
+ public:
+  struct DropStats {
+    std::uint64_t queue_full = 0;
+    std::uint64_t link_down = 0;
+    std::uint64_t device_dead = 0;
+    std::uint64_t blackhole = 0;
+    std::uint64_t random_loss = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t total() const {
+      return queue_full + link_down + device_dead + blackhole + random_loss +
+             no_route;
+    }
+  };
+
+  Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed);
+
+  /// Creates and owns a device. T must derive from Device and take
+  /// (Network&, DeviceId, forwarded args...) in its constructor.
+  template <typename T, typename... Args>
+  T* add_device(Args&&... args) {
+    auto dev = std::make_unique<T>(*this, next_device_id_++,
+                                   std::forward<Args>(args)...);
+    T* raw = dev.get();
+    devices_.push_back(std::move(dev));
+    return raw;
+  }
+
+  /// Connects a.port(pa) <-> b.port(pb) with symmetric rate/propagation.
+  void link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
+            TimeNs prop_delay, std::uint64_t queue_capacity = 0);
+
+  /// (Re)computes shortest-path ECMP routes from the currently *detected*
+  /// topology. Must be called once after building the topology.
+  void compute_routes();
+
+  /// ECMP candidate ports at `dev` toward host `dst` (from the last route
+  /// computation). nullptr if unreachable.
+  const std::vector<int>* routes(DeviceId dev, IpAddr dst) const;
+
+  // --- failure injection -------------------------------------------------
+  void fail_link(Device& dev, int port);
+  void repair_link(Device& dev, int port);
+  /// Fail-stop: all of the device's links go down (detectable).
+  void fail_device_stop(Device& dev);
+  /// Silent death: forwards nothing, carrier stays up (undetectable).
+  void fail_device_silent(Device& dev);
+  void repair_device(Device& dev);
+  void set_loss_rate(Device& dev, double p);
+  void set_blackhole(Device& dev, double fraction);
+
+  sim::Engine& engine() { return *engine_; }
+  Rng& rng() { return rng_; }
+  const NetworkParams& params() const { return params_; }
+  DropStats& drops() { return drops_; }
+  const DropStats& drops() const { return drops_; }
+  std::uint64_t next_packet_id() { return next_packet_id_++; }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  friend class Device;
+
+  void set_link_alive(Device& dev, int port, bool alive);
+  void schedule_reconvergence();
+
+  sim::Engine* engine_;
+  NetworkParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  DeviceId next_device_id_ = 1;
+  std::uint64_t next_packet_id_ = 1;
+  DropStats drops_;
+  bool reconvergence_pending_ = false;
+  // routes_[device id][dst ip] -> egress ports on shortest paths.
+  std::unordered_map<DeviceId, std::unordered_map<IpAddr, std::vector<int>>>
+      routes_;
+};
+
+}  // namespace repro::net

@@ -1,0 +1,38 @@
+#include "net/nic.h"
+
+namespace repro::net {
+
+void Nic::send_packet(Packet pkt) {
+  pkt.id = network().next_packet_id();
+  pkt.sent_at = network().engine().now();
+  int live[8];
+  int n_live = 0;
+  for (int i = 0; i < num_ports() && n_live < 8; ++i) {
+    if (port(i).detected_up()) live[n_live++] = i;
+  }
+  if (n_live == 0) {
+    ++network().drops().no_route;
+    return;
+  }
+  const std::uint64_t h = flow_hash(pkt.flow, salt_);
+  ++tx_packets_;
+  tx_bytes_ += pkt.size_bytes;
+  send(live[h % static_cast<std::uint64_t>(n_live)], std::move(pkt));
+}
+
+void Nic::receive(Packet pkt, int in_port) {
+  (void)in_port;
+  ++rx_packets_;
+  rx_bytes_ += pkt.size_bytes;
+  if (deliver_) deliver_(std::move(pkt));
+}
+
+BitsPerSec Nic::uplink_capacity() const {
+  BitsPerSec total = 0;
+  for (int i = 0; i < num_ports(); ++i) {
+    if (port(i).detected_up()) total += port(i).rate();
+  }
+  return total;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,56 @@
+// Host NIC: the attachment point for transport stacks.
+//
+// A NIC owns the host's uplinks (typically two, one per ToR of the rack's
+// ToR pair — §3.3 "even with the ToR switch, we connect each server to a
+// pair of it"). Egress flows are spread over detected-up uplinks by flow
+// hash, so losing one uplink (fail-stop) moves traffic to the sibling after
+// carrier detection, while a *silent* upstream failure keeps the flow
+// pinned to its dead path — that asymmetry is what Table 2 measures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/network.h"
+
+namespace repro::net {
+
+class Nic : public Device {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Nic(Network& net, DeviceId id, std::string name, int uplinks)
+      : Device(net, id, std::move(name), uplinks, /*is_host=*/true),
+        salt_(net.rng().next()) {}
+
+  /// Host stack receive callback.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Sends a transport packet: picks an uplink by flow hash over the
+  /// currently detected-up ports, stamps ids/timestamps.
+  void send_packet(Packet pkt);
+
+  IpAddr ip() const { return id(); }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  void reset_counters() { tx_packets_ = rx_packets_ = tx_bytes_ = rx_bytes_ = 0; }
+
+  /// Aggregate line rate over detected-up uplinks.
+  BitsPerSec uplink_capacity() const;
+
+ protected:
+  void receive(Packet pkt, int in_port) override;
+
+ private:
+  DeliverFn deliver_;
+  std::uint64_t salt_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace repro::net

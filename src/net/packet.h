@@ -1,0 +1,80 @@
+// Packet model for the simulated fabric.
+//
+// A packet carries its 5-tuple (what switches hash for ECMP), its wire size
+// (what links/queues account), an optional in-band-telemetry trail (what
+// HPCC-style congestion control consumes, §4.8), and a typed application
+// payload (the transport frame). Payload bytes live inside the transport
+// frames; the fabric only ever looks at `size_bytes`.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace repro::net {
+
+using DeviceId = std::uint32_t;
+/// Host addresses equal the host's DeviceId; switches are not addressable.
+using IpAddr = std::uint32_t;
+
+enum class Proto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+struct FlowKey {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::kUdp;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+/// 5-tuple hash with a per-device salt: each switch hashes flows
+/// independently, like real ECMP.
+std::uint64_t flow_hash(const FlowKey& flow, std::uint64_t salt);
+
+/// One INT record appended by each switch on the path (HPCC-style).
+struct IntRecord {
+  DeviceId node = 0;
+  TimeNs timestamp = 0;
+  std::uint64_t queue_bytes = 0;  ///< egress queue depth at enqueue
+  BitsPerSec link_rate = 0;       ///< egress link capacity
+  std::uint64_t tx_bytes = 0;     ///< cumulative bytes sent on the egress
+};
+
+struct Packet {
+  FlowKey flow{};
+  std::uint32_t size_bytes = 0;
+  /// 0 = dedicated high-priority queue (SOLAR, §4.8); 1 = best effort.
+  std::uint8_t priority = 1;
+  bool request_int = false;
+  std::vector<IntRecord> int_records;
+  /// Transport frame (e.g. solar::Frame), stored as shared_ptr<const T>.
+  std::any app;
+  std::uint64_t id = 0;
+  TimeNs sent_at = 0;
+};
+
+/// Helpers for the typed payload convention.
+template <typename T>
+void set_app(Packet& pkt, std::shared_ptr<const T> frame) {
+  pkt.app = std::move(frame);
+}
+
+template <typename T, typename... Args>
+void emplace_app(Packet& pkt, Args&&... args) {
+  pkt.app = std::shared_ptr<const T>(
+      std::make_shared<T>(std::forward<Args>(args)...));
+}
+
+/// Returns nullptr if the packet does not carry a T payload.
+template <typename T>
+std::shared_ptr<const T> app_as(const Packet& pkt) {
+  if (auto* p = std::any_cast<std::shared_ptr<const T>>(&pkt.app)) return *p;
+  return nullptr;
+}
+
+}  // namespace repro::net

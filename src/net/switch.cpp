@@ -1,0 +1,40 @@
+#include "net/switch.h"
+
+namespace repro::net {
+
+void Switch::receive(Packet pkt, int in_port) {
+  (void)in_port;
+  const std::vector<int>* candidates = network().routes(id(), pkt.flow.dst_ip);
+  if (candidates == nullptr || candidates->empty()) {
+    ++network().drops().no_route;
+    return;
+  }
+  // Fast local exclusion: between carrier detection and routing
+  // reconvergence, skip ports we already know are down.
+  int live[16];
+  int n_live = 0;
+  for (int p : *candidates) {
+    if (port(p).detected_up() && n_live < 16) live[n_live++] = p;
+  }
+  if (n_live == 0) {
+    ++network().drops().no_route;
+    return;
+  }
+  const std::uint64_t h = flow_hash(pkt.flow, salt_);
+  const int egress = live[h % static_cast<std::uint64_t>(n_live)];
+
+  if (pkt.request_int) {
+    Port& p = port(egress);
+    pkt.int_records.push_back(IntRecord{
+        .node = id(),
+        .timestamp = network().engine().now(),
+        .queue_bytes = p.queue_bytes(),
+        .link_rate = p.rate(),
+        .tx_bytes = p.tx_bytes_total(),
+    });
+  }
+  ++forwarded_;
+  send(egress, std::move(pkt));
+}
+
+}  // namespace repro::net

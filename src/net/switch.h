@@ -1,0 +1,26 @@
+// Store-and-forward switch with ECMP and INT.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+
+namespace repro::net {
+
+class Switch : public Device {
+ public:
+  Switch(Network& net, DeviceId id, std::string name, int num_ports)
+      : Device(net, id, std::move(name), num_ports, /*is_host=*/false),
+        salt_(net.rng().next()) {}
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ protected:
+  void receive(Packet pkt, int in_port) override;
+
+ private:
+  std::uint64_t salt_;  ///< per-switch ECMP hash salt
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace repro::net

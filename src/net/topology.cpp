@@ -1,0 +1,110 @@
+#include "net/topology.h"
+
+#include <string>
+
+namespace repro::net {
+namespace {
+
+int racks_for(int servers, int per_rack) {
+  return (servers + per_rack - 1) / per_rack;
+}
+
+struct Pod {
+  std::vector<Nic*> servers;
+  std::vector<Switch*> tors;
+  std::vector<Switch*> spines;
+};
+
+Pod build_pod(Network& net, const ClosConfig& cfg, const std::string& prefix,
+              int num_servers) {
+  Pod pod;
+  const int racks = racks_for(num_servers, cfg.servers_per_rack);
+  const int tor_ports = cfg.servers_per_rack + cfg.spines_per_pod;
+  const int spine_ports = 2 * racks + cfg.core_switches;
+
+  for (int r = 0; r < 2 * racks; ++r) {
+    pod.tors.push_back(net.add_device<Switch>(
+        prefix + "-tor" + std::to_string(r), tor_ports));
+  }
+  for (int s = 0; s < cfg.spines_per_pod; ++s) {
+    pod.spines.push_back(net.add_device<Switch>(
+        prefix + "-spine" + std::to_string(s), spine_ports));
+  }
+  for (int i = 0; i < num_servers; ++i) {
+    Nic* nic = net.add_device<Nic>(prefix + "-srv" + std::to_string(i),
+                                   /*uplinks=*/2);
+    pod.servers.push_back(nic);
+    const int rack = i / cfg.servers_per_rack;
+    const int slot = i % cfg.servers_per_rack;
+    // Dual-home: uplink 0 to the even ToR of the pair, uplink 1 to the odd.
+    for (int u = 0; u < 2; ++u) {
+      Switch* tor = pod.tors[static_cast<std::size_t>(2 * rack + u)];
+      net.link(*nic, u, *tor, slot, cfg.host_link_rate, cfg.host_prop,
+               cfg.queue_capacity);
+    }
+  }
+  // Every ToR to every pod spine.
+  for (std::size_t t = 0; t < pod.tors.size(); ++t) {
+    for (int s = 0; s < cfg.spines_per_pod; ++s) {
+      net.link(*pod.tors[t], cfg.servers_per_rack + s, *pod.spines[s],
+               static_cast<int>(t), cfg.fabric_link_rate, cfg.fabric_prop,
+               cfg.queue_capacity);
+    }
+  }
+  return pod;
+}
+
+}  // namespace
+
+Clos build_clos(Network& net, const ClosConfig& cfg) {
+  Clos clos;
+  clos.config = cfg;
+
+  Pod compute = build_pod(net, cfg, "cmp", cfg.compute_servers);
+  Pod storage = build_pod(net, cfg, "sto", cfg.storage_servers);
+
+  const int core_ports = 2 * cfg.spines_per_pod;
+  std::vector<Switch*> cores;
+  for (int c = 0; c < cfg.core_switches; ++c) {
+    cores.push_back(
+        net.add_device<Switch>("core" + std::to_string(c), core_ports));
+  }
+  const int compute_racks = racks_for(cfg.compute_servers, cfg.servers_per_rack);
+  const int storage_racks = racks_for(cfg.storage_servers, cfg.servers_per_rack);
+  for (int c = 0; c < cfg.core_switches; ++c) {
+    for (int s = 0; s < cfg.spines_per_pod; ++s) {
+      net.link(*compute.spines[static_cast<std::size_t>(s)],
+               2 * compute_racks + c, *cores[static_cast<std::size_t>(c)], s,
+               cfg.fabric_link_rate, cfg.fabric_prop, cfg.queue_capacity);
+      net.link(*storage.spines[static_cast<std::size_t>(s)],
+               2 * storage_racks + c, *cores[static_cast<std::size_t>(c)],
+               cfg.spines_per_pod + s, cfg.fabric_link_rate, cfg.fabric_prop,
+               cfg.queue_capacity);
+    }
+  }
+
+  clos.compute = std::move(compute.servers);
+  clos.compute_tors = std::move(compute.tors);
+  clos.compute_spines = std::move(compute.spines);
+  clos.storage = std::move(storage.servers);
+  clos.storage_tors = std::move(storage.tors);
+  clos.storage_spines = std::move(storage.spines);
+  clos.cores = std::move(cores);
+
+  net.compute_routes();
+  return clos;
+}
+
+TwoHosts build_two_hosts(Network& net, BitsPerSec rate, TimeNs prop,
+                         std::uint64_t queue_capacity) {
+  TwoHosts t;
+  t.sw = net.add_device<Switch>("sw", 2);
+  t.a = net.add_device<Nic>("hostA", 1);
+  t.b = net.add_device<Nic>("hostB", 1);
+  net.link(*t.a, 0, *t.sw, 0, rate, prop, queue_capacity);
+  net.link(*t.b, 0, *t.sw, 1, rate, prop, queue_capacity);
+  net.compute_routes();
+  return t;
+}
+
+}  // namespace repro::net

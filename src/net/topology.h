@@ -1,0 +1,66 @@
+// Topology builders.
+//
+// `build_clos` produces the paper's FN shape: a compute pod and a storage
+// pod, each with racks of dual-homed servers under ToR *pairs* and a spine
+// tier, joined by a core tier (the region boundary every FN flow crosses).
+// `build_two_hosts` is a minimal host-switch-host fixture for transport
+// unit tests.
+#pragma once
+
+#include <vector>
+
+#include "net/nic.h"
+#include "net/switch.h"
+
+namespace repro::net {
+
+struct ClosConfig {
+  int compute_servers = 8;
+  int storage_servers = 8;
+  int servers_per_rack = 8;
+  int spines_per_pod = 2;
+  int core_switches = 2;
+  BitsPerSec host_link_rate = gbps(25);  ///< per uplink; 2 uplinks/server
+  BitsPerSec fabric_link_rate = gbps(100);
+  TimeNs host_prop = ns(200);
+  TimeNs fabric_prop = ns(300);
+  std::uint64_t queue_capacity = 0;  ///< 0 = network default
+};
+
+struct Clos {
+  ClosConfig config;
+  std::vector<Nic*> compute;
+  std::vector<Nic*> storage;
+  std::vector<Switch*> compute_tors;  ///< rack r's pair at [2r], [2r+1]
+  std::vector<Switch*> storage_tors;
+  std::vector<Switch*> compute_spines;
+  std::vector<Switch*> storage_spines;
+  std::vector<Switch*> cores;
+
+  /// The ToR pair serving compute server `i`.
+  std::pair<Switch*, Switch*> compute_tor_pair(int i) const {
+    const int rack = i / config.servers_per_rack;
+    return {compute_tors[static_cast<std::size_t>(2 * rack)],
+            compute_tors[static_cast<std::size_t>(2 * rack + 1)]};
+  }
+  std::pair<Switch*, Switch*> storage_tor_pair(int i) const {
+    const int rack = i / config.servers_per_rack;
+    return {storage_tors[static_cast<std::size_t>(2 * rack)],
+            storage_tors[static_cast<std::size_t>(2 * rack + 1)]};
+  }
+};
+
+/// Builds the fabric into `net` and computes routes.
+Clos build_clos(Network& net, const ClosConfig& cfg);
+
+struct TwoHosts {
+  Nic* a = nullptr;
+  Nic* b = nullptr;
+  Switch* sw = nullptr;
+};
+
+/// a -- sw -- b with single uplinks. Computes routes.
+TwoHosts build_two_hosts(Network& net, BitsPerSec rate, TimeNs prop,
+                         std::uint64_t queue_capacity = 0);
+
+}  // namespace repro::net

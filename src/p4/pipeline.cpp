@@ -1,0 +1,105 @@
+#include "p4/pipeline.h"
+
+namespace repro::p4 {
+
+Parser& Parser::field(std::string name, int width_bytes) {
+  fields_.push_back({std::move(name), width_bytes});
+  return *this;
+}
+
+Parser& Parser::payload_rest(std::string expect_len_field) {
+  take_payload_ = true;
+  expect_len_field_ = std::move(expect_len_field);
+  return *this;
+}
+
+bool Parser::parse(PacketCtx& ctx) const {
+  std::size_t pos = 0;
+  for (const auto& f : fields_) {
+    if (pos + static_cast<std::size_t>(f.width) > ctx.bytes.size()) {
+      ctx.dropped = true;
+      ctx.drop_reason = "parser_underflow:" + f.name;
+      return false;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < f.width; ++i) {
+      v |= static_cast<std::uint64_t>(ctx.bytes[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    ctx.fields[f.name] = v;
+    pos += static_cast<std::size_t>(f.width);
+  }
+  if (take_payload_) {
+    ctx.payload.assign(ctx.bytes.begin() + static_cast<long>(pos),
+                       ctx.bytes.end());
+    if (!expect_len_field_.empty() &&
+        ctx.field(expect_len_field_) != ctx.payload.size()) {
+      ctx.dropped = true;
+      ctx.drop_reason = "payload_length_mismatch";
+      return false;
+    }
+  } else if (pos != ctx.bytes.size()) {
+    ctx.dropped = true;
+    ctx.drop_reason = "trailing_bytes";
+    return false;
+  }
+  return true;
+}
+
+void Table::add_entry(const std::vector<std::uint64_t>& key,
+                      std::string action, std::vector<std::uint64_t> args) {
+  entries_[key] = Entry{std::move(action), std::move(args)};
+}
+
+void Table::set_default(std::string action, std::vector<std::uint64_t> args) {
+  default_ = Entry{std::move(action), std::move(args)};
+}
+
+const Table::Entry* Table::lookup(const PacketCtx& ctx) const {
+  std::vector<std::uint64_t> key;
+  key.reserve(key_fields_.size());
+  for (const auto& f : key_fields_) key.push_back(ctx.field(f));
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return &it->second;
+  return default_ ? &*default_ : nullptr;
+}
+
+Table& Pipeline::add_table(std::string name,
+                           std::vector<std::string> key_fields) {
+  tables_.emplace_back(std::move(name), std::move(key_fields));
+  return tables_.back();
+}
+
+Table* Pipeline::table(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t.name() == name) return &t;
+  }
+  return nullptr;
+}
+
+void Pipeline::register_action(std::string name, ActionFn fn) {
+  actions_[std::move(name)] = std::move(fn);
+}
+
+bool Pipeline::process(PacketCtx& ctx) const {
+  if (!parser_.parse(ctx)) return false;
+  for (const auto& t : tables_) {
+    const Table::Entry* entry = t.lookup(ctx);
+    if (entry == nullptr) {
+      ctx.dropped = true;
+      ctx.drop_reason = "table_miss:" + t.name();
+      return false;
+    }
+    auto it = actions_.find(entry->action);
+    if (it == actions_.end()) {
+      ctx.dropped = true;
+      ctx.drop_reason = "unknown_action:" + entry->action;
+      return false;
+    }
+    it->second(ctx, entry->args);
+    if (ctx.dropped) return false;
+  }
+  return true;
+}
+
+}  // namespace repro::p4

@@ -1,0 +1,119 @@
+// A miniature P4-style architecture: parser -> match-action tables ->
+// deparser/verdict, with externs for CRC and the cipher.
+//
+// §4.6's claim is that SOLAR's storage virtualization *is* a packet
+// pipeline: "the functions in SA are essentially block reading, data
+// computation, block writing, and table checking/maintaining, [so] the
+// data path of SA can be expressed with the P4 language". This module
+// makes the claim concrete: src/p4/solar_program.cpp builds the SOLAR SA
+// data path out of these primitives, operating on the *real wire bytes*
+// of proto/headers.h, and tests prove it equivalent to the FPGA model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::p4 {
+
+/// Per-packet processing context: raw bytes in, parsed fields + verdict out.
+struct PacketCtx {
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::uint64_t> fields;  ///< parsed + metadata
+  std::vector<std::uint8_t> payload;
+  bool dropped = false;
+  std::string drop_reason;
+  /// Final disposition set by actions: "to_dma", "to_cpu", "to_wire", ...
+  std::string verdict;
+
+  std::uint64_t field(const std::string& name) const {
+    auto it = fields.find(name);
+    return it == fields.end() ? 0 : it->second;
+  }
+  bool has_field(const std::string& name) const {
+    return fields.contains(name);
+  }
+};
+
+/// Fixed-layout little-endian header parser (a P4 parse graph with one
+/// state per field; sufficient for SOLAR's flat headers).
+class Parser {
+ public:
+  Parser& field(std::string name, int width_bytes);
+  /// Remaining bytes become the payload; `expect_len_field`, if set, names
+  /// a parsed field that must equal the payload length (else drop).
+  Parser& payload_rest(std::string expect_len_field = {});
+
+  /// Returns false (and marks dropped) on truncation/length mismatch.
+  bool parse(PacketCtx& ctx) const;
+
+ private:
+  struct Field {
+    std::string name;
+    int width;
+  };
+  std::vector<Field> fields_;
+  bool take_payload_ = false;
+  std::string expect_len_field_;
+};
+
+/// Exact-match match-action table.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> key_fields)
+      : name_(std::move(name)), key_fields_(std::move(key_fields)) {}
+
+  struct Entry {
+    std::string action;
+    std::vector<std::uint64_t> args;
+  };
+
+  void add_entry(const std::vector<std::uint64_t>& key, std::string action,
+                 std::vector<std::uint64_t> args = {});
+  void set_default(std::string action, std::vector<std::uint64_t> args = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& key_fields() const { return key_fields_; }
+  /// nullptr when no entry matches and no default is set.
+  const Entry* lookup(const PacketCtx& ctx) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> key_fields_;
+  std::map<std::vector<std::uint64_t>, Entry> entries_;
+  std::optional<Entry> default_;
+};
+
+using ActionFn =
+    std::function<void(PacketCtx&, const std::vector<std::uint64_t>&)>;
+
+/// A straight-line pipeline: parser, then each table in order (the matched
+/// entry's action runs immediately — match-action), then done. Dropped
+/// packets short-circuit.
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  void set_parser(Parser parser) { parser_ = std::move(parser); }
+  Table& add_table(std::string name, std::vector<std::string> key_fields);
+  Table* table(const std::string& name);
+  void register_action(std::string name, ActionFn fn);
+
+  /// Runs the packet; returns false if it was dropped.
+  bool process(PacketCtx& ctx) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Parser parser_;
+  std::vector<Table> tables_;
+  std::map<std::string, ActionFn> actions_;
+};
+
+}  // namespace repro::p4

@@ -1,0 +1,120 @@
+#include "p4/solar_program.h"
+
+#include "common/crc32.h"
+#include "proto/headers.h"
+
+namespace repro::p4 {
+namespace {
+
+/// Parser for the SOLAR wire layout (RPC HDR | EBS HDR | payload), with
+/// field names mirroring the header structs.
+Parser solar_frame_parser() {
+  Parser p;
+  p.field("rpc.rpc_id", 8)
+      .field("rpc.pkt_id", 2)
+      .field("rpc.pkt_count", 2)
+      .field("rpc.msg_type", 1)
+      .field("rpc.flags", 1)
+      .field("rpc.path_id", 2)
+      .field("ebs.vd_id", 8)
+      .field("ebs.segment_id", 8)
+      .field("ebs.lba", 8)
+      .field("ebs.block_len", 4)
+      .field("ebs.payload_crc", 4)
+      .field("ebs.op", 1)
+      .field("ebs.version", 1)
+      .field("ebs.qos_class", 2)
+      .payload_rest("ebs.block_len");
+  return p;
+}
+
+}  // namespace
+
+Pipeline make_read_rx_pipeline(const SolarProgramConfig& cfg) {
+  Pipeline pipe("solar-read-rx");
+  pipe.set_parser(solar_frame_parser());
+
+  // Stage 1: sanity — only READ responses enter this pipeline.
+  auto& kind = pipe.add_table("msg_kind", {"rpc.msg_type"});
+  kind.add_entry({static_cast<std::uint64_t>(
+                     proto::RpcMsgType::kReadResponse)},
+                 "accept");
+  // (no default: anything else is a table miss == drop to CPU)
+
+  // Stage 2: Addr table — (rpc_id, pkt_id) -> guest address (Fig. 13).
+  auto& addr = pipe.add_table("addr", {"rpc.rpc_id", "rpc.pkt_id"});
+  (void)addr;  // entries installed by the control plane (tests/caller)
+
+  // Stage 3: SEC + CRC externs, then DMA.
+  auto& integrity = pipe.add_table("integrity", {});
+  integrity.set_default("check_and_dma");
+
+  pipe.register_action("accept",
+                       [](PacketCtx&, const std::vector<std::uint64_t>&) {});
+  pipe.register_action(
+      "dma", [](PacketCtx& ctx, const std::vector<std::uint64_t>& args) {
+        ctx.fields["dma_addr"] = args.empty() ? 0 : args[0];
+      });
+  const auto key = cfg.cipher_key;
+  const bool encrypt = cfg.encrypt;
+  pipe.register_action(
+      "check_and_dma",
+      [key, encrypt](PacketCtx& ctx, const std::vector<std::uint64_t>&) {
+        if (encrypt) {
+          sa::BlockCipher cipher(key);
+          cipher.apply(ctx.field("ebs.vd_id"), ctx.field("ebs.lba"),
+                       ctx.payload);
+        }
+        if (crc32_raw(ctx.payload) != ctx.field("ebs.payload_crc")) {
+          ctx.dropped = true;
+          ctx.drop_reason = "crc_mismatch";
+          return;
+        }
+        ctx.verdict = "to_dma";
+      });
+  return pipe;
+}
+
+Pipeline make_write_tx_pipeline(const SolarProgramConfig& cfg) {
+  Pipeline pipe("solar-write-tx");
+  // The write side has no wire parse: metadata comes via DMA doorbell.
+  pipe.set_parser(Parser{});
+
+  auto& qos = pipe.add_table("qos", {"nvme.vd"});
+  (void)qos;  // per-VD entries installed by the control plane
+
+  auto& block = pipe.add_table("block", {"nvme.vd", "nvme.segment_index"});
+  (void)block;
+
+  auto& datapath = pipe.add_table("datapath", {});
+  datapath.set_default("crc_sec_pktgen");
+
+  pipe.register_action("qos_pass",
+                       [](PacketCtx&, const std::vector<std::uint64_t>&) {});
+  pipe.register_action(
+      "qos_drop", [](PacketCtx& ctx, const std::vector<std::uint64_t>&) {
+        ctx.dropped = true;
+        ctx.drop_reason = "qos_reject";
+      });
+  pipe.register_action(
+      "route", [](PacketCtx& ctx, const std::vector<std::uint64_t>& args) {
+        ctx.fields["route.segment_id"] = args.size() > 0 ? args[0] : 0;
+        ctx.fields["route.server"] = args.size() > 1 ? args[1] : 0;
+      });
+  const auto key = cfg.cipher_key;
+  const bool encrypt = cfg.encrypt;
+  pipe.register_action(
+      "crc_sec_pktgen",
+      [key, encrypt](PacketCtx& ctx, const std::vector<std::uint64_t>&) {
+        ctx.fields["ebs.payload_crc"] = crc32_raw(ctx.payload);
+        if (encrypt) {
+          sa::BlockCipher cipher(key);
+          cipher.apply(ctx.field("nvme.vd"), ctx.field("nvme.lba"),
+                       ctx.payload);
+        }
+        ctx.verdict = "to_wire";
+      });
+  return pipe;
+}
+
+}  // namespace repro::p4

@@ -1,0 +1,45 @@
+// SOLAR's SA data path expressed as P4-style pipelines (§4.6).
+//
+// Two programs cover the offloaded data path of Figures 12/13:
+//
+//  * WRITE TX: parse the (virtual) NVMe command metadata, run the QoS and
+//    Block match-action stages, CRC + optional SEC externs, and emit the
+//    packet — verdict "to_wire" with the segment/server resolved.
+//  * READ RX: parse the SOLAR frame bytes, look up the Addr table by
+//    (rpc_id, pkt_id), optional SEC decrypt, CRC-check the payload, and
+//    DMA to the guest address — verdict "to_dma" (headers "to_cpu").
+//
+// The programs run on real wire bytes (proto/headers.h layouts). Tests in
+// tests/p4_test.cpp prove the READ RX program's accept/reject behaviour
+// matches the FPGA model on the same inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "p4/pipeline.h"
+#include "sa/crypto.h"
+
+namespace repro::p4 {
+
+struct SolarProgramConfig {
+  bool encrypt = false;
+  std::uint64_t cipher_key = 0x5EC5EC5EC5EC5ECull;
+};
+
+/// READ RX pipeline: fields "rpc.*" / "ebs.*" parsed from the wire, Addr
+/// table keyed (rpc.rpc_id, rpc.pkt_id) -> action "dma" {guest_addr}.
+/// After processing, ctx.field("dma_addr") holds the landing address,
+/// ctx.payload the (decrypted) block, verdict "to_dma". CRC failures drop
+/// with reason "crc_mismatch".
+Pipeline make_read_rx_pipeline(const SolarProgramConfig& cfg);
+
+/// WRITE TX pipeline: metadata fields ("nvme.vd", "nvme.lba", "nvme.len")
+/// are pre-populated by the caller (they arrive by DMA, not as a packet),
+/// payload = the data block. QoS table keyed vd -> "qos_pass"/"qos_drop";
+/// Block table keyed (vd, segment_index) -> "route" {segment_id, server}.
+/// CRC extern fills field "ebs.payload_crc"; SEC encrypts in place.
+/// Verdict "to_wire"; fields "route.segment_id" and "route.server" are the
+/// PktGen inputs.
+Pipeline make_write_tx_pipeline(const SolarProgramConfig& cfg);
+
+}  // namespace repro::p4

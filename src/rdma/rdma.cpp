@@ -1,0 +1,287 @@
+#include "rdma/rdma.h"
+
+#include <algorithm>
+
+namespace repro::rdma {
+namespace {
+
+constexpr std::uint32_t kHeaderBytes = 60;  // eth+ip+udp+bth
+constexpr std::uint32_t kAckBytes = 64;
+
+std::uint64_t client_key(net::IpAddr dst) {
+  return (static_cast<std::uint64_t>(dst) << 1u) | 0u;
+}
+std::uint64_t server_key(net::IpAddr ip, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(ip) << 17u) |
+         (static_cast<std::uint64_t>(port) << 1u) | 1u;
+}
+std::uint64_t key_of(const net::FlowKey& local_flow) {
+  if (local_flow.dst_port == RdmaStack::kServerPort) {
+    return client_key(local_flow.dst_ip);
+  }
+  return server_key(local_flow.dst_ip, local_flow.dst_port);
+}
+
+}  // namespace
+
+RdmaStack::RdmaStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
+                     RdmaParams params, Rng rng)
+    : engine_(engine),
+      nic_(nic),
+      cpu_(cpu),
+      params_(params),
+      rng_(rng),
+      nic_engine_(engine, "rnic") {
+  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+TimeNs RdmaStack::qp_touch(const Qp& q) {
+  const std::uint64_t key = key_of(q.flow);
+  auto it = lru_pos_.find(key);
+  if (it != lru_pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  ++qp_cache_misses_;
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+  if (lru_.size() > params_.qp_cache_size) {
+    lru_pos_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return params_.qp_cache_miss_penalty;
+}
+
+RdmaStack::Qp& RdmaStack::qp_to(net::IpAddr dst) {
+  const std::uint64_t key = client_key(dst);
+  auto it = qps_.find(key);
+  if (it == qps_.end()) {
+    Qp q;
+    q.flow = net::FlowKey{nic_.ip(), dst, next_port_++, kServerPort,
+                          net::Proto::kUdp};
+    it = qps_.emplace(key, std::move(q)).first;
+  }
+  return it->second;
+}
+
+RdmaStack::Qp& RdmaStack::qp_for_flow(const net::FlowKey& remote_to_local) {
+  net::FlowKey local{remote_to_local.dst_ip, remote_to_local.src_ip,
+                     remote_to_local.dst_port, remote_to_local.src_port,
+                     net::Proto::kUdp};
+  const std::uint64_t key = key_of(local);
+  auto it = qps_.find(key);
+  if (it == qps_.end()) {
+    Qp q;
+    q.flow = local;
+    it = qps_.emplace(key, std::move(q)).first;
+  }
+  return it->second;
+}
+
+void RdmaStack::call(net::IpAddr dst, transport::StorageRequest request,
+                     transport::ResponseFn on_response) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  request.rpc_id = rpc_id;
+  outstanding_rpcs_[rpc_id] = std::move(on_response);
+  Message m;
+  m.bytes = request.wire_bytes();
+  m.is_request = true;
+  m.rpc_id = rpc_id;
+  m.payload = std::move(request);
+  send_message(qp_to(dst), std::move(m));
+}
+
+void RdmaStack::send_message(Qp& q, Message msg) {
+  auto shared = std::make_shared<const Message>(std::move(msg));
+  // Posting the WQE costs a verb on the CPU; everything after is NIC work.
+  cpu_.submit(key_of(q.flow), params_.per_verb_cpu, [this, &q, shared] {
+    std::uint64_t remaining = shared->bytes;
+    while (remaining > 0) {
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, params_.mtu));
+      remaining -= take;
+      Wire w;
+      w.flow = q.flow;
+      w.bytes = take;
+      if (remaining == 0) {
+        w.msg = shared;
+        w.msg_last = true;
+      }
+      q.pending.push_back(std::move(w));
+    }
+    pump(q);
+  });
+}
+
+void RdmaStack::pump(Qp& q) {
+  while (!q.pending.empty() &&
+         q.next_seq - q.send_base < params_.window) {
+    Wire w = std::move(q.pending.front());
+    q.pending.pop_front();
+    w.seq = q.next_seq++;
+    q.outstanding.emplace(w.seq, SentMeta{w.bytes, w.msg, w.msg_last});
+    transmit(q, std::move(w));
+  }
+  arm_rto(q);
+}
+
+void RdmaStack::transmit(Qp& q, Wire w) {
+  const TimeNs nic_work = params_.nic_tx_latency + qp_touch(q);
+  auto shared = std::make_shared<const Wire>(std::move(w));
+  nic_engine_.run(nic_work, [this, shared] {
+    net::Packet pkt;
+    pkt.flow = shared->flow;
+    pkt.size_bytes = shared->bytes + kHeaderBytes;
+    net::set_app<Wire>(pkt, shared);
+    nic_.send_packet(std::move(pkt));
+  });
+}
+
+void RdmaStack::on_packet(net::Packet pkt) {
+  auto w = net::app_as<Wire>(pkt);
+  if (!w) return;
+  // RNIC-side receive processing (+ possible QP-context fetch).
+  Qp& q = qp_for_flow(w->flow);
+  nic_engine_.run(ns(150) + qp_touch(q), [this, w] { on_wire(*w); });
+}
+
+void RdmaStack::on_wire(const Wire& w) {
+  Qp& q = qp_for_flow(w.flow);
+  switch (w.kind) {
+    case Wire::Kind::kData: {
+      if (w.seq == q.rcv_next) {
+        ++q.rcv_next;
+        if (w.msg_last && w.msg) deliver(q, w.msg);
+        Wire ack;
+        ack.flow = q.flow;
+        ack.kind = Wire::Kind::kAck;
+        ack.ack_seq = q.rcv_next;
+        net::Packet pkt;
+        pkt.flow = q.flow;
+        pkt.size_bytes = kAckBytes;
+        net::emplace_app<Wire>(pkt, std::move(ack));
+        nic_.send_packet(std::move(pkt));
+      } else if (w.seq > q.rcv_next) {
+        // Out of order: RC (go-back-N generation) drops and NAKs.
+        ++naks_;
+        Wire nak;
+        nak.flow = q.flow;
+        nak.kind = Wire::Kind::kNak;
+        nak.ack_seq = q.rcv_next;
+        net::Packet pkt;
+        pkt.flow = q.flow;
+        pkt.size_bytes = kAckBytes;
+        net::emplace_app<Wire>(pkt, std::move(nak));
+        nic_.send_packet(std::move(pkt));
+      } else {
+        // Duplicate of already-received data: re-ACK.
+        Wire ack;
+        ack.flow = q.flow;
+        ack.kind = Wire::Kind::kAck;
+        ack.ack_seq = q.rcv_next;
+        net::Packet pkt;
+        pkt.flow = q.flow;
+        pkt.size_bytes = kAckBytes;
+        net::emplace_app<Wire>(pkt, std::move(ack));
+        nic_.send_packet(std::move(pkt));
+      }
+      return;
+    }
+    case Wire::Kind::kAck: {
+      if (w.ack_seq > q.send_base) {
+        q.outstanding.erase(q.outstanding.begin(),
+                            q.outstanding.lower_bound(w.ack_seq));
+        q.send_base = w.ack_seq;
+        q.backoff = 0;
+        arm_rto(q, /*restart=*/true);
+        pump(q);
+      }
+      return;
+    }
+    case Wire::Kind::kNak: {
+      // One rewind per loss event: a burst of NAKs from the same gap must
+      // not trigger a retransmission storm.
+      if (w.ack_seq >= q.send_base &&
+          engine_.now() - q.last_rewind_at > us(50)) {
+        rewind(q);
+      }
+      return;
+    }
+  }
+}
+
+void RdmaStack::rewind(Qp& q) {
+  // Go-back-N: retransmit everything outstanding, in order.
+  ++rewinds_;
+  q.last_rewind_at = engine_.now();
+  if (q.rto_timer != 0) {
+    engine_.cancel(q.rto_timer);
+    q.rto_timer = 0;  // force the trailing arm_rto to restart the timer
+  }
+  for (const auto& [seq, meta] : q.outstanding) {
+    Wire w;
+    w.flow = q.flow;
+    w.seq = seq;
+    w.bytes = meta.bytes;
+    w.msg = meta.msg;
+    w.msg_last = meta.msg_last;
+    transmit(q, std::move(w));
+  }
+  arm_rto(q);
+}
+
+void RdmaStack::arm_rto(Qp& q, bool restart) {
+  // See TcpStack::arm_rto: only ACK progress or a fired RTO restarts the
+  // timer; new sends must not reset the countdown.
+  if (q.outstanding.empty()) {
+    if (q.rto_timer != 0) {
+      engine_.cancel(q.rto_timer);
+      q.rto_timer = 0;
+    }
+    return;
+  }
+  if (q.rto_timer != 0) {
+    if (!restart) return;
+    engine_.cancel(q.rto_timer);
+    q.rto_timer = 0;
+  }
+  TimeNs rto = params_.retransmit_timeout;
+  for (int i = 0; i < std::min(q.backoff, params_.max_retry_backoff); ++i) {
+    rto *= 2;
+  }
+  q.rto_timer = engine_.schedule_after(rto, [this, &q] {
+    q.rto_timer = 0;
+    if (q.outstanding.empty()) return;
+    ++q.backoff;
+    rewind(q);  // rewind re-arms with the increased backoff
+  });
+}
+
+void RdmaStack::deliver(Qp& q, const std::shared_ptr<const Message>& m) {
+  cpu_.submit(key_of(q.flow), params_.per_verb_cpu, [this, &q, m] {
+    if (m->is_request) {
+      if (!handler_) return;
+      auto req = std::any_cast<transport::StorageRequest>(m->payload);
+      const std::uint64_t rpc_id = m->rpc_id;
+      handler_(std::move(req),
+               [this, &q, rpc_id](transport::StorageResponse resp) {
+                 resp.rpc_id = rpc_id;
+                 Message out;
+                 out.bytes = resp.wire_bytes();
+                 out.is_request = false;
+                 out.rpc_id = rpc_id;
+                 out.payload = std::move(resp);
+                 send_message(q, std::move(out));
+               });
+    } else {
+      auto resp = std::any_cast<transport::StorageResponse>(m->payload);
+      auto it = outstanding_rpcs_.find(m->rpc_id);
+      if (it == outstanding_rpcs_.end()) return;
+      transport::ResponseFn cb = std::move(it->second);
+      outstanding_rpcs_.erase(it);
+      cb(std::move(resp));
+    }
+  });
+}
+
+}  // namespace repro::rdma

@@ -1,0 +1,141 @@
+// RDMA RC transport model (the hardware alternative the paper evaluated
+// and rejected for FN, §3.1, and the Fig. 10(b)/14/15 baseline).
+//
+// What it gets right for the reproduction:
+//  * Network processing is offloaded: CPU pays only a few hundred ns per
+//    verb/completion, never per packet.
+//  * Loss recovery is go-back-N (the RNIC generation of §3.1): the receiver
+//    only accepts in-order packets; a gap triggers a NAK and the sender
+//    rewinds — expensive under loss.
+//  * Scalability cliff: the RNIC caches a bounded number of QP contexts
+//    (~5000 in the paper's 2017-era hardware). Misses stall the NIC
+//    pipeline per packet, so throughput collapses as connections grow.
+//  * On a DPU (Fig. 10(b)) the data path still crosses the internal PCIe
+//    twice, because only the network stack is offloaded, not the SA.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "net/nic.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/pcie.h"
+#include "transport/rpc.h"
+
+namespace repro::rdma {
+
+struct RdmaParams {
+  std::uint32_t mtu = 4096;
+  std::uint32_t window = 64;        ///< in-flight packets per QP
+  TimeNs per_verb_cpu = ns(600);    ///< post send / poll completion
+  TimeNs nic_tx_latency = ns(600);  ///< WQE fetch + DMA setup
+  std::size_t qp_cache_size = 5000; ///< QP contexts cached on the NIC
+  TimeNs qp_cache_miss_penalty = us(3);  ///< context fetch over PCIe
+  TimeNs retransmit_timeout = ms(1);     ///< RC timeout before rewind
+  int max_retry_backoff = 8;
+};
+
+/// RDMA endpoint bound to a NIC. (On a DPU, the internal-PCIe crossings of
+/// Fig. 10(b) are charged by the composition layer in src/ebs, which is
+/// also where LUNA pays them — the transport itself is host-agnostic.)
+class RdmaStack : public transport::RpcTransport, public transport::RpcServer {
+ public:
+  static constexpr std::uint16_t kServerPort = 9010;
+
+  RdmaStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
+            RdmaParams params, Rng rng);
+
+  void call(net::IpAddr dst, transport::StorageRequest request,
+            transport::ResponseFn on_response) override;
+  std::string name() const override { return "rdma"; }
+  void set_handler(transport::ServerHandlerFn handler) override {
+    handler_ = std::move(handler);
+  }
+
+  std::uint64_t rewinds() const { return rewinds_; }
+  std::uint64_t naks() const { return naks_; }
+  std::uint64_t qp_cache_misses() const { return qp_cache_misses_; }
+  std::size_t open_qps() const { return qps_.size(); }
+
+ private:
+  struct Message {
+    std::any payload;
+    std::uint64_t bytes = 0;
+    bool is_request = false;
+    std::uint64_t rpc_id = 0;
+  };
+
+  struct Wire {  // data packet, ACK or NAK
+    net::FlowKey flow;
+    std::uint64_t seq = 0;
+    std::uint32_t bytes = 0;
+    enum class Kind : std::uint8_t { kData, kAck, kNak } kind = Kind::kData;
+    std::uint64_t ack_seq = 0;  ///< cumulative for ACK; expected for NAK
+    std::shared_ptr<const Message> msg;
+    bool msg_last = false;
+  };
+
+  struct SentMeta {
+    std::uint32_t bytes = 0;
+    std::shared_ptr<const Message> msg;
+    bool msg_last = false;
+  };
+
+  struct Qp {
+    net::FlowKey flow;
+    // sender
+    std::uint64_t next_seq = 0;
+    std::uint64_t send_base = 0;
+    std::map<std::uint64_t, SentMeta> outstanding;
+    std::deque<Wire> pending;
+    sim::TimerId rto_timer = 0;
+    int backoff = 0;
+    TimeNs last_rewind_at = -kSecond;  ///< NAK-storm throttle
+    // receiver (strictly in-order)
+    std::uint64_t rcv_next = 0;
+  };
+
+  Qp& qp_to(net::IpAddr dst);
+  Qp& qp_for_flow(const net::FlowKey& remote_to_local);
+  void send_message(Qp& q, Message msg);
+  void pump(Qp& q);
+  void transmit(Qp& q, Wire w);
+  void on_packet(net::Packet pkt);
+  void on_wire(const Wire& w);
+  void rewind(Qp& q);
+  void arm_rto(Qp& q, bool restart = false);
+  /// Charges the QP-context-cache cost for touching this QP.
+  TimeNs qp_touch(const Qp& q);
+  void deliver(Qp& q, const std::shared_ptr<const Message>& m);
+
+  sim::Engine& engine_;
+  net::Nic& nic_;
+  sim::CpuPool& cpu_;
+  RdmaParams params_;
+  Rng rng_;
+  /// The RNIC's processing pipeline as a serial resource: per-packet work
+  /// and QP-cache-miss stalls serialize here, which is exactly what makes
+  /// throughput collapse beyond the cache size.
+  sim::CpuCore nic_engine_;
+  transport::ServerHandlerFn handler_;
+  std::unordered_map<std::uint64_t, Qp> qps_;
+  std::unordered_map<std::uint64_t, transport::ResponseFn> outstanding_rpcs_;
+  // NIC QP-context cache (LRU over QP keys).
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      lru_pos_;
+  std::uint16_t next_port_ = 30000;
+  std::uint64_t next_rpc_id_ = 1;
+  std::uint64_t rewinds_ = 0;
+  std::uint64_t naks_ = 0;
+  std::uint64_t qp_cache_misses_ = 0;
+};
+
+}  // namespace repro::rdma

@@ -1,0 +1,198 @@
+#include "sa/agent.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+
+namespace repro::sa {
+
+using transport::DataBlock;
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+using transport::StorageRequest;
+using transport::StorageResponse;
+using transport::StorageStatus;
+
+struct StorageAgent::Gather {
+  int remaining = 0;
+  StorageStatus status = StorageStatus::kOk;
+  TimeNs fn_max = 0;
+  TimeNs bn_max = 0;
+  TimeNs ssd_max = 0;
+  TimeNs sa_pre = 0;
+  TimeNs qos_wait = 0;
+  TimeNs last_resp_at = 0;
+  IoRequest io;
+  std::vector<std::pair<Extent, StorageResponse>> responses;
+  transport::IoCompleteFn done;
+};
+
+StorageAgent::StorageAgent(sim::Engine& engine, sim::CpuPool& cpu,
+                           SegmentTable& segments, QosTable& qos,
+                           transport::RpcTransport& rpc,
+                           const BlockCipher* cipher, SaParams params)
+    : engine_(engine),
+      cpu_(cpu),
+      segments_(segments),
+      qos_(qos),
+      rpc_(rpc),
+      cipher_(cipher),
+      params_(params) {}
+
+void StorageAgent::submit_io(IoRequest io, transport::IoCompleteFn done) {
+  const TimeNs now = engine_.now();
+  const auto admission = qos_.admit(io.vd_id, io.len, now);
+  const TimeNs qos_wait = admission.admit_at - now;
+  stats_.qos_throttled_ns += static_cast<std::uint64_t>(qos_wait);
+  if (qos_wait == 0) {
+    run_io(std::move(io), std::move(done), now, 0);
+  } else {
+    engine_.at(admission.admit_at,
+               [this, io = std::move(io), done = std::move(done), qos_wait,
+                at = admission.admit_at]() mutable {
+                 run_io(std::move(io), std::move(done), at, qos_wait);
+               });
+  }
+}
+
+void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
+                          TimeNs admitted_at, TimeNs qos_wait) {
+  ++stats_.ios;
+  const std::size_t nblocks = std::max<std::size_t>(
+      io.payload.size(), (io.len + 4095) / 4096);
+  TimeNs cpu_cost = params_.per_io_cost;
+  if (io.op == OpType::kWrite) {
+    cpu_cost += params_.per_block_crc * static_cast<TimeNs>(nblocks);
+    if (params_.encrypt) {
+      cpu_cost += params_.per_block_crypto * static_cast<TimeNs>(nblocks);
+    }
+  }
+
+  cpu_.submit(io.vd_id, cpu_cost, [this, io = std::move(io),
+                                   done = std::move(done), admitted_at,
+                                   qos_wait]() mutable {
+    const TimeNs sa_pre = engine_.now() - admitted_at;
+    // Real byte work for blocks that carry payloads: encrypt then CRC the
+    // ciphertext (the wire/storage CRC covers exactly what is stored).
+    if (io.op == OpType::kWrite) {
+      for (auto& blk : io.payload) {
+        if (!blk.has_payload()) {
+          blk.crc = static_cast<std::uint32_t>(blk.lba * 2654435761u);
+          continue;
+        }
+        if (params_.encrypt && cipher_ != nullptr) {
+          cipher_->apply(io.vd_id, blk.lba, blk.data);
+        }
+        blk.crc = crc32_raw(blk.data);
+      }
+    }
+
+    auto extents = segments_.split(io.vd_id, io.offset, io.len);
+    if (extents.empty()) {
+      IoResult res;
+      res.status = StorageStatus::kOutOfRange;
+      res.completed_at = engine_.now();
+      done(std::move(res));
+      return;
+    }
+    if (extents.size() > 1) ++stats_.split_ios;
+
+    auto g = std::make_shared<Gather>();
+    g->remaining = static_cast<int>(extents.size());
+    g->sa_pre = sa_pre;
+    g->qos_wait = qos_wait;
+    g->io = std::move(io);
+    g->done = std::move(done);
+    g->responses.reserve(extents.size());
+
+    for (const Extent& ext : extents) {
+      StorageRequest req;
+      req.op = g->io.op;
+      req.vd_id = g->io.vd_id;
+      req.segment_id = ext.loc.segment_id;
+      req.segment_offset = ext.segment_offset;
+      req.len = ext.len;
+      req.encrypted = params_.encrypt;
+      if (g->io.op == OpType::kWrite) {
+        for (auto& blk : g->io.payload) {
+          if (blk.lba >= ext.vd_offset && blk.lba < ext.vd_offset + ext.len) {
+            DataBlock copy = blk;
+            copy.lba = ext.segment_offset + (blk.lba - ext.vd_offset);
+            req.blocks.push_back(std::move(copy));
+          }
+        }
+      }
+      ++stats_.rpcs;
+      const TimeNs call_at = engine_.now();
+      rpc_.call(ext.loc.block_server, std::move(req),
+                [this, g, ext, call_at](StorageResponse resp) {
+                  const TimeNs elapsed = engine_.now() - call_at;
+                  g->fn_max = std::max(
+                      g->fn_max,
+                      elapsed - resp.server_bn_ns - resp.server_ssd_ns);
+                  g->bn_max = std::max(g->bn_max, resp.server_bn_ns);
+                  g->ssd_max = std::max(g->ssd_max, resp.server_ssd_ns);
+                  if (resp.status != StorageStatus::kOk) {
+                    g->status = resp.status;
+                  }
+                  g->responses.emplace_back(ext, std::move(resp));
+                  if (--g->remaining == 0) {
+                    g->last_resp_at = engine_.now();
+                    finish_io(g);
+                  }
+                });
+    }
+  });
+}
+
+void StorageAgent::finish_io(const std::shared_ptr<Gather>& g) {
+  // Post-processing on CPU: for reads, per-block CRC verify and decrypt.
+  TimeNs cpu_cost = 0;
+  std::size_t read_blocks = 0;
+  if (g->io.op == OpType::kRead) {
+    for (const auto& [ext, resp] : g->responses) read_blocks += resp.blocks.size();
+    if (params_.verify_read_crc) {
+      cpu_cost += params_.per_block_crc * static_cast<TimeNs>(read_blocks);
+    }
+    if (params_.encrypt) {
+      cpu_cost += params_.per_block_crypto * static_cast<TimeNs>(read_blocks);
+    }
+  }
+  cpu_.submit(g->io.vd_id, cpu_cost, [this, g] {
+    IoResult res;
+    res.status = g->status;
+    if (g->io.op == OpType::kRead && g->status == StorageStatus::kOk) {
+      for (auto& [ext, resp] : g->responses) {
+        for (auto& blk : resp.blocks) {
+          DataBlock out = std::move(blk);
+          // Map the segment-relative address back into VD space.
+          out.lba = ext.vd_offset + (out.lba - ext.segment_offset);
+          if (out.has_payload()) {
+            if (params_.verify_read_crc && crc32_raw(out.data) != out.crc) {
+              ++stats_.crc_mismatches;
+              res.status = StorageStatus::kCrcMismatch;
+            }
+            if (params_.encrypt && cipher_ != nullptr) {
+              cipher_->apply(g->io.vd_id, out.lba, out.data);
+            }
+          }
+          res.read_data.push_back(std::move(out));
+        }
+      }
+      std::sort(res.read_data.begin(), res.read_data.end(),
+                [](const DataBlock& a, const DataBlock& b) {
+                  return a.lba < b.lba;
+                });
+    }
+    res.completed_at = engine_.now();
+    res.trace.sa_ns = g->sa_pre + (engine_.now() - g->last_resp_at);
+    res.trace.fn_ns = g->fn_max;
+    res.trace.bn_ns = g->bn_max;
+    res.trace.ssd_ns = g->ssd_max;
+    res.trace.qos_wait_ns = g->qos_wait;
+    g->done(std::move(res));
+  });
+}
+
+}  // namespace repro::sa

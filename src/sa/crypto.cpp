@@ -1,0 +1,29 @@
+#include "sa/crypto.h"
+
+namespace repro::sa {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void BlockCipher::apply(std::uint64_t vd_id, std::uint64_t lba,
+                        std::span<std::uint8_t> data) const {
+  std::uint64_t state = key_ ^ (vd_id * 0xC2B2AE3D27D4EB4Full) ^
+                        (lba * 0x165667B19E3779F9ull);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t ks = splitmix64(state);
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+  }
+}
+
+}  // namespace repro::sa

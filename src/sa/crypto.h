@@ -1,0 +1,30 @@
+// SEC stage: per-block encryption of EBS data (the "optionally encrypted"
+// path of §2.2 and the SEC module of Figure 12 / Table 3).
+//
+// This is a *model* cipher, not a secure one: an XOR keystream derived from
+// (key, vd_id, lba) via splitmix64. It has the properties the system code
+// needs — deterministic, tweakable per block (same plaintext at different
+// LBAs encrypts differently), self-inverse (encrypt == decrypt), and it
+// touches every byte so fault injection and cost accounting are honest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace repro::sa {
+
+class BlockCipher {
+ public:
+  explicit BlockCipher(std::uint64_t key) : key_(key) {}
+
+  /// In-place XOR-keystream transform; applying twice restores the input.
+  void apply(std::uint64_t vd_id, std::uint64_t lba,
+             std::span<std::uint8_t> data) const;
+
+  std::uint64_t key() const { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace repro::sa

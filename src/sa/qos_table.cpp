@@ -1,0 +1,35 @@
+#include "sa/qos_table.h"
+
+#include <algorithm>
+
+namespace repro::sa {
+
+void QosTable::set(std::uint64_t vd_id, const QosSpec& spec) {
+  entries_.insert_or_assign(
+      vd_id, Entry{TokenBucket(spec.iops_limit, spec.burst_ios),
+                   TokenBucket(spec.bandwidth_limit, spec.burst_bytes)});
+}
+
+QosTable::Admission QosTable::admit(std::uint64_t vd_id, std::uint32_t bytes,
+                                    TimeNs now) {
+  auto it = entries_.find(vd_id);
+  if (it == entries_.end()) return {true, now};
+  Entry& e = it->second;
+  const double want_bytes = static_cast<double>(bytes);
+  // Peek both buckets first so a partial admission never half-consumes.
+  if (e.iops.current_tokens(now) >= 1.0 &&
+      e.bytes.current_tokens(now) >= want_bytes) {
+    e.iops.try_consume(now, 1.0);
+    e.bytes.try_consume(now, want_bytes);
+    return {true, now};
+  }
+  const TimeNs t = std::max(e.iops.next_available(now, 1.0),
+                            e.bytes.next_available(now, want_bytes));
+  ++throttled_;
+  // Consume at the future admission point; the caller delays until then.
+  e.iops.try_consume(t, 1.0);
+  e.bytes.try_consume(t, want_bytes);
+  return {true, t};
+}
+
+}  // namespace repro::sa

@@ -1,0 +1,56 @@
+#include "sa/segment_table.h"
+
+#include <algorithm>
+
+namespace repro::sa {
+
+void SegmentTable::map(std::uint64_t vd_id, std::uint64_t seg_index,
+                       SegmentLocation loc) {
+  table_[key(vd_id, seg_index)] = loc;
+}
+
+void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
+                            const std::vector<net::IpAddr>& servers) {
+  if (servers.empty()) return;
+  const std::uint64_t segments =
+      (size_bytes + kSegmentBytes - 1) / kSegmentBytes;
+  for (std::uint64_t s = 0; s < segments; ++s) {
+    SegmentLocation loc;
+    loc.segment_id = next_segment_id_++;
+    loc.block_server = servers[s % servers.size()];
+    map(vd_id, s, loc);
+  }
+}
+
+std::optional<SegmentLocation> SegmentTable::lookup(
+    std::uint64_t vd_id, std::uint64_t offset) const {
+  auto it = table_.find(key(vd_id, offset / kSegmentBytes));
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Extent> SegmentTable::split(std::uint64_t vd_id,
+                                        std::uint64_t offset,
+                                        std::uint32_t len) const {
+  std::vector<Extent> extents;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    const auto loc = lookup(vd_id, pos);
+    if (!loc) return {};
+    const std::uint64_t seg_end = (pos / kSegmentBytes + 1) * kSegmentBytes;
+    const auto take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, seg_end - pos));
+    Extent e;
+    e.loc = *loc;
+    e.vd_offset = pos;
+    e.segment_offset = pos % kSegmentBytes;
+    e.len = take;
+    extents.push_back(e);
+    pos += take;
+    remaining -= take;
+  }
+  return extents;
+}
+
+}  // namespace repro::sa

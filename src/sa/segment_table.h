@@ -1,0 +1,61 @@
+// Segment Table: the core storage-virtualization data structure (§2.2).
+//
+// A virtual disk's address space is carved into 2 MB segments; each segment
+// lives on one block server. An I/O that crosses segment boundaries splits
+// into per-segment extents, each becoming its own RPC (§4.5 "Block splits
+// the I/O ... by adjusting the LBA address").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "storage/segment_store.h"
+
+namespace repro::sa {
+
+struct SegmentLocation {
+  std::uint64_t segment_id = 0;
+  net::IpAddr block_server = 0;
+};
+
+struct Extent {
+  SegmentLocation loc;
+  std::uint64_t vd_offset = 0;       ///< where this extent starts in the VD
+  std::uint64_t segment_offset = 0;  ///< where it starts within the segment
+  std::uint32_t len = 0;
+};
+
+class SegmentTable {
+ public:
+  static constexpr std::uint64_t kSegmentBytes = storage::kSegmentBytes;
+
+  /// Maps segment index `seg_index` of disk `vd_id` to a location.
+  void map(std::uint64_t vd_id, std::uint64_t seg_index, SegmentLocation loc);
+
+  /// Convenience: maps a whole VD of `size_bytes`, striping segments
+  /// round-robin across `servers` with ids drawn from `next_segment_id`.
+  void map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
+                const std::vector<net::IpAddr>& servers);
+
+  std::optional<SegmentLocation> lookup(std::uint64_t vd_id,
+                                        std::uint64_t offset) const;
+
+  /// Splits [offset, offset+len) into per-segment extents. Returns an empty
+  /// vector if any part of the range is unmapped.
+  std::vector<Extent> split(std::uint64_t vd_id, std::uint64_t offset,
+                            std::uint32_t len) const;
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  static std::uint64_t key(std::uint64_t vd_id, std::uint64_t seg_index) {
+    return vd_id * 0x1000003ull + seg_index;
+  }
+  std::unordered_map<std::uint64_t, SegmentLocation> table_;
+  std::uint64_t next_segment_id_ = 1;
+};
+
+}  // namespace repro::sa

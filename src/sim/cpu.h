@@ -1,0 +1,92 @@
+// CPU models.
+//
+// A `CpuCore` is a serial resource: work items are executed FIFO, each
+// occupying the core for its service time. This is what turns per-packet /
+// per-IO CPU costs into queueing delay — the effect behind the paper's
+// "consumed cores" and stress-test latency numbers (Table 1) and the SA
+// bottleneck (Fig. 6).
+//
+// A `CpuPool` groups cores with two dispatch policies:
+//  * by_hash  — share-nothing (LUNA/SOLAR): a flow/VD is pinned to a core.
+//  * least_loaded — work-stealing-ish global queue (kernel stack), which
+//    additionally pays a cross-core coordination cost per item.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace repro::sim {
+
+class CpuCore {
+ public:
+  CpuCore(Engine& engine, std::string name)
+      : engine_(engine), name_(std::move(name)) {}
+
+  /// Enqueues a work item taking `cost` of core time; `done` (optional)
+  /// fires when the item completes. Returns the completion time.
+  TimeNs run(TimeNs cost, Callback done = {});
+
+  /// Time at which currently queued work drains.
+  TimeNs free_at() const { return free_at_; }
+
+  /// Outstanding work (0 when idle).
+  TimeNs backlog() const {
+    const TimeNs now = engine_.now();
+    return free_at_ > now ? free_at_ - now : 0;
+  }
+
+  /// Total busy time accumulated so far (including scheduled future work).
+  TimeNs busy_ns() const { return busy_ns_; }
+
+  /// Mean utilization over [0, now] (can exceed 1 transiently because
+  /// scheduled-but-unfinished work counts as busy).
+  double utilization() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  TimeNs free_at_ = 0;
+  TimeNs busy_ns_ = 0;
+};
+
+class CpuPool {
+ public:
+  enum class Dispatch { kByHash, kLeastLoaded };
+
+  CpuPool(Engine& engine, std::string name, int cores, Dispatch dispatch,
+          TimeNs cross_core_overhead = 0);
+
+  /// Submits work keyed by `affinity` (connection id, VD id, ...).
+  TimeNs submit(std::uint64_t affinity, TimeNs cost, Callback done = {});
+
+  int size() const { return static_cast<int>(cores_.size()); }
+  CpuCore& core(int i) { return *cores_[i]; }
+
+  /// Sum of busy time across cores; `consumed_cores(T)` = busy / T is the
+  /// paper's "consumed cores" metric.
+  TimeNs total_busy_ns() const;
+  double consumed_cores(TimeNs over) const {
+    return over > 0 ? static_cast<double>(total_busy_ns()) /
+                          static_cast<double>(over)
+                    : 0.0;
+  }
+
+  /// Resets busy accounting (used between warmup and measurement phases).
+  void reset_accounting();
+
+ private:
+  Engine& engine_;
+  std::vector<std::unique_ptr<CpuCore>> cores_;
+  Dispatch dispatch_;
+  TimeNs cross_core_overhead_;
+  TimeNs busy_baseline_ = 0;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,63 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace repro::sim {
+
+TimerId Engine::schedule_at(TimeNs t, Callback fn) {
+  if (t < now_) t = now_;
+  const TimerId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Engine::cancel(TimerId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Insertion into the canceled set only succeeds once per id; events that
+  // already ran removed their id from bookkeeping by never consulting it
+  // again (ids are unique), so a double-cancel is a harmless no-op.
+  return canceled_.insert(id).second;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = canceled_.find(ev.id); it != canceled_.end()) {
+      canceled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Engine::run_until(TimeNs t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek through canceled entries to find the next live event time.
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (auto it = canceled_.find(top.id); it != canceled_.end()) {
+        canceled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+      break;
+    }
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,87 @@
+// Deterministic discrete-event engine.
+//
+// Everything in the reproduction — NIC serialization, switch queues, CPU
+// service times, SSD latencies, retransmission timers — is an event on this
+// engine. Events at equal timestamps run in scheduling order (a strictly
+// increasing sequence number breaks ties), so runs are fully deterministic
+// for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace repro::sim {
+
+using Callback = std::function<void()>;
+
+/// Identifier for a cancelable event. 0 is never a valid id.
+using TimerId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now for past times).
+  void at(TimeNs t, Callback fn) { schedule_at(t, std::move(fn)); }
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  void after(TimeNs delay, Callback fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancelable variants. `cancel` returns true if the event had not yet
+  /// fired (and will now never fire).
+  TimerId schedule_at(TimeNs t, Callback fn);
+  TimerId schedule_after(TimeNs delay, Callback fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+  bool cancel(TimerId id);
+
+  /// Executes the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  void run_until(TimeNs t);
+
+  /// Makes `run`/`run_until` return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending() const { return queue_.size() - canceled_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    TimerId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> canceled_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace repro::sim

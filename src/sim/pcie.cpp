@@ -1,0 +1,19 @@
+#include "sim/pcie.h"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+TimeNs PcieChannel::transfer(std::uint64_t bytes, Callback done) {
+  // DMA engines pipeline: the channel is occupied for the serialization
+  // time only; the fixed doorbell/completion latency delays the completion
+  // without blocking the next transfer.
+  const TimeNs start = std::max(engine_.now(), free_at_);
+  free_at_ = start + serialization_delay(bytes, bandwidth_);
+  bytes_transferred_ += bytes;
+  const TimeNs completion = free_at_ + per_transfer_latency_;
+  engine_.at(completion, done ? std::move(done) : Callback([] {}));
+  return completion;
+}
+
+}  // namespace repro::sim

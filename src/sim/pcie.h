@@ -1,0 +1,55 @@
+// PCIe channel model.
+//
+// ALI-DPU's internal PCIe interconnect carries far less than the 2x25GE
+// Ethernet (§4.2), so stacks whose data path crosses it twice (LUNA, RDMA,
+// SOLAR with offload disabled) hit a goodput ceiling — the flat line in
+// Fig. 14. The channel is a bandwidth-limited FIFO resource with a fixed
+// per-transfer latency (DMA doorbell + completion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace repro::sim {
+
+class PcieChannel {
+ public:
+  PcieChannel(Engine& engine, std::string name, BitsPerSec bandwidth,
+              TimeNs per_transfer_latency)
+      : engine_(engine),
+        name_(std::move(name)),
+        bandwidth_(bandwidth),
+        per_transfer_latency_(per_transfer_latency) {}
+
+  /// Queues a DMA of `bytes`; `done` fires when the last byte lands.
+  /// Returns the completion time.
+  TimeNs transfer(std::uint64_t bytes, Callback done = {});
+
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  BitsPerSec bandwidth() const { return bandwidth_; }
+
+  /// Achieved goodput over [0, now].
+  BitsPerSec goodput() const {
+    return throughput_bps(bytes_transferred_, engine_.now());
+  }
+
+  TimeNs backlog() const {
+    const TimeNs now = engine_.now();
+    return free_at_ > now ? free_at_ - now : 0;
+  }
+
+  void reset_accounting() { bytes_transferred_ = 0; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  BitsPerSec bandwidth_;
+  TimeNs per_transfer_latency_;
+  TimeNs free_at_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,48 @@
+// SOLAR frames as carried by the simulated fabric.
+//
+// On the real wire a frame is the byte layout of proto/headers.h (see the
+// equivalence tests in tests/p4_test.cpp); inside the simulator we carry
+// the typed form. The UDP source port doubles as the path id (§4.5).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/packet.h"
+#include "proto/headers.h"
+#include "transport/message.h"
+
+namespace repro::solar {
+
+struct Frame {
+  proto::RpcHeader rpc;
+  proto::EbsHeader ebs;
+  transport::DataBlock block;  ///< payload for data-bearing frames
+
+  TimeNs ts = 0;       ///< sender timestamp
+  TimeNs echo_ts = 0;  ///< ACK/response: timestamp of the trigger packet
+
+  // Response-only metadata.
+  transport::StorageStatus status = transport::StorageStatus::kOk;
+  TimeNs server_bn = 0;
+  TimeNs server_ssd = 0;
+
+  /// ACKs return the INT trail the data packet collected on its way out,
+  /// so the sender can run HPCC-style congestion control per path (§4.8).
+  std::vector<net::IntRecord> int_echo;
+};
+
+/// Wire size of a frame (headers + payload), for queue/link accounting.
+inline std::uint32_t frame_wire_bytes(const Frame& f) {
+  std::uint32_t sz = 42 /*eth+ip+udp*/ +
+                     static_cast<std::uint32_t>(proto::RpcHeader::kWireSize +
+                                                proto::EbsHeader::kWireSize);
+  const auto type = f.rpc.msg_type;
+  if (type == proto::RpcMsgType::kWriteRequest ||
+      type == proto::RpcMsgType::kReadResponse) {
+    sz += f.block.len;
+  }
+  return sz;
+}
+
+}  // namespace repro::solar

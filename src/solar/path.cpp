@@ -1,0 +1,114 @@
+#include "solar/path.h"
+
+#include <algorithm>
+
+namespace repro::solar {
+
+PathSet::PathSet(const PathParams& params, std::uint16_t first_port)
+    : params_(params), next_port_(first_port) {
+  paths_.resize(static_cast<std::size_t>(params_.paths_per_peer));
+  for (auto& p : paths_) {
+    p.port = next_port_++;
+    p.cwnd = params_.cwnd_init;
+  }
+}
+
+PathState* PathSet::pick() { return pick_excluding(0); }
+
+PathState* PathSet::pick_excluding(std::uint16_t port) {
+  PathState* best = nullptr;
+  for (auto& p : paths_) {
+    if (p.port == port || !p.has_window()) continue;
+    if (best == nullptr) {
+      best = &p;
+      continue;
+    }
+    if (p.consec_timeouts != best->consec_timeouts) {
+      if (p.consec_timeouts < best->consec_timeouts) best = &p;
+      continue;
+    }
+    if (p.srtt < best->srtt) best = &p;
+  }
+  // If everything is excluded/full, allow the excluded port as last resort.
+  if (best == nullptr && port != 0) {
+    for (auto& p : paths_) {
+      if (p.port == port && p.has_window()) return &p;
+    }
+  }
+  return best;
+}
+
+PathState& PathSet::force_pick(std::uint16_t exclude) {
+  PathState* best = nullptr;
+  for (auto& p : paths_) {
+    if (p.port == exclude && paths_.size() > 1) continue;
+    if (best == nullptr || p.consec_timeouts < best->consec_timeouts ||
+        (p.consec_timeouts == best->consec_timeouts &&
+         p.inflight < best->inflight)) {
+      best = &p;
+    }
+  }
+  return best != nullptr ? *best : paths_.front();
+}
+
+PathState* PathSet::by_port(std::uint16_t port) {
+  for (auto& p : paths_) {
+    if (p.port == port) return &p;
+  }
+  return nullptr;
+}
+
+void PathSet::on_ack(PathState& p, TimeNs rtt_sample,
+                     const std::vector<net::IntRecord>& int_echo) {
+  p.consec_timeouts = 0;
+  if (rtt_sample > 0) {
+    p.srtt = p.srtt == 0 ? rtt_sample : (7 * p.srtt + rtt_sample) / 8;
+  }
+  // HPCC-style window update: per-hop utilization from INT.
+  double max_u = 0.0;
+  for (const auto& rec : int_echo) {
+    auto it = p.hops.find(rec.node);
+    if (it != p.hops.end() && rec.timestamp > it->second.second) {
+      const double dt =
+          static_cast<double>(rec.timestamp - it->second.second) / 1e9;
+      const double tx_rate_bps =
+          static_cast<double>(rec.tx_bytes - it->second.first) * 8.0 / dt;
+      const double qterm =
+          static_cast<double>(rec.queue_bytes) * 8.0 /
+          (rec.link_rate * static_cast<double>(params_.hpcc_t_base) / 1e9);
+      const double u = qterm + tx_rate_bps / rec.link_rate;
+      max_u = std::max(max_u, u);
+    }
+    p.hops[rec.node] = {rec.tx_bytes, rec.timestamp};
+  }
+  if (max_u > params_.hpcc_eta) {
+    // Multiplicative decrease toward eta/U, damped so one ACK does not
+    // crater the window.
+    const double target = params_.hpcc_eta / max_u;
+    p.cwnd = std::max(params_.cwnd_min, p.cwnd * (0.5 + 0.5 * target));
+  } else {
+    p.cwnd = std::min(params_.cwnd_max, p.cwnd + params_.additive_increase);
+  }
+}
+
+bool PathSet::on_timeout(PathState& p) {
+  if (++p.consec_timeouts < params_.fail_threshold) return false;
+  // Declare the path failed: redraw the source port (new ECMP path), reset
+  // state. Recovery cost is a few packet timeouts — milliseconds.
+  p.port = next_port_++;
+  p.consec_timeouts = 0;
+  p.srtt = 0;
+  p.cwnd = params_.cwnd_init;
+  p.inflight = 0;  // packets on the dead path no longer hold window
+  p.hops.clear();
+  ++p.redraws;
+  return true;
+}
+
+std::uint64_t PathSet::total_redraws() const {
+  std::uint64_t total = 0;
+  for (const auto& p : paths_) total += p.redraws;
+  return total;
+}
+
+}  // namespace repro::solar

@@ -1,0 +1,90 @@
+// Multi-path state: SOLAR's failure-recovery and congestion-control core.
+//
+// The control plane keeps N (default 4) persistent paths per block-server
+// peer. A path is just a UDP source port — ECMP's hashing turns distinct
+// ports into distinct fabric paths, so "moving a path" is drawing a new
+// port. Per path we track cwnd, RTT, and a consecutive-timeout counter:
+// hitting the threshold declares the path failed and redraws the port
+// within milliseconds — no connection state, no scalability cost (§4.4),
+// and the mechanism that zeroes Table 2.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace repro::solar {
+
+struct PathParams {
+  int paths_per_peer = 4;
+  double cwnd_init = 12.0;
+  double cwnd_min = 1.0;
+  double cwnd_max = 256.0;
+  int fail_threshold = 3;        ///< consecutive timeouts -> redraw path
+  double hpcc_eta = 0.95;        ///< HPCC target utilization
+  TimeNs hpcc_t_base = us(25);   ///< baseline RTT for queue normalization
+  double additive_increase = 1.0;
+  TimeNs timeout_min = us(400);
+  double timeout_rtt_mult = 3.0;
+};
+
+struct PathState {
+  std::uint16_t port = 0;
+  double cwnd = 16.0;
+  int inflight = 0;
+  TimeNs srtt = 0;  ///< 0 = no sample yet
+  int consec_timeouts = 0;
+  std::uint64_t redraws = 0;  ///< how many times this slot changed port
+  // HPCC per-hop history: node id -> (tx_bytes, timestamp).
+  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, TimeNs>> hops;
+
+  bool has_window() const { return inflight < static_cast<int>(cwnd); }
+  /// Retransmission timeout for packets on this path.
+  TimeNs rto(const PathParams& p) const {
+    if (srtt == 0) return p.timeout_min * 4;  // unprobed path: be patient
+    const auto t = static_cast<TimeNs>(p.timeout_rtt_mult *
+                                       static_cast<double>(srtt));
+    return t < p.timeout_min ? p.timeout_min : t;
+  }
+};
+
+class PathSet {
+ public:
+  PathSet(const PathParams& params, std::uint16_t first_port);
+
+  /// Best path with window available: fewest consecutive timeouts first,
+  /// then lowest smoothed RTT (unprobed paths sort first so they get
+  /// probed). nullptr when every path's window is full.
+  PathState* pick();
+
+  /// Like pick() but never returns the given port (retransmit elsewhere
+  /// when possible).
+  PathState* pick_excluding(std::uint16_t port);
+
+  /// For retransmissions: always returns a path (window ignored), best
+  /// effort to avoid `exclude` and paths with recent timeouts.
+  PathState& force_pick(std::uint16_t exclude);
+
+  PathState* by_port(std::uint16_t port);
+
+  /// ACK bookkeeping: RTT EWMA + HPCC window update from the INT echo.
+  void on_ack(PathState& p, TimeNs rtt_sample,
+              const std::vector<net::IntRecord>& int_echo);
+
+  /// Timeout bookkeeping. Returns true if the path was declared failed and
+  /// its port redrawn.
+  bool on_timeout(PathState& p);
+
+  std::vector<PathState>& paths() { return paths_; }
+  std::uint64_t total_redraws() const;
+
+ private:
+  PathParams params_;
+  std::vector<PathState> paths_;
+  std::uint16_t next_port_;
+};
+
+}  // namespace repro::solar

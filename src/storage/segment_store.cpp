@@ -1,0 +1,53 @@
+#include "storage/segment_store.h"
+
+namespace repro::storage {
+
+bool SegmentStore::put(std::uint64_t segment_id, std::uint64_t offset,
+                       std::uint32_t len, std::uint32_t crc,
+                       std::vector<std::uint8_t> data) {
+  if (len == 0 || offset + len > kSegmentBytes) return false;
+  Segment& seg = segments_[segment_id];
+  StoredBlock blk;
+  blk.len = len;
+  blk.crc = crc;
+  auto existing = seg.blocks.find(offset);
+  blk.version = existing == seg.blocks.end() ? 1 : existing->second.version + 1;
+
+  // Maintain the append-order segment CRC when data is real and writes
+  // arrive strictly at the append point; anything else invalidates it
+  // (the production system re-scrubs in that case).
+  if (store_payload_ && !data.empty()) {
+    if (seg.crc_valid && offset == seg.appended) {
+      seg.rolling_crc = crc32_combine(seg.rolling_crc, crc32_ieee(data),
+                                      data.size());
+      seg.appended += data.size();
+    } else {
+      seg.crc_valid = false;
+    }
+    blk.data = std::move(data);
+  }
+  seg.blocks[offset] = std::move(blk);
+  ++blocks_written_;
+  return true;
+}
+
+std::optional<StoredBlock> SegmentStore::get(std::uint64_t segment_id,
+                                             std::uint64_t offset) const {
+  auto sit = segments_.find(segment_id);
+  if (sit == segments_.end()) return std::nullopt;
+  auto bit = sit->second.blocks.find(offset);
+  if (bit == sit->second.blocks.end()) return std::nullopt;
+  return bit->second;
+}
+
+std::optional<std::uint32_t> SegmentStore::segment_crc(
+    std::uint64_t segment_id) const {
+  auto sit = segments_.find(segment_id);
+  if (sit == segments_.end() || !sit->second.crc_valid ||
+      sit->second.appended == 0) {
+    return std::nullopt;
+  }
+  return sit->second.rolling_crc;
+}
+
+}  // namespace repro::storage

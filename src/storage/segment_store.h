@@ -1,0 +1,63 @@
+// Per-block-server persistent state: segments and their blocks.
+//
+// A segment is a 2 MB contiguous slice of a virtual disk hosted on one
+// block server (§4.5: "each segment hosted in a block server contains
+// relatively large (e.g., 2MB) and continuous LBA addresses"). The store
+// keeps per-block CRCs always, and the data bytes only when asked to
+// (integrity experiments) — high-rate benches run metadata-only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace repro::storage {
+
+inline constexpr std::uint64_t kSegmentBytes = 2 * 1024 * 1024;
+
+struct StoredBlock {
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;               ///< crc32_raw of the block data
+  std::vector<std::uint8_t> data;      ///< kept only if store_payload
+  std::uint64_t version = 0;
+};
+
+class SegmentStore {
+ public:
+  explicit SegmentStore(bool store_payload) : store_payload_(store_payload) {}
+
+  /// Writes a block at `offset` within `segment_id`. `data` may be empty
+  /// (sized placeholder): then only (len, crc) are recorded.
+  /// Returns false if the block would cross the segment end.
+  bool put(std::uint64_t segment_id, std::uint64_t offset, std::uint32_t len,
+           std::uint32_t crc, std::vector<std::uint8_t> data);
+
+  std::optional<StoredBlock> get(std::uint64_t segment_id,
+                                 std::uint64_t offset) const;
+
+  /// Running segment-level CRC maintained via crc32_combine as blocks are
+  /// appended in offset order (exercised by the integrity tests).
+  std::optional<std::uint32_t> segment_crc(std::uint64_t segment_id) const;
+
+  std::size_t segment_count() const { return segments_.size(); }
+  std::uint64_t blocks_written() const { return blocks_written_; }
+  bool stores_payload() const { return store_payload_; }
+
+ private:
+  struct Segment {
+    std::map<std::uint64_t, StoredBlock> blocks;  // by offset
+    std::uint32_t rolling_crc = 0;  // crc32_ieee over appended data, if real
+    std::uint64_t appended = 0;     // bytes covered by rolling_crc
+    bool crc_valid = true;          // false after out-of-order overwrite
+  };
+
+  bool store_payload_;
+  std::unordered_map<std::uint64_t, Segment> segments_;
+  std::uint64_t blocks_written_ = 0;
+};
+
+}  // namespace repro::storage

@@ -1,0 +1,42 @@
+#include "storage/ssd.h"
+
+#include <algorithm>
+
+namespace repro::storage {
+
+SsdModel::SsdModel(sim::Engine& engine, SsdParams params, Rng rng)
+    : engine_(engine), params_(params), rng_(rng) {
+  channels_.reserve(static_cast<std::size_t>(params_.channels));
+  for (int i = 0; i < params_.channels; ++i) {
+    channels_.push_back(
+        std::make_unique<sim::CpuCore>(engine, "ssd-ch" + std::to_string(i)));
+  }
+}
+
+TimeNs SsdModel::submit(std::uint32_t bytes, TimeNs median, double sigma,
+                        sim::Callback done) {
+  // Least-loaded channel, like an FTL spreading across dies.
+  sim::CpuCore* ch = channels_.front().get();
+  for (auto& c : channels_) {
+    if (c->free_at() < ch->free_at()) ch = c.get();
+  }
+  const auto base = static_cast<TimeNs>(
+      rng_.lognormal_median(static_cast<double>(median), sigma));
+  const TimeNs xfer =
+      serialization_delay(bytes, params_.internal_bandwidth_gbps * 1e9);
+  return ch->run(base + xfer, std::move(done));
+}
+
+TimeNs SsdModel::write(std::uint32_t bytes, sim::Callback done) {
+  ++writes_;
+  return submit(bytes, params_.write_cache_median, params_.write_sigma,
+                std::move(done));
+}
+
+TimeNs SsdModel::read(std::uint32_t bytes, sim::Callback done) {
+  ++reads_;
+  return submit(bytes, params_.read_median, params_.read_sigma,
+                std::move(done));
+}
+
+}  // namespace repro::storage

@@ -1,0 +1,54 @@
+// SSD service model.
+//
+// The paper's Fig. 6 shows writes completing in tens of microseconds (SSD
+// write cache, no NAND touch — §2.3 footnote) while reads pay the NAND
+// medium. We model an SSD as a set of parallel channels, each a serial
+// resource, with log-normal service times per op class plus a bandwidth
+// term for large transfers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+
+namespace repro::storage {
+
+struct SsdParams {
+  TimeNs write_cache_median = us(10);  ///< DRAM-backed write cache hit
+  double write_sigma = 0.25;
+  TimeNs read_median = us(55);  ///< NAND read + FTL
+  double read_sigma = 0.30;
+  int channels = 8;
+  double internal_bandwidth_gbps = 24.0;  ///< per-channel transfer rate
+};
+
+class SsdModel {
+ public:
+  SsdModel(sim::Engine& engine, SsdParams params, Rng rng);
+
+  /// Completion fires after queueing + service. Returns completion time.
+  TimeNs write(std::uint32_t bytes, sim::Callback done);
+  TimeNs read(std::uint32_t bytes, sim::Callback done);
+
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t reads() const { return reads_; }
+
+ private:
+  TimeNs submit(std::uint32_t bytes, TimeNs median, double sigma,
+                sim::Callback done);
+
+  sim::Engine& engine_;
+  SsdParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<sim::CpuCore>> channels_;  // serial resources
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace repro::storage

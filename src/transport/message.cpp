@@ -1,0 +1,28 @@
+#include "transport/message.h"
+
+namespace repro::transport {
+
+std::vector<DataBlock> make_placeholder_blocks(std::uint64_t offset,
+                                               std::uint32_t len,
+                                               std::uint32_t block_size) {
+  std::vector<DataBlock> blocks;
+  if (block_size == 0 || len == 0) return blocks;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    // First block may be short if the offset is unaligned; all blocks stay
+    // within one block_size-aligned cell so a block never straddles cells.
+    const std::uint64_t cell_end = (pos / block_size + 1) * block_size;
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, cell_end - pos));
+    DataBlock b;
+    b.lba = pos;
+    b.len = take;
+    blocks.push_back(std::move(b));
+    pos += take;
+    remaining -= take;
+  }
+  return blocks;
+}
+
+}  // namespace repro::transport

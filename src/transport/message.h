@@ -1,0 +1,119 @@
+// Storage-level messages exchanged between the compute side (SA) and the
+// block servers, plus the distributed-trace record the paper's Fig. 6
+// latency breakdown methodology relies on.
+//
+// Payload handling: a DataBlock may carry real bytes (integrity and
+// correctness tests, Fig. 11 fault campaigns) or be a *sized placeholder*
+// (data.empty() but len > 0) for high-rate throughput benches where
+// carrying 4 KB of real bytes per simulated packet would only burn host
+// memory without changing any measured quantity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace repro::transport {
+
+enum class OpType : std::uint8_t { kWrite = 1, kRead = 2 };
+
+struct DataBlock {
+  std::uint64_t lba = 0;  ///< byte address within the VD
+  std::uint32_t len = 0;  ///< block length in bytes (usually 4096)
+  std::vector<std::uint8_t> data;  ///< empty => sized placeholder
+  std::uint32_t crc = 0;           ///< crc32_raw of data (when real)
+
+  bool has_payload() const { return !data.empty(); }
+};
+
+/// Per-I/O distributed trace: time spent in each component, mirroring the
+/// paper's production monitoring (policy/QoS queueing is recorded apart and
+/// excluded from the component spans, as in Fig. 6's caption).
+struct IoTrace {
+  TimeNs sa_ns = 0;   ///< storage-agent processing (compute side)
+  TimeNs fn_ns = 0;   ///< frontend network incl. transport stack
+  TimeNs bn_ns = 0;   ///< backend network (intra-storage-cluster)
+  TimeNs ssd_ns = 0;  ///< chunk server processing + physical SSD
+  TimeNs qos_wait_ns = 0;  ///< admission delay (excluded from e2e spans)
+
+  TimeNs total_ns() const { return sa_ns + fn_ns + bn_ns + ssd_ns; }
+  void accumulate(const IoTrace& o) {
+    sa_ns += o.sa_ns;
+    fn_ns += o.fn_ns;
+    bn_ns += o.bn_ns;
+    ssd_ns += o.ssd_ns;
+    qos_wait_ns += o.qos_wait_ns;
+  }
+};
+
+/// One RPC against a single block server (an I/O may split into several if
+/// it crosses 2 MB segment boundaries — §4.5 "Block splits the I/O").
+struct StorageRequest {
+  std::uint64_t rpc_id = 0;
+  OpType op = OpType::kWrite;
+  std::uint64_t vd_id = 0;
+  std::uint64_t segment_id = 0;
+  std::uint64_t segment_offset = 0;  ///< byte offset within the segment
+  std::uint32_t len = 0;             ///< total bytes
+  std::vector<DataBlock> blocks;     ///< write payload; empty for reads
+  bool encrypted = false;
+
+  /// Wire size of the request message (headers + payload).
+  std::uint64_t wire_bytes() const {
+    std::uint64_t sz = 64;  // rpc + ebs headers, framing
+    for (const auto& b : blocks) sz += b.len;
+    return sz;
+  }
+};
+
+enum class StorageStatus : std::uint8_t {
+  kOk = 0,
+  kCrcMismatch = 1,
+  kOutOfRange = 2,
+  kRejected = 3,
+  kTimeout = 4,
+};
+
+struct StorageResponse {
+  std::uint64_t rpc_id = 0;
+  StorageStatus status = StorageStatus::kOk;
+  std::vector<DataBlock> blocks;  ///< read payload; empty for writes
+  TimeNs server_bn_ns = 0;        ///< backend-network span at the server
+  TimeNs server_ssd_ns = 0;       ///< chunk/SSD span at the server
+
+  std::uint64_t wire_bytes() const {
+    std::uint64_t sz = 64;
+    for (const auto& b : blocks) sz += b.len;
+    return sz;
+  }
+};
+
+/// Guest-visible I/O request against a virtual disk (what the NVMe command
+/// carries into the data path).
+struct IoRequest {
+  std::uint64_t vd_id = 0;
+  OpType op = OpType::kWrite;
+  std::uint64_t offset = 0;  ///< bytes within the VD
+  std::uint32_t len = 0;     ///< bytes
+  std::vector<DataBlock> payload;  ///< for writes; block-granular
+  TimeNs issued_at = 0;
+};
+
+struct IoResult {
+  StorageStatus status = StorageStatus::kOk;
+  IoTrace trace;
+  TimeNs completed_at = 0;
+  std::vector<DataBlock> read_data;
+};
+
+using IoCompleteFn = std::function<void(IoResult)>;
+
+/// Splits a byte range into kBlock-sized DataBlock placeholders.
+std::vector<DataBlock> make_placeholder_blocks(std::uint64_t offset,
+                                               std::uint32_t len,
+                                               std::uint32_t block_size);
+
+}  // namespace repro::transport

@@ -1,0 +1,37 @@
+// Transport-neutral RPC interface between the compute-side data path and
+// the block servers. Kernel TCP, LUNA, RDMA and SOLAR all implement this,
+// which is what lets every experiment harness swap stacks.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "transport/message.h"
+
+namespace repro::transport {
+
+using ResponseFn = std::function<void(StorageResponse)>;
+
+/// Client half: issue an RPC to a block server.
+class RpcTransport {
+ public:
+  virtual ~RpcTransport() = default;
+
+  virtual void call(net::IpAddr dst, StorageRequest request,
+                    ResponseFn on_response) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Server half: the block server registers a handler; the transport feeds
+/// it fully reassembled requests and sends the handler's reply back.
+using ServerHandlerFn =
+    std::function<void(StorageRequest, std::function<void(StorageResponse)>)>;
+
+class RpcServer {
+ public:
+  virtual ~RpcServer() = default;
+  virtual void set_handler(ServerHandlerFn handler) = 0;
+};
+
+}  // namespace repro::transport

@@ -1,0 +1,398 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+
+namespace repro::transport {
+namespace {
+
+constexpr std::uint32_t kHeaderBytes = 58;  // eth+ip+tcp on the wire
+constexpr std::uint32_t kAckBytes = 64;
+
+std::uint64_t client_key(net::IpAddr dst, int slot) {
+  return (static_cast<std::uint64_t>(dst) << 5u) |
+         (static_cast<std::uint64_t>(slot) << 1u) | 0u;
+}
+std::uint64_t server_key(net::IpAddr ip, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(ip) << 17u) |
+         (static_cast<std::uint64_t>(port) << 1u) | 1u;
+}
+
+}  // namespace
+
+TcpCostProfile kernel_tcp_profile() {
+  TcpCostProfile p;
+  p.name = "kernel-tcp";
+  p.tx_per_packet = ns(800);
+  p.rx_per_packet = ns(900);
+  p.rx_per_ack = ns(400);
+  p.per_message_tx = us(4);   // syscall + sk_buff setup + socket locking
+  p.per_message_rx = us(4);   // wakeup + recv syscall + copies
+  p.copy_per_kb = ns(60);     // user<->kernel copies
+  p.tso_batch = 1;
+  // Softirq + scheduler wakeup on a production host sharing cores with
+  // guest work: tens of microseconds at the median with a heavy tail
+  // (this, not protocol work, dominates the kernel-era FN latency).
+  p.interrupt_delay = us(15);
+  p.interrupt_sigma = 0.7;
+  p.mss = 1448;
+  p.min_rto = ms(200);
+  return p;
+}
+
+TcpCostProfile luna_profile() {
+  TcpCostProfile p;
+  p.name = "luna";
+  p.tx_per_packet = ns(400);  // run-to-complete, no syscalls
+  p.rx_per_packet = ns(300);
+  p.rx_per_ack = ns(100);
+  p.per_message_tx = us(2);   // RPC framing, buffer mgmt (still no kernel)
+  p.per_message_rx = us(2);
+  p.copy_per_kb = 0;          // zero-copy across SA and RPC (§3.2)
+  p.tso_batch = 2;            // TSO/GSO partial offload (§3.2)
+  p.interrupt_delay = 0;      // polling mode
+  p.mss = 1448;
+  p.min_rto = ms(5);          // user-space stack with fine-grained timers
+  p.max_rto = ms(100);        // storage-oriented cap: keep probing
+  return p;
+}
+
+TcpStack::TcpStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
+                   TcpCostProfile profile, Rng rng)
+    : engine_(engine),
+      nic_(nic),
+      cpu_(cpu),
+      profile_(std::move(profile)),
+      rng_(rng) {
+  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+}
+
+TcpStack::~TcpStack() = default;
+
+std::uint64_t TcpStack::key_of(const net::FlowKey& local_flow) const {
+  if (local_flow.dst_port == kServerPort) {
+    // Recover the stripe slot from the allocated source port.
+    const int slot = (local_flow.src_port - 20000) %
+                     std::max(profile_.conns_per_peer, 1);
+    return client_key(local_flow.dst_ip, slot);
+  }
+  return server_key(local_flow.dst_ip, local_flow.dst_port);
+}
+
+TcpStack::Connection& TcpStack::conn_to(net::IpAddr dst) {
+  const int slot = static_cast<int>(next_rpc_id_ %
+                                    std::max(profile_.conns_per_peer, 1));
+  const std::uint64_t key = client_key(dst, slot);
+  auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    Connection c;
+    // Port allocation encodes the slot so key_of can invert it.
+    const std::uint16_t port = static_cast<std::uint16_t>(
+        20000 + conn_count_ * std::max(profile_.conns_per_peer, 1) + slot);
+    ++conn_count_;
+    c.flow = net::FlowKey{nic_.ip(), dst, port, kServerPort,
+                          net::Proto::kTcp};
+    c.cwnd = profile_.initial_cwnd;
+    c.rto = profile_.min_rto;
+    it = conns_.emplace(key, std::move(c)).first;
+  }
+  return it->second;
+}
+
+TcpStack::Connection& TcpStack::conn_for_flow(
+    const net::FlowKey& remote_to_local) {
+  // Build the local->remote flow and find/create the connection.
+  net::FlowKey local{remote_to_local.dst_ip, remote_to_local.src_ip,
+                     remote_to_local.dst_port, remote_to_local.src_port,
+                     net::Proto::kTcp};
+  const std::uint64_t key = key_of(local);
+  auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    Connection c;
+    c.flow = local;
+    c.cwnd = profile_.initial_cwnd;
+    c.rto = profile_.min_rto;
+    it = conns_.emplace(key, std::move(c)).first;
+  }
+  return it->second;
+}
+
+void TcpStack::call(net::IpAddr dst, StorageRequest request,
+                    ResponseFn on_response) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  request.rpc_id = rpc_id;
+  outstanding_[rpc_id] = std::move(on_response);
+  Message m;
+  m.bytes = request.wire_bytes();
+  m.is_request = true;
+  m.rpc_id = rpc_id;
+  m.payload = std::move(request);
+  send_message(conn_to(dst), std::move(m));
+}
+
+void TcpStack::send_message(Connection& c, Message msg) {
+  const TimeNs cost =
+      profile_.per_message_tx +
+      profile_.copy_per_kb * static_cast<TimeNs>(msg.bytes / 1024);
+  auto shared = std::make_shared<const Message>(std::move(msg));
+  cpu_.submit(key_of(c.flow), cost, [this, &c, shared] {
+    // Segment the message; the last segment carries the payload handle.
+    std::uint64_t remaining = shared->bytes;
+    while (remaining > 0) {
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining, profile_.mss));
+      remaining -= take;
+      Segment seg;
+      seg.flow = c.flow;
+      seg.bytes = take;
+      if (remaining == 0) {
+        seg.msg = shared;
+        seg.msg_last = true;
+      }
+      c.pending.push_back(std::move(seg));
+    }
+    pump(c);
+  });
+}
+
+void TcpStack::pump(Connection& c) {
+  while (!c.pending.empty() &&
+         static_cast<double>(c.next_seq - c.send_base) < c.cwnd) {
+    Segment seg = std::move(c.pending.front());
+    c.pending.pop_front();
+    seg.seq = c.next_seq++;
+    SentSeg meta;
+    meta.bytes = seg.bytes;
+    meta.msg = seg.msg;
+    meta.msg_last = seg.msg_last;
+    meta.sent_at = engine_.now();
+    c.unacked.emplace(seg.seq, std::move(meta));
+    transmit(c, std::move(seg), /*retransmission=*/false);
+  }
+  arm_rto(c);
+}
+
+void TcpStack::transmit(Connection& c, Segment seg, bool retransmission) {
+  if (retransmission) ++retransmits_;
+  seg.ts = engine_.now();
+  // TSO/GSO amortizes the per-packet CPU charge across a batch.
+  const TimeNs cost =
+      std::max<TimeNs>(profile_.tx_per_packet / profile_.tso_batch, 1);
+  auto shared = std::make_shared<const Segment>(std::move(seg));
+  cpu_.submit(key_of(c.flow), cost, [this, shared] {
+    net::Packet pkt;
+    pkt.flow = shared->flow;
+    pkt.size_bytes = shared->bytes + kHeaderBytes;
+    net::set_app<Segment>(pkt, shared);
+    nic_.send_packet(std::move(pkt));
+  });
+}
+
+void TcpStack::on_packet(net::Packet pkt) {
+  auto seg = net::app_as<Segment>(pkt);
+  if (!seg) return;  // not TCP traffic for this stack
+  if (profile_.interrupt_delay > 0) {
+    // Interrupt/softirq latency before the stack sees the packet. Kept
+    // monotonic per stack so the model does not invent packet reordering.
+    const TimeNs delay = static_cast<TimeNs>(rng_.lognormal_median(
+        static_cast<double>(profile_.interrupt_delay),
+        profile_.interrupt_sigma));
+    // Monotonic per stack (no model-invented reordering), but packets that
+    // arrive while the stack is already awake ride the same softirq batch
+    // (NAPI): they are spaced by a small per-packet cost, not by fresh
+    // wakeup latencies — otherwise the wakeup delay would act as a bogus
+    // serial throughput bottleneck.
+    const TimeNs deliver_at =
+        std::max(engine_.now() + delay, last_rx_deliver_ + ns(250));
+    last_rx_deliver_ = deliver_at;
+    engine_.at(deliver_at, [this, seg] { on_segment(*seg); });
+  } else {
+    on_segment(*seg);
+  }
+}
+
+void TcpStack::on_segment(const Segment& seg) {
+  Connection& c = conn_for_flow(seg.flow);
+  const std::uint64_t affinity = key_of(c.flow);
+  if (seg.is_ack) {
+    cpu_.submit(affinity, profile_.rx_per_ack,
+                [this, &c, ack = seg.ack_seq, echo = seg.ts] {
+                  if (echo > 0) {
+                    const TimeNs sample = engine_.now() - echo;
+                    if (c.srtt == 0) {
+                      c.srtt = sample;
+                      c.rttvar = sample / 2;
+                    } else {
+                      const TimeNs err = std::abs(sample - c.srtt);
+                      c.rttvar = (3 * c.rttvar + err) / 4;
+                      c.srtt = (7 * c.srtt + sample) / 8;
+                    }
+                    c.rto = std::clamp(c.srtt + 4 * c.rttvar,
+                                       profile_.min_rto, profile_.max_rto);
+                  }
+                  on_ack(c, ack);
+                });
+    return;
+  }
+  cpu_.submit(affinity, profile_.rx_per_packet, [this, &c, seg] {
+    if (seg.seq < c.rcv_next) {
+      send_ack(c, seg.ts);  // stale duplicate
+      return;
+    }
+    if (seg.seq > c.rcv_next) {
+      c.reorder.emplace(seg.seq, seg);  // out of order: buffer + dup ACK
+      send_ack(c, seg.ts);
+      return;
+    }
+    // In-order: advance through the reorder buffer.
+    if (seg.msg_last && seg.msg) deliver_message(c, seg.msg);
+    ++c.rcv_next;
+    auto it = c.reorder.begin();
+    while (it != c.reorder.end() && it->first == c.rcv_next) {
+      if (it->second.msg_last && it->second.msg) {
+        deliver_message(c, it->second.msg);
+      }
+      ++c.rcv_next;
+      it = c.reorder.erase(it);
+    }
+    send_ack(c, seg.ts);
+  });
+}
+
+void TcpStack::send_ack(Connection& c, TimeNs echo_ts) {
+  Segment ack;
+  ack.flow = c.flow;
+  ack.is_ack = true;
+  ack.ack_seq = c.rcv_next;
+  ack.ts = echo_ts;
+  net::Packet pkt;
+  pkt.flow = c.flow;
+  pkt.size_bytes = kAckBytes;
+  net::emplace_app<Segment>(pkt, std::move(ack));
+  nic_.send_packet(std::move(pkt));
+}
+
+void TcpStack::retransmit_first_unacked(Connection& c) {
+  auto it = c.unacked.begin();
+  if (it == c.unacked.end()) return;
+  it->second.retransmitted = true;
+  Segment seg;
+  seg.flow = c.flow;
+  seg.seq = it->first;
+  seg.bytes = it->second.bytes;
+  seg.msg = it->second.msg;
+  seg.msg_last = it->second.msg_last;
+  transmit(c, std::move(seg), /*retransmission=*/true);
+}
+
+void TcpStack::on_ack(Connection& c, std::uint64_t ack_seq) {
+  if (ack_seq > c.send_base) {
+    std::uint64_t newly_acked = 0;
+    auto it = c.unacked.begin();
+    while (it != c.unacked.end() && it->first < ack_seq) {
+      ++newly_acked;
+      it = c.unacked.erase(it);
+    }
+    c.send_base = ack_seq;
+    c.dup_acks = 0;
+    c.backoff = 0;
+    if (c.in_recovery) {
+      if (c.send_base >= c.recovery_until) {
+        c.in_recovery = false;  // full recovery
+      } else {
+        // NewReno partial ACK: the next hole is the first unacked segment;
+        // retransmit it immediately instead of waiting for another RTO.
+        retransmit_first_unacked(c);
+      }
+    }
+    // Slow start then AIMD.
+    for (std::uint64_t i = 0; i < newly_acked; ++i) {
+      if (c.cwnd < c.ssthresh) {
+        c.cwnd += 1.0;
+      } else {
+        c.cwnd += 1.0 / c.cwnd;
+      }
+    }
+    c.cwnd = std::min(c.cwnd, profile_.max_cwnd);
+    arm_rto(c, /*restart=*/true);
+    pump(c);
+    return;
+  }
+  if (!c.unacked.empty() && ack_seq == c.send_base) {
+    if (++c.dup_acks == 3 && !c.in_recovery) {
+      // Fast retransmit; enter recovery until everything outstanding at
+      // this point is acknowledged.
+      c.in_recovery = true;
+      c.recovery_until = c.next_seq;
+      retransmit_first_unacked(c);
+      c.ssthresh = std::max(c.cwnd / 2, 2.0);
+      c.cwnd = c.ssthresh;
+      c.dup_acks = 0;
+    }
+  }
+}
+
+void TcpStack::arm_rto(Connection& c, bool restart) {
+  // The retransmission timer restarts on ACK progress or after an RTO —
+  // never merely because new data was queued: with outstanding data and a
+  // steady arrival stream, resetting here would starve the timer forever.
+  if (c.unacked.empty()) {
+    if (c.rto_timer != 0) {
+      engine_.cancel(c.rto_timer);
+      c.rto_timer = 0;
+    }
+    return;
+  }
+  if (c.rto_timer != 0) {
+    if (!restart) return;
+    engine_.cancel(c.rto_timer);
+    c.rto_timer = 0;
+  }
+  TimeNs rto = c.rto;
+  for (int i = 0; i < c.backoff && rto < profile_.max_rto; ++i) rto *= 2;
+  rto = std::min(rto, profile_.max_rto);
+  c.rto_timer = engine_.schedule_after(rto, [this, &c] {
+    c.rto_timer = 0;
+    if (c.unacked.empty()) return;
+    ++timeouts_;
+    c.ssthresh = std::max(c.cwnd / 2, 2.0);
+    c.cwnd = 2.0;
+    ++c.backoff;
+    c.in_recovery = true;
+    c.recovery_until = c.next_seq;
+    retransmit_first_unacked(c);
+    arm_rto(c);
+  });
+}
+
+void TcpStack::deliver_message(Connection& c,
+                               const std::shared_ptr<const Message>& m) {
+  ++messages_delivered_;
+  const TimeNs cost =
+      profile_.per_message_rx +
+      profile_.copy_per_kb * static_cast<TimeNs>(m->bytes / 1024);
+  cpu_.submit(key_of(c.flow), cost, [this, &c, m] {
+    if (m->is_request) {
+      if (!handler_) return;
+      auto req = std::any_cast<StorageRequest>(m->payload);
+      const std::uint64_t rpc_id = m->rpc_id;
+      handler_(std::move(req), [this, &c, rpc_id](StorageResponse resp) {
+        resp.rpc_id = rpc_id;
+        Message out;
+        out.bytes = resp.wire_bytes();
+        out.is_request = false;
+        out.rpc_id = rpc_id;
+        out.payload = std::move(resp);
+        send_message(c, std::move(out));
+      });
+    } else {
+      auto resp = std::any_cast<StorageResponse>(m->payload);
+      auto it = outstanding_.find(m->rpc_id);
+      if (it == outstanding_.end()) return;
+      ResponseFn cb = std::move(it->second);
+      outstanding_.erase(it);
+      cb(std::move(resp));
+    }
+  });
+}
+
+}  // namespace repro::transport

@@ -1,0 +1,175 @@
+// Shared TCP engine for the two software stacks.
+//
+// Kernel TCP and LUNA (§3) are protocol-wise the same reliable ordered
+// byte stream; what separates them in the paper's data (Table 1, Fig. 6)
+// is *where the cycles go*: kernel TCP pays syscalls, interrupts, copies
+// and cross-core locking, while LUNA's run-to-complete, zero-copy,
+// share-nothing design pays a fraction of a microsecond per packet. Both
+// are expressed here as one engine parameterized by a `TcpCostProfile`.
+//
+// Protocol realism (packet granularity): MSS segmentation, cumulative
+// ACKs, out-of-order receive buffering (head-of-line blocking), fast
+// retransmit on 3 dup-ACKs, RTO with exponential backoff, slow start +
+// AIMD congestion avoidance. A connection's 5-tuple is fixed, so a
+// connection is pinned to one ECMP path — the root of LUNA's failure-
+// recovery story (§3.3, Table 2).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/nic.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "transport/rpc.h"
+
+namespace repro::transport {
+
+struct TcpCostProfile {
+  std::string name = "tcp";
+  // --- CPU service times (charged on the owning host's cores) ----------
+  TimeNs tx_per_packet = us(1);    ///< per MSS segment sent
+  TimeNs rx_per_packet = us(1);    ///< per data segment received
+  TimeNs rx_per_ack = ns(300);     ///< per pure ACK processed
+  TimeNs per_message_tx = us(2);   ///< per RPC message (syscall, doorbell)
+  TimeNs per_message_rx = us(2);   ///< per delivered message (wakeup)
+  TimeNs copy_per_kb = ns(100);    ///< data copies (0 for zero-copy LUNA)
+  int tso_batch = 1;               ///< segments per tx CPU charge (TSO/GSO)
+  // --- latency penalties not consuming a core --------------------------
+  TimeNs interrupt_delay = 0;      ///< rx softirq/wakeup latency (kernel)
+  double interrupt_sigma = 0.0;    ///< lognormal sigma on the above
+  // --- protocol parameters ---------------------------------------------
+  std::uint32_t mss = 1448;
+  /// Connections striped per peer; RPCs round-robin over them. With the
+  /// share-nothing core model this is what spreads load across cores.
+  int conns_per_peer = 4;
+  double initial_cwnd = 16.0;      ///< segments
+  double max_cwnd = 1024.0;
+  TimeNs min_rto = ms(200);
+  TimeNs max_rto = seconds(60);
+};
+
+TcpCostProfile kernel_tcp_profile();
+TcpCostProfile luna_profile();
+
+/// A TCP endpoint bound to a NIC + CPU pool. Acts as both RPC client
+/// (RpcTransport) and RPC server (RpcServer) — block servers use the
+/// server half, SAs the client half.
+class TcpStack : public RpcTransport, public RpcServer {
+ public:
+  static constexpr std::uint16_t kServerPort = 9000;
+
+  TcpStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
+           TcpCostProfile profile, Rng rng);
+  ~TcpStack() override;
+
+  // RpcTransport:
+  void call(net::IpAddr dst, StorageRequest request,
+            ResponseFn on_response) override;
+  std::string name() const override { return profile_.name; }
+
+  // RpcServer:
+  void set_handler(ServerHandlerFn handler) override {
+    handler_ = std::move(handler);
+  }
+
+  /// Stats for calibration and tests.
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::size_t open_connections() const { return conns_.size(); }
+
+  const TcpCostProfile& profile() const { return profile_; }
+
+ private:
+  struct Message {
+    std::any payload;       // StorageRequest or StorageResponse
+    std::uint64_t bytes = 0;
+    bool is_request = false;
+    std::uint64_t rpc_id = 0;
+  };
+
+  struct Segment {  // also used for pure ACKs
+    net::FlowKey flow;      // as seen by the *receiver*
+    std::uint64_t seq = 0;  // segment index in the sender's stream
+    std::uint32_t bytes = 0;
+    bool is_ack = false;
+    std::uint64_t ack_seq = 0;  // next expected (cumulative)
+    /// Data: transmit timestamp. ACK: echoed timestamp of the data packet
+    /// that triggered this ACK (RFC 7323-style), the only unambiguous RTT
+    /// sampling source under retransmission and HoL-delayed cumulative ACKs.
+    TimeNs ts = 0;
+    std::shared_ptr<const Message> msg;  // set on a message's last segment
+    bool msg_last = false;
+  };
+
+  struct SentSeg {
+    std::uint32_t bytes = 0;
+    std::shared_ptr<const Message> msg;
+    bool msg_last = false;
+    bool retransmitted = false;
+    TimeNs sent_at = 0;
+  };
+
+  struct Connection {
+    net::FlowKey flow;  // local -> remote
+    // sender state
+    std::uint64_t next_seq = 0;
+    std::uint64_t send_base = 0;
+    std::map<std::uint64_t, SentSeg> unacked;
+    std::deque<Segment> pending;  // segmented, waiting for cwnd
+    double cwnd = 16.0;
+    double ssthresh = 512.0;
+    int dup_acks = 0;
+    bool in_recovery = false;          // NewReno-style loss recovery
+    std::uint64_t recovery_until = 0;  // leave recovery at this send_base
+    sim::TimerId rto_timer = 0;
+    TimeNs srtt = 0;
+    TimeNs rttvar = 0;
+    TimeNs rto = ms(200);
+    int backoff = 0;
+    int tso_credit = 0;  // segments still covered by the last tx charge
+    // receiver state
+    std::uint64_t rcv_next = 0;
+    std::map<std::uint64_t, Segment> reorder;
+  };
+
+  Connection& conn_to(net::IpAddr dst);
+  Connection& conn_for_flow(const net::FlowKey& remote_to_local);
+  void send_message(Connection& c, Message msg);
+  void pump(Connection& c);
+  void transmit(Connection& c, Segment seg, bool retransmission);
+  void on_packet(net::Packet pkt);
+  void on_segment(const Segment& seg);
+  void on_ack(Connection& c, std::uint64_t ack_seq);
+  void arm_rto(Connection& c, bool restart = false);
+  void retransmit_first_unacked(Connection& c);
+  void deliver_message(Connection& c, const std::shared_ptr<const Message>& m);
+  void send_ack(Connection& c, TimeNs echo_ts);
+  std::uint64_t key_of(const net::FlowKey& local_flow) const;
+
+  sim::Engine& engine_;
+  net::Nic& nic_;
+  sim::CpuPool& cpu_;
+  TcpCostProfile profile_;
+  Rng rng_;
+  ServerHandlerFn handler_;
+  std::unordered_map<std::uint64_t, Connection> conns_;
+  std::unordered_map<std::uint64_t, ResponseFn> outstanding_;
+  int conn_count_ = 0;
+  std::uint64_t next_rpc_id_ = 1;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  TimeNs last_rx_deliver_ = 0;
+};
+
+}  // namespace repro::transport

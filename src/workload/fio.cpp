@@ -1,0 +1,102 @@
+#include "workload/fio.h"
+
+namespace repro::workload {
+
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+
+FioJob::FioJob(sim::Engine& engine, SubmitFn submit, FioConfig config,
+               Rng rng)
+    : engine_(engine),
+      submit_(std::move(submit)),
+      config_(config),
+      rng_(rng) {}
+
+void FioJob::start() {
+  running_ = true;
+  for (int i = 0; i < config_.iodepth; ++i) issue_one();
+}
+
+IoRequest FioJob::next_io() {
+  IoRequest io;
+  io.vd_id = config_.vd_id;
+  io.op = rng_.bernoulli(config_.read_fraction) ? OpType::kRead
+                                                : OpType::kWrite;
+  const std::uint32_t bs =
+      config_.block_size != 0 ? config_.block_size : sizes_.sample(rng_);
+  io.len = bs;
+  const std::uint64_t cells = config_.vd_size / bs;
+  if (config_.sequential) {
+    io.offset = (seq_pos_++ % cells) * bs;
+  } else {
+    io.offset = rng_.next_below(cells) * bs;
+  }
+  if (io.op == OpType::kWrite) {
+    io.payload = transport::make_placeholder_blocks(io.offset, bs, 4096);
+    if (config_.real_payload) {
+      for (auto& blk : io.payload) {
+        blk.data.resize(blk.len);
+        for (auto& b : blk.data) b = static_cast<std::uint8_t>(rng_.next());
+      }
+    }
+  }
+  io.issued_at = engine_.now();
+  return io;
+}
+
+void FioJob::issue_one() {
+  if (!running_) return;
+  if (config_.max_ios != 0 && issued_ >= config_.max_ios) return;
+  ++issued_;
+  IoRequest io = next_io();
+  const TimeNs issued_at = engine_.now();
+  auto io_copy = io;  // metrics need op/len after the move
+  submit_(std::move(io), [this, io_copy = std::move(io_copy),
+                          issued_at](IoResult res) {
+    ++completed_;
+    metrics_.record(io_copy, res, issued_at);
+    issue_one();  // closed loop
+  });
+}
+
+PoissonLoad::PoissonLoad(sim::Engine& engine, SubmitFn submit,
+                         PoissonConfig config, Rng rng)
+    : engine_(engine),
+      submit_(std::move(submit)),
+      config_(config),
+      rng_(rng) {}
+
+void PoissonLoad::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonLoad::schedule_next() {
+  if (!running_ || config_.iops <= 0) return;
+  const auto gap = static_cast<TimeNs>(rng_.exponential(1e9 / config_.iops));
+  engine_.after(gap, [this] {
+    if (!running_) return;
+    IoRequest io;
+    io.vd_id = config_.vd_id;
+    io.op = rng_.bernoulli(config_.read_fraction) ? OpType::kRead
+                                                  : OpType::kWrite;
+    const std::uint32_t bs =
+        config_.block_size != 0 ? config_.block_size : sizes_.sample(rng_);
+    io.len = bs;
+    io.offset = rng_.next_below(config_.vd_size / bs) * bs;
+    if (io.op == OpType::kWrite) {
+      io.payload = transport::make_placeholder_blocks(io.offset, bs, 4096);
+    }
+    io.issued_at = engine_.now();
+    const TimeNs issued_at = engine_.now();
+    auto io_copy = io;
+    submit_(std::move(io), [this, io_copy = std::move(io_copy),
+                            issued_at](IoResult res) {
+      metrics_.record(io_copy, res, issued_at);
+    });
+    schedule_next();
+  });
+}
+
+}  // namespace repro::workload

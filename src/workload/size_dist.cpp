@@ -1,0 +1,83 @@
+#include "workload/size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::workload {
+
+SizeDist SizeDist::io_sizes() {
+  return SizeDist({
+      {4096, 0.40},    // databases committing single pages
+      {8192, 0.13},    // Oracle-style 8K pages
+      {16384, 0.20},   // MySQL 16K pages
+      {32768, 0.07},
+      {65536, 0.14},   // log segments / batched commits
+      {131072, 0.06},  // FN RPCs top out at 128K (Fig. 5)
+  });
+}
+
+SizeDist SizeDist::rpc_sizes() {
+  // After the Block stage splits I/Os at segment boundaries, RPCs skew a
+  // touch smaller than I/Os.
+  return SizeDist({
+      {4096, 0.42},
+      {8192, 0.14},
+      {16384, 0.21},
+      {32768, 0.07},
+      {65536, 0.12},
+      {131072, 0.04},
+  });
+}
+
+SizeDist::SizeDist(std::vector<Point> points) : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.bytes < b.bytes; });
+  double total = 0;
+  for (const auto& p : points_) total += p.weight;
+  if (total > 0) {
+    for (auto& p : points_) p.weight /= total;
+  }
+}
+
+std::uint32_t SizeDist::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  for (const auto& p : points_) {
+    if (u < p.weight) return p.bytes;
+    u -= p.weight;
+  }
+  return points_.empty() ? 4096 : points_.back().bytes;
+}
+
+double SizeDist::cdf(std::uint32_t bytes) const {
+  double acc = 0;
+  for (const auto& p : points_) {
+    if (p.bytes <= bytes) acc += p.weight;
+  }
+  return acc;
+}
+
+double SizeDist::mean() const {
+  double m = 0;
+  for (const auto& p : points_) m += p.weight * p.bytes;
+  return m;
+}
+
+double diurnal_multiplier(int hour) {
+  hour = ((hour % 24) + 24) % 24;
+  // Trough ~4am, ramp through the morning, plateau, evening peak ~21h.
+  static constexpr double kShape[24] = {
+      0.62, 0.55, 0.50, 0.47, 0.45, 0.48, 0.56, 0.68,  // 0-7
+      0.80, 0.90, 0.96, 1.00, 0.98, 0.95, 0.97, 0.99,  // 8-15
+      1.00, 0.98, 0.96, 0.99, 1.05, 1.10, 0.95, 0.75,  // 16-23
+  };
+  return kShape[hour];
+}
+
+double fig4_iops(int hour, Rng& rng) {
+  // A highly-loaded compute server: ~200K IOPS at peak with minute-level
+  // jitter (Fig. 4).
+  const double base = 185000.0 * diurnal_multiplier(hour);
+  return std::max(0.0, base * (1.0 + 0.08 * rng.normal()));
+}
+
+}  // namespace repro::workload

@@ -1,0 +1,55 @@
+// Workload models distilled from §2.3 (Figures 3-5).
+//
+// * I/O and RPC sizes step at 4K/16K/64K with everything <= 128K on FN
+//   (Fig. 5) — guest databases deliberately issue small I/Os.
+// * WRITE requests outnumber READs 3-4x in both volume and rate (Fig. 3).
+// * Per-server load follows a diurnal curve peaking around 200K IOPS for
+//   hot servers (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace repro::workload {
+
+/// Discrete size mixture matching the Fig. 5 CDF steps.
+class SizeDist {
+ public:
+  struct Point {
+    std::uint32_t bytes;
+    double weight;
+  };
+
+  /// The paper's I/O-size mixture (~40% at 4K, visible steps at 16K/64K,
+  /// nothing above 128K).
+  static SizeDist io_sizes();
+  /// RPC (FN flow) sizes: I/O sizes after segment splitting — slightly
+  /// more mass at small sizes.
+  static SizeDist rpc_sizes();
+
+  explicit SizeDist(std::vector<Point> points);
+
+  std::uint32_t sample(Rng& rng) const;
+  /// P(size <= bytes), exact over the mixture.
+  double cdf(std::uint32_t bytes) const;
+  double mean() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;  // normalized weights
+};
+
+/// Write fraction of EBS I/O (writes are 3-4x reads; §2.3).
+inline constexpr double kWriteFraction = 0.78;
+
+/// Hourly diurnal multiplier (0..23) for per-server load, shaped like
+/// Fig. 4: overnight trough, business-hours plateau, evening peak.
+double diurnal_multiplier(int hour);
+
+/// Hot-server IOPS profile of Fig. 4: peak around 200K IOPS.
+double fig4_iops(int hour, Rng& rng);
+
+}  // namespace repro::workload

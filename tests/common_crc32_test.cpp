@@ -1,0 +1,185 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace repro {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return std::vector<std::uint8_t>(s, s + std::strlen(s));
+}
+
+std::vector<std::uint8_t> random_block(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> b(len);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+TEST(Crc32, KnownVectorCheck) {
+  // The canonical CRC-32 check value for "123456789".
+  EXPECT_EQ(crc32_ieee(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32_ieee({}), 0x00000000u);
+  EXPECT_EQ(crc32_raw({}), 0x00000000u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  Rng rng(42);
+  const auto data = random_block(rng, 10000);
+  std::uint32_t state = 0xFFFFFFFFu;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t chunk = std::min<std::size_t>(
+        1 + rng.next_below(977), data.size() - pos);
+    state = crc32_update(state, std::span(data).subspan(pos, chunk));
+    pos += chunk;
+  }
+  EXPECT_EQ(state ^ 0xFFFFFFFFu, crc32_ieee(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Rng rng(7);
+  auto data = random_block(rng, 4096);
+  const std::uint32_t good = crc32_ieee(data);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto corrupted = data;
+    const std::size_t byte = rng.next_below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_NE(crc32_ieee(corrupted), good);
+  }
+}
+
+TEST(Crc32, RawCrcIsLinearOverXor) {
+  // crc32_raw(A ^ B) == crc32_raw(A) ^ crc32_raw(B) for equal lengths —
+  // the property SOLAR's software aggregation check is built on (§4.5).
+  Rng rng(11);
+  for (std::size_t len : {1u, 16u, 512u, 4096u}) {
+    const auto a = random_block(rng, len);
+    const auto b = random_block(rng, len);
+    std::vector<std::uint8_t> axb(len);
+    for (std::size_t i = 0; i < len; ++i) axb[i] = a[i] ^ b[i];
+    EXPECT_EQ(crc32_raw(axb), crc32_raw(a) ^ crc32_raw(b)) << "len=" << len;
+  }
+}
+
+TEST(Crc32, IeeeCrcIsNotLinearOverXor) {
+  // The standard init/xorout variant deliberately breaks linearity; this
+  // guards against accidentally using crc32_ieee in the aggregation check.
+  Rng rng(13);
+  const auto a = random_block(rng, 256);
+  const auto b = random_block(rng, 256);
+  std::vector<std::uint8_t> axb(256);
+  for (std::size_t i = 0; i < 256; ++i) axb[i] = a[i] ^ b[i];
+  EXPECT_NE(crc32_ieee(axb), crc32_ieee(a) ^ crc32_ieee(b));
+}
+
+TEST(Crc32, CombineMatchesConcatenation) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_block(rng, 1 + rng.next_below(3000));
+    const auto b = random_block(rng, 1 + rng.next_below(3000));
+    std::vector<std::uint8_t> ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    EXPECT_EQ(crc32_combine(crc32_ieee(a), crc32_ieee(b), b.size()),
+              crc32_ieee(ab));
+  }
+}
+
+TEST(Crc32, CombineWithEmptyTail) {
+  const auto a = bytes_of("segment-payload");
+  EXPECT_EQ(crc32_combine(crc32_ieee(a), crc32_ieee({}), 0), crc32_ieee(a));
+}
+
+TEST(CrcAggregate, AcceptsCorrectBlockCrcs) {
+  Rng rng(23);
+  std::vector<std::vector<std::uint8_t>> blocks;
+  std::vector<std::uint32_t> crcs;
+  for (int i = 0; i < 32; ++i) {
+    blocks.push_back(random_block(rng, 4096));
+    crcs.push_back(crc32_raw(blocks.back()));
+  }
+  EXPECT_TRUE(crc_aggregate_check(blocks, crcs));
+}
+
+TEST(CrcAggregate, EmptyAggregateIsVacuouslyTrue) {
+  EXPECT_TRUE(crc_aggregate_check({}, {}));
+}
+
+TEST(CrcAggregate, RejectsCorruptedData) {
+  // Hardware flipped a data bit *after* computing the (correct) CRC.
+  Rng rng(29);
+  std::vector<std::vector<std::uint8_t>> blocks;
+  std::vector<std::uint32_t> crcs;
+  for (int i = 0; i < 8; ++i) {
+    blocks.push_back(random_block(rng, 4096));
+    crcs.push_back(crc32_raw(blocks.back()));
+  }
+  blocks[3][100] ^= 0x40;
+  EXPECT_FALSE(crc_aggregate_check(blocks, crcs));
+}
+
+TEST(CrcAggregate, RejectsCorruptedCrc) {
+  // Hardware computed a wrong CRC (bit flip in the CRC engine itself).
+  Rng rng(31);
+  std::vector<std::vector<std::uint8_t>> blocks;
+  std::vector<std::uint32_t> crcs;
+  for (int i = 0; i < 8; ++i) {
+    blocks.push_back(random_block(rng, 1024));
+    crcs.push_back(crc32_raw(blocks.back()));
+  }
+  crcs[5] ^= 0x00010000u;
+  EXPECT_FALSE(crc_aggregate_check(blocks, crcs));
+}
+
+TEST(CrcAggregate, RejectsMismatchedArity) {
+  std::vector<std::vector<std::uint8_t>> blocks{{1, 2, 3}};
+  std::vector<std::uint32_t> crcs;
+  EXPECT_FALSE(crc_aggregate_check(blocks, crcs));
+}
+
+TEST(CrcAggregate, RejectsMixedBlockLengths) {
+  std::vector<std::vector<std::uint8_t>> blocks{{1, 2, 3}, {1, 2}};
+  std::vector<std::uint32_t> crcs{crc32_raw(blocks[0]), crc32_raw(blocks[1])};
+  EXPECT_FALSE(crc_aggregate_check(blocks, crcs));
+}
+
+// Property sweep: a single bit flip anywhere in an aggregate of N blocks is
+// always detected, for various N and block sizes.
+class CrcAggregateProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrcAggregateProperty, SingleFlipAlwaysDetected) {
+  const auto [num_blocks, block_len] = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(num_blocks) * 31 +
+          static_cast<std::uint64_t>(block_len));
+  std::vector<std::vector<std::uint8_t>> blocks;
+  std::vector<std::uint32_t> crcs;
+  for (int i = 0; i < num_blocks; ++i) {
+    blocks.push_back(random_block(rng, static_cast<std::size_t>(block_len)));
+    crcs.push_back(crc32_raw(blocks.back()));
+  }
+  ASSERT_TRUE(crc_aggregate_check(blocks, crcs));
+  for (int trial = 0; trial < 16; ++trial) {
+    auto blocks2 = blocks;
+    const std::size_t victim = rng.next_below(blocks2.size());
+    const std::size_t byte = rng.next_below(blocks2[victim].size());
+    blocks2[victim][byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_FALSE(crc_aggregate_check(blocks2, crcs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrcAggregateProperty,
+    ::testing::Combine(::testing::Values(1, 2, 7, 64, 512),
+                       ::testing::Values(64, 512, 4096)));
+
+}  // namespace
+}  // namespace repro

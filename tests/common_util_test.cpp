@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/token_bucket.h"
+#include "common/units.h"
+
+namespace repro {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(us(1), 1000);
+  EXPECT_EQ(ms(2), 2'000'000);
+  EXPECT_EQ(seconds(3), 3'000'000'000LL);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+  EXPECT_EQ(kib(4), 4096u);
+  EXPECT_EQ(mib(2), 2u * 1024 * 1024);
+}
+
+TEST(Units, SerializationDelay) {
+  // 1500 bytes at 1 Gbps = 12 us.
+  EXPECT_EQ(serialization_delay(1500, gbps(1)), 12'000);
+  // 4KB jumbo at 25 Gbps ~= 1.31 us.
+  const TimeNs d = serialization_delay(4096, gbps(25));
+  EXPECT_NEAR(static_cast<double>(d), 1310.7, 2.0);
+  EXPECT_EQ(serialization_delay(1000, 0.0), 0);
+}
+
+TEST(Units, ThroughputInverse) {
+  const std::uint64_t bytes = 123456;
+  const TimeNs t = serialization_delay(bytes, gbps(10));
+  EXPECT_NEAR(throughput_bps(bytes, t), 10e9, 1e7);
+  EXPECT_EQ(throughput_bps(100, 0), 0.0);
+}
+
+TEST(Rng, Determinism) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversAll) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(11);
+  SampleSet s;
+  for (int i = 0; i < 100000; ++i) s.record(rng.lognormal_median(80.0, 0.5));
+  EXPECT_NEAR(s.percentile(0.5), 80.0, 2.5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng base(77);
+  Rng c1 = base.fork(1);
+  Rng c2 = base.fork(2);
+  Rng c1_again = base.fork(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c1.next() == c2.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(12);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 12345.0, 12345.0 * 0.04);
+}
+
+TEST(Histogram, SmallExactValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(i);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_LE(h.percentile(0.1), 1);
+  EXPECT_GE(h.percentile(0.99), 8);
+}
+
+TEST(Histogram, PercentileRelativeError) {
+  Rng rng(13);
+  Histogram h;
+  SampleSet exact;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v =
+        static_cast<std::int64_t>(rng.lognormal_median(100000.0, 0.8));
+    h.record(v);
+    exact.record(static_cast<double>(v));
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double approx = static_cast<double>(h.percentile(q));
+    const double truth = exact.percentile(q);
+    EXPECT_NEAR(approx, truth, truth * 0.05) << "q=" << q;
+  }
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Rng rng(14);
+  Histogram a, b, combined;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(1'000'000));
+    combined.record(v);
+    (i % 2 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.percentile(0.5), combined.percentile(0.5));
+  EXPECT_EQ(a.percentile(0.99), combined.percentile(0.99));
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(10);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.record(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, StddevOfConstantIsZero) {
+  SampleSet s;
+  s.record(4.0);
+  s.record(4.0);
+  s.record(4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(TokenBucket, StartsFullAndConsumes) {
+  TokenBucket tb(100.0, 10.0);
+  EXPECT_TRUE(tb.try_consume(0, 10.0));
+  EXPECT_FALSE(tb.try_consume(0, 1.0));
+}
+
+TEST(TokenBucket, RefillsOverTime) {
+  TokenBucket tb(1000.0, 10.0);  // 1000 tokens/sec
+  ASSERT_TRUE(tb.try_consume(0, 10.0));
+  EXPECT_FALSE(tb.try_consume(ms(1), 2.0));   // only ~1 token back
+  EXPECT_TRUE(tb.try_consume(ms(5), 4.0));    // ~5 tokens back
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(1'000'000.0, 5.0);
+  EXPECT_TRUE(tb.try_consume(seconds(100), 5.0));
+  EXPECT_FALSE(tb.try_consume(seconds(100), 1.0));
+}
+
+TEST(TokenBucket, NextAvailablePredictsAdmission) {
+  TokenBucket tb(100.0, 1.0);
+  ASSERT_TRUE(tb.try_consume(0, 1.0));
+  const TimeNs when = tb.next_available(0, 1.0);
+  EXPECT_GT(when, 0);
+  EXPECT_FALSE(tb.try_consume(when - us(100), 1.0));
+  EXPECT_TRUE(tb.try_consume(when, 1.0));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"stack", "latency_us"});
+  t.add_row({"kernel", TextTable::num(70.1)});
+  t.add_row({"luna", TextTable::num(13.1)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("stack"), std::string::npos);
+  EXPECT_NE(out.find("70.1"), std::string::npos);
+  EXPECT_NE(out.find("luna"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

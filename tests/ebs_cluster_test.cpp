@@ -1,0 +1,170 @@
+#include "ebs/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/fio.h"
+
+namespace repro::ebs {
+namespace {
+
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+using transport::StorageStatus;
+
+ClusterParams small_params(StackKind stack) {
+  ClusterParams p;
+  p.topo.compute_servers = 2;
+  p.topo.storage_servers = 4;
+  p.topo.servers_per_rack = 4;
+  p.stack = stack;
+  p.seed = 99;
+  return p;
+}
+
+IoResult run_one_io(sim::Engine& eng, Cluster& cluster, IoRequest io) {
+  IoResult out;
+  bool done = false;
+  eng.at(eng.now(), [&] {
+    cluster.compute(0).submit_io(std::move(io), [&](IoResult r) {
+      out = std::move(r);
+      done = true;
+    });
+  });
+  while (!done && eng.step()) {
+  }
+  EXPECT_TRUE(done);
+  return out;
+}
+
+IoRequest write_io(std::uint64_t vd, std::uint64_t offset,
+                   std::uint32_t len) {
+  IoRequest io;
+  io.vd_id = vd;
+  io.op = OpType::kWrite;
+  io.offset = offset;
+  io.len = len;
+  io.payload = transport::make_placeholder_blocks(offset, len, 4096);
+  return io;
+}
+
+class ClusterStacks : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(ClusterStacks, WriteAndReadComplete) {
+  sim::Engine eng;
+  Cluster cluster(eng, small_params(GetParam()));
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+
+  auto wres = run_one_io(eng, cluster, write_io(vd, 0, 16384));
+  EXPECT_EQ(wres.status, StorageStatus::kOk);
+
+  IoRequest rio;
+  rio.vd_id = vd;
+  rio.op = OpType::kRead;
+  rio.offset = 0;
+  rio.len = 16384;
+  auto rres = run_one_io(eng, cluster, std::move(rio));
+  EXPECT_EQ(rres.status, StorageStatus::kOk);
+}
+
+TEST_P(ClusterStacks, TraceComponentsPopulated) {
+  sim::Engine eng;
+  Cluster cluster(eng, small_params(GetParam()));
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+  auto res = run_one_io(eng, cluster, write_io(vd, 4096, 4096));
+  ASSERT_EQ(res.status, StorageStatus::kOk);
+  EXPECT_GT(res.trace.fn_ns, 0);
+  EXPECT_GT(res.trace.bn_ns, 0);
+  EXPECT_GT(res.trace.ssd_ns, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, ClusterStacks,
+                         ::testing::Values(StackKind::kKernelTcp,
+                                           StackKind::kLuna,
+                                           StackKind::kRdma,
+                                           StackKind::kSolarStar,
+                                           StackKind::kSolar),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n) {
+                             if (c == '-' || c == '*') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Cluster, LatencyOrderingMatchesPaper) {
+  // Single 4KB write: kernel > luna > solar (Fig. 6 medians).
+  std::map<StackKind, TimeNs> median;
+  for (StackKind stack : {StackKind::kKernelTcp, StackKind::kLuna,
+                          StackKind::kSolar}) {
+    sim::Engine eng;
+    Cluster cluster(eng, small_params(stack));
+    const std::uint64_t vd = cluster.create_vd(1ull << 30);
+    SampleSet lat;
+    for (int i = 0; i < 60; ++i) {
+      const TimeNs t0 = eng.now();
+      auto res = run_one_io(eng, cluster,
+                            write_io(vd, (i % 128) * 4096, 4096));
+      ASSERT_EQ(res.status, StorageStatus::kOk);
+      lat.record(static_cast<double>(eng.now() - t0));
+    }
+    median[stack] = static_cast<TimeNs>(lat.percentile(0.5));
+  }
+  EXPECT_GT(median[StackKind::kKernelTcp], median[StackKind::kLuna]);
+  EXPECT_GT(median[StackKind::kLuna], median[StackKind::kSolar]);
+}
+
+TEST(Cluster, DpuHostedLunaPaysInternalPcie) {
+  auto params = small_params(StackKind::kLuna);
+  params.on_dpu = true;
+  sim::Engine eng;
+  Cluster cluster(eng, params);
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+  auto res = run_one_io(eng, cluster, write_io(vd, 0, 65536));
+  ASSERT_EQ(res.status, StorageStatus::kOk);
+  ASSERT_NE(cluster.compute(0).dpu(), nullptr);
+  EXPECT_GE(cluster.compute(0).dpu()->internal_pcie().bytes_transferred(),
+            2u * 65536);
+}
+
+TEST(Cluster, VdsStripeAcrossStorageNodes) {
+  sim::Engine eng;
+  Cluster cluster(eng, small_params(StackKind::kLuna));
+  const std::uint64_t vd = cluster.create_vd(16ull << 20);  // 8 segments
+  std::set<net::IpAddr> servers;
+  for (int s = 0; s < 8; ++s) {
+    auto loc = cluster.segments().lookup(
+        vd, static_cast<std::uint64_t>(s) * sa::SegmentTable::kSegmentBytes);
+    ASSERT_TRUE(loc.has_value());
+    servers.insert(loc->block_server);
+  }
+  EXPECT_EQ(servers.size(), 4u);
+}
+
+TEST(Cluster, FioJobDrivesCluster) {
+  sim::Engine eng;
+  Cluster cluster(eng, small_params(StackKind::kSolar));
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+  workload::FioConfig cfg;
+  cfg.vd_id = vd;
+  cfg.vd_size = 1ull << 30;
+  cfg.block_size = 4096;
+  cfg.iodepth = 8;
+  cfg.read_fraction = 0.5;
+  cfg.max_ios = 500;
+  workload::FioJob job(
+      eng,
+      [&](IoRequest io, transport::IoCompleteFn done) {
+        cluster.compute(0).submit_io(std::move(io), std::move(done));
+      },
+      cfg, Rng(5));
+  eng.at(0, [&] { job.start(); });
+  eng.run();
+  EXPECT_EQ(job.completed(), 500u);
+  EXPECT_EQ(job.metrics().errors(), 0u);
+  EXPECT_EQ(job.metrics().hangs(), 0u);
+  EXPECT_GT(job.metrics().iops(eng.now()), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::ebs

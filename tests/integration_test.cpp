@@ -1,0 +1,218 @@
+// Cross-module integration tests: full clusters under combined stress —
+// loss + load, failover mid-burst, mixed read/write with real payloads,
+// determinism of whole runs.
+#include <gtest/gtest.h>
+
+#include "ebs/cluster.h"
+#include "workload/fio.h"
+
+namespace repro::ebs {
+namespace {
+
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+using transport::StorageStatus;
+
+ClusterParams params_for(StackKind stack, std::uint64_t seed = 7) {
+  ClusterParams p;
+  p.topo.compute_servers = 2;
+  p.topo.storage_servers = 4;
+  p.topo.servers_per_rack = 4;
+  p.stack = stack;
+  p.seed = seed;
+  p.block_server.store_payload = false;
+  return p;
+}
+
+struct RunStats {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t hangs = 0;
+  TimeNs end_time = 0;
+};
+
+RunStats run_fio_for(StackKind stack, std::uint64_t seed, double loss,
+                     std::uint64_t ios) {
+  sim::Engine eng;
+  Cluster cluster(eng, params_for(stack, seed));
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+  if (loss > 0) {
+    for (auto* core : cluster.clos().cores) {
+      cluster.network().set_loss_rate(*core, loss);
+    }
+  }
+  workload::FioConfig cfg;
+  cfg.vd_id = vd;
+  cfg.iodepth = 8;
+  cfg.read_fraction = 0.3;
+  cfg.max_ios = ios;
+  workload::FioJob job(
+      eng,
+      [&](IoRequest io, transport::IoCompleteFn done) {
+        cluster.compute(0).submit_io(std::move(io), std::move(done));
+      },
+      cfg, Rng(seed));
+  eng.at(0, [&] { job.start(); });
+  eng.run();
+  RunStats out;
+  out.completed = job.completed();
+  out.errors = job.metrics().errors();
+  out.hangs = job.metrics().hangs();
+  out.end_time = eng.now();
+  return out;
+}
+
+class StackLossMatrix
+    : public ::testing::TestWithParam<std::tuple<StackKind, int>> {};
+
+TEST_P(StackLossMatrix, AllIosCompleteWithoutErrors) {
+  const auto [stack, loss_pct] = GetParam();
+  const auto stats =
+      run_fio_for(stack, 11, static_cast<double>(loss_pct) / 100.0, 300);
+  EXPECT_EQ(stats.completed, 300u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StackLossMatrix,
+    ::testing::Combine(::testing::Values(StackKind::kLuna, StackKind::kRdma,
+                                         StackKind::kSolar),
+                       ::testing::Values(0, 2)),
+    [](const auto& info) {
+      std::string n = to_string(std::get<0>(info.param)) + "_loss" +
+                      std::to_string(std::get<1>(info.param));
+      for (auto& c : n) {
+        if (c == '-' || c == '*') c = '_';
+      }
+      return n;
+    });
+
+TEST(Integration, WholeRunIsDeterministic) {
+  const auto a = run_fio_for(StackKind::kSolar, 99, 0.01, 400);
+  const auto b = run_fio_for(StackKind::kSolar, 99, 0.01, 400);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.end_time, b.end_time);  // bit-identical simulated time
+}
+
+TEST(Integration, DifferentSeedsDiffer) {
+  const auto a = run_fio_for(StackKind::kSolar, 1, 0.01, 400);
+  const auto b = run_fio_for(StackKind::kSolar, 2, 0.01, 400);
+  EXPECT_NE(a.end_time, b.end_time);
+}
+
+TEST(Integration, SolarSurvivesFailoverMidBurst) {
+  sim::Engine eng;
+  Cluster cluster(eng, params_for(StackKind::kSolar, 21));
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+  workload::FioConfig cfg;
+  cfg.vd_id = vd;
+  cfg.iodepth = 16;
+  cfg.read_fraction = 0.2;
+  workload::FioJob job(
+      eng,
+      [&](IoRequest io, transport::IoCompleteFn done) {
+        cluster.compute(0).submit_io(std::move(io), std::move(done));
+      },
+      cfg, Rng(3));
+  eng.at(0, [&] { job.start(); });
+  // Kill a spine silently mid-burst, repair later.
+  eng.at(ms(20), [&] {
+    cluster.network().fail_device_silent(*cluster.clos().compute_spines[0]);
+  });
+  eng.run_until(ms(500));
+  job.stop();
+  cluster.network().repair_device(*cluster.clos().compute_spines[0]);
+  eng.run_until(seconds(30));
+  EXPECT_GT(job.completed(), 1000u);
+  EXPECT_EQ(job.metrics().hangs(), 0u);  // SOLAR: zero >=1s stalls
+}
+
+TEST(Integration, RealPayloadsSurviveMixedTraffic) {
+  sim::Engine eng;
+  auto params = params_for(StackKind::kSolar, 31);
+  params.block_server.store_payload = true;
+  params.solar.encrypt = true;
+  Cluster cluster(eng, params);
+  const std::uint64_t vd = cluster.create_vd(64ull << 20);
+
+  Rng rng(5);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> truth;
+  int pending = 0;
+  // 50 random 4K writes with real data...
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t off = rng.next_below(4096) * 4096;
+    IoRequest io;
+    io.vd_id = vd;
+    io.op = OpType::kWrite;
+    io.offset = off;
+    io.len = 4096;
+    io.payload = transport::make_placeholder_blocks(off, 4096, 4096);
+    io.payload[0].data.resize(4096);
+    for (auto& b : io.payload[0].data) {
+      b = static_cast<std::uint8_t>(rng.next());
+    }
+    truth[off] = io.payload[0].data;
+    ++pending;
+    eng.at(eng.now(), [&, io = std::move(io)]() mutable {
+      cluster.compute(0).submit_io(std::move(io), [&](IoResult r) {
+        EXPECT_EQ(r.status, StorageStatus::kOk);
+        --pending;
+      });
+    });
+  }
+  eng.run();
+  ASSERT_EQ(pending, 0);
+
+  // ...read back every one and compare bytes (last write wins per offset).
+  for (const auto& [off, data] : truth) {
+    IoRequest io;
+    io.vd_id = vd;
+    io.op = OpType::kRead;
+    io.offset = off;
+    io.len = 4096;
+    bool done = false;
+    eng.at(eng.now(), [&] {
+      cluster.compute(0).submit_io(std::move(io), [&](IoResult r) {
+        ASSERT_EQ(r.status, StorageStatus::kOk);
+        ASSERT_EQ(r.read_data.size(), 1u);
+        EXPECT_EQ(r.read_data[0].data, data) << "offset " << off;
+        done = true;
+      });
+    });
+    eng.run();
+    ASSERT_TRUE(done);
+  }
+}
+
+TEST(Integration, QosCapsThroughputAcrossStacks) {
+  for (StackKind stack : {StackKind::kLuna, StackKind::kSolar}) {
+    sim::Engine eng;
+    Cluster cluster(eng, params_for(stack, 41));
+    const std::uint64_t vd = cluster.create_vd(1ull << 30);
+    sa::QosSpec spec;
+    spec.iops_limit = 5000;
+    spec.burst_ios = 8;
+    cluster.set_qos(vd, spec);
+    workload::FioConfig cfg;
+    cfg.vd_id = vd;
+    cfg.block_size = 4096;
+    cfg.iodepth = 32;
+    workload::FioJob job(
+        eng,
+        [&](IoRequest io, transport::IoCompleteFn done) {
+          cluster.compute(0).submit_io(std::move(io), std::move(done));
+        },
+        cfg, Rng(6));
+    eng.at(0, [&] { job.start(); });
+    eng.run_until(ms(200));
+    job.stop();
+    eng.run_until(eng.now() + seconds(1));
+    const double iops = job.metrics().iops(ms(200));
+    EXPECT_NEAR(iops, 5000.0, 700.0) << to_string(stack);
+  }
+}
+
+}  // namespace
+}  // namespace repro::ebs

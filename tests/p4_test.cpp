@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "dpu/fpga.h"
+#include "p4/pipeline.h"
+#include "p4/solar_program.h"
+#include "proto/headers.h"
+#include "sa/segment_table.h"
+
+namespace repro::p4 {
+namespace {
+
+TEST(Parser, ExtractsLittleEndianFields) {
+  Parser p;
+  p.field("a", 2).field("b", 4);
+  PacketCtx ctx;
+  ctx.bytes = {0x01, 0x02, 0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_TRUE(p.parse(ctx));
+  EXPECT_EQ(ctx.field("a"), 0x0201u);
+  EXPECT_EQ(ctx.field("b"), 0xDDCCBBAAu);
+}
+
+TEST(Parser, UnderflowDrops) {
+  Parser p;
+  p.field("a", 8);
+  PacketCtx ctx;
+  ctx.bytes = {1, 2, 3};
+  EXPECT_FALSE(p.parse(ctx));
+  EXPECT_TRUE(ctx.dropped);
+  EXPECT_EQ(ctx.drop_reason, "parser_underflow:a");
+}
+
+TEST(Parser, TrailingBytesWithoutPayloadDrops) {
+  Parser p;
+  p.field("a", 1);
+  PacketCtx ctx;
+  ctx.bytes = {1, 2};
+  EXPECT_FALSE(p.parse(ctx));
+  EXPECT_EQ(ctx.drop_reason, "trailing_bytes");
+}
+
+TEST(Parser, PayloadLengthFieldEnforced) {
+  Parser p;
+  p.field("len", 2).payload_rest("len");
+  PacketCtx ok;
+  ok.bytes = {3, 0, 9, 9, 9};
+  EXPECT_TRUE(p.parse(ok));
+  EXPECT_EQ(ok.payload.size(), 3u);
+
+  PacketCtx bad;
+  bad.bytes = {4, 0, 9, 9, 9};
+  EXPECT_FALSE(p.parse(bad));
+  EXPECT_EQ(bad.drop_reason, "payload_length_mismatch");
+}
+
+TEST(Table, ExactMatchAndDefault) {
+  Table t("t", {"k1", "k2"});
+  t.add_entry({1, 2}, "hit", {42});
+  PacketCtx ctx;
+  ctx.fields["k1"] = 1;
+  ctx.fields["k2"] = 2;
+  const auto* e = t.lookup(ctx);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, "hit");
+  EXPECT_EQ(e->args[0], 42u);
+
+  ctx.fields["k2"] = 3;
+  EXPECT_EQ(t.lookup(ctx), nullptr);
+  t.set_default("miss");
+  ASSERT_NE(t.lookup(ctx), nullptr);
+  EXPECT_EQ(t.lookup(ctx)->action, "miss");
+}
+
+TEST(Pipeline, TableMissDropsWithReason) {
+  Pipeline pipe("p");
+  Parser parser;
+  parser.field("x", 1);
+  pipe.set_parser(parser);
+  pipe.add_table("only", {"x"});
+  PacketCtx ctx;
+  ctx.bytes = {7};
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "table_miss:only");
+}
+
+// ---- SOLAR READ RX program -----------------------------------------------
+
+std::vector<std::uint8_t> make_read_response(Rng& rng, std::uint64_t rpc_id,
+                                             std::uint16_t pkt_id,
+                                             std::vector<std::uint8_t>* out_payload
+                                             = nullptr) {
+  std::vector<std::uint8_t> payload(proto::kBlockSize);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  proto::RpcHeader rpc;
+  rpc.rpc_id = rpc_id;
+  rpc.pkt_id = pkt_id;
+  rpc.pkt_count = 4;
+  rpc.msg_type = proto::RpcMsgType::kReadResponse;
+  proto::EbsHeader ebs;
+  ebs.vd_id = 7;
+  ebs.segment_id = 3;
+  ebs.lba = pkt_id * 4096ull;
+  ebs.block_len = proto::kBlockSize;
+  ebs.payload_crc = crc32_raw(payload);
+  ebs.op = proto::EbsOp::kRead;
+  if (out_payload) *out_payload = payload;
+  return encode_solar_packet(rpc, ebs, payload);
+}
+
+TEST(SolarReadRx, AcceptsValidResponseAndResolvesDma) {
+  auto pipe = make_read_rx_pipeline(SolarProgramConfig{});
+  pipe.table("addr")->add_entry({1001, 2}, "dma", {0xDEAD0000ull});
+  Rng rng(1);
+  std::vector<std::uint8_t> payload;
+  PacketCtx ctx;
+  ctx.bytes = make_read_response(rng, 1001, 2, &payload);
+  ASSERT_TRUE(pipe.process(ctx));
+  EXPECT_EQ(ctx.verdict, "to_dma");
+  EXPECT_EQ(ctx.field("dma_addr"), 0xDEAD0000ull);
+  EXPECT_EQ(ctx.payload, payload);
+}
+
+TEST(SolarReadRx, UnknownRpcDropsAtAddrTable) {
+  auto pipe = make_read_rx_pipeline(SolarProgramConfig{});
+  Rng rng(2);
+  PacketCtx ctx;
+  ctx.bytes = make_read_response(rng, 555, 0);
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "table_miss:addr");
+}
+
+TEST(SolarReadRx, CorruptPayloadDropsAtCrc) {
+  auto pipe = make_read_rx_pipeline(SolarProgramConfig{});
+  pipe.table("addr")->add_entry({1, 0}, "dma", {0x1000});
+  Rng rng(3);
+  PacketCtx ctx;
+  ctx.bytes = make_read_response(rng, 1, 0);
+  ctx.bytes[ctx.bytes.size() - 7] ^= 0x20;  // flip a payload bit
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "crc_mismatch");
+}
+
+TEST(SolarReadRx, NonDataPacketsMissTheKindTable) {
+  auto pipe = make_read_rx_pipeline(SolarProgramConfig{});
+  proto::RpcHeader rpc;
+  rpc.msg_type = proto::RpcMsgType::kAck;
+  proto::EbsHeader ebs;
+  ebs.block_len = 0;
+  PacketCtx ctx;
+  ctx.bytes = encode_solar_packet(rpc, ebs, {});
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "table_miss:msg_kind");
+}
+
+TEST(SolarReadRx, EncryptedProgramDecryptsBeforeCheck) {
+  SolarProgramConfig cfg;
+  cfg.encrypt = true;
+  auto pipe = make_read_rx_pipeline(cfg);
+  pipe.table("addr")->add_entry({9, 0}, "dma", {0x2000});
+
+  // Build a response whose payload is ciphertext and whose CRC covers the
+  // plaintext (Figure 12 stage order).
+  Rng rng(4);
+  std::vector<std::uint8_t> plain(proto::kBlockSize);
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+  auto cipherdata = plain;
+  sa::BlockCipher cipher(cfg.cipher_key);
+  cipher.apply(7, 0, cipherdata);
+
+  proto::RpcHeader rpc;
+  rpc.rpc_id = 9;
+  rpc.pkt_id = 0;
+  rpc.msg_type = proto::RpcMsgType::kReadResponse;
+  proto::EbsHeader ebs;
+  ebs.vd_id = 7;
+  ebs.lba = 0;
+  ebs.block_len = proto::kBlockSize;
+  ebs.payload_crc = crc32_raw(plain);
+  ebs.op = proto::EbsOp::kRead;
+
+  PacketCtx ctx;
+  ctx.bytes = encode_solar_packet(rpc, ebs, cipherdata);
+  ASSERT_TRUE(pipe.process(ctx));
+  EXPECT_EQ(ctx.payload, plain);
+}
+
+// Equivalence: the P4 READ RX program and the FPGA model must agree on
+// accept/reject for the same wire bytes (clean + corrupted).
+TEST(SolarReadRx, EquivalentToFpgaModel) {
+  auto pipe = make_read_rx_pipeline(SolarProgramConfig{});
+  dpu::FpgaPipeline fpga(dpu::FpgaParams{}, Rng(10));
+  Rng rng(5);
+  int accepts = 0, rejects = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t rpc_id = 100 + trial;
+    pipe.table("addr")->add_entry({rpc_id, 0}, "dma", {0x4000});
+    std::vector<std::uint8_t> payload;
+    auto bytes = make_read_response(rng, rpc_id, 0, &payload);
+    const bool corrupt = rng.bernoulli(0.5);
+    if (corrupt) {
+      bytes[bytes.size() - 1 - rng.next_below(proto::kBlockSize)] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    // P4 path.
+    PacketCtx ctx;
+    ctx.bytes = bytes;
+    const bool p4_ok = pipe.process(ctx);
+    // FPGA model path on the parsed frame.
+    auto parsed = proto::parse_solar_packet(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    transport::DataBlock blk;
+    blk.lba = parsed->ebs.lba;
+    blk.len = parsed->ebs.block_len;
+    blk.data = parsed->payload;
+    blk.crc = parsed->ebs.payload_crc;
+    bool hw_ok = false;
+    fpga.process_read_block(parsed->ebs.vd_id, blk, false, hw_ok);
+    EXPECT_EQ(p4_ok, hw_ok) << "trial " << trial;
+    (p4_ok ? accepts : rejects)++;
+  }
+  EXPECT_GT(accepts, 50);
+  EXPECT_GT(rejects, 50);
+}
+
+// ---- SOLAR WRITE TX program ----------------------------------------------
+
+TEST(SolarWriteTx, RoutesAndCrcs) {
+  auto pipe = make_write_tx_pipeline(SolarProgramConfig{});
+  pipe.table("qos")->add_entry({7}, "qos_pass");
+  pipe.table("block")->add_entry({7, 3}, "route", {1234, 42});
+
+  Rng rng(6);
+  PacketCtx ctx;
+  ctx.fields["nvme.vd"] = 7;
+  ctx.fields["nvme.lba"] = 3ull * sa::SegmentTable::kSegmentBytes + 8192;
+  ctx.fields["nvme.segment_index"] = 3;
+  ctx.payload.resize(4096);
+  for (auto& b : ctx.payload) b = static_cast<std::uint8_t>(rng.next());
+  const auto plain = ctx.payload;
+
+  ASSERT_TRUE(pipe.process(ctx));
+  EXPECT_EQ(ctx.verdict, "to_wire");
+  EXPECT_EQ(ctx.field("route.segment_id"), 1234u);
+  EXPECT_EQ(ctx.field("route.server"), 42u);
+  EXPECT_EQ(ctx.field("ebs.payload_crc"), crc32_raw(plain));
+}
+
+TEST(SolarWriteTx, QosDropRejects) {
+  auto pipe = make_write_tx_pipeline(SolarProgramConfig{});
+  pipe.table("qos")->add_entry({7}, "qos_drop");
+  pipe.table("block")->set_default("route", {0, 0});
+  PacketCtx ctx;
+  ctx.fields["nvme.vd"] = 7;
+  ctx.payload.resize(64);
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "qos_reject");
+}
+
+TEST(SolarWriteTx, UnknownVdMissesQosTable) {
+  auto pipe = make_write_tx_pipeline(SolarProgramConfig{});
+  PacketCtx ctx;
+  ctx.fields["nvme.vd"] = 12345;
+  EXPECT_FALSE(pipe.process(ctx));
+  EXPECT_EQ(ctx.drop_reason, "table_miss:qos");
+}
+
+TEST(SolarWriteTx, EncryptionMatchesFpgaModel) {
+  SolarProgramConfig cfg;
+  cfg.encrypt = true;
+  auto pipe = make_write_tx_pipeline(cfg);
+  pipe.table("qos")->add_entry({7}, "qos_pass");
+  pipe.table("block")->add_entry({7, 0}, "route", {1, 1});
+
+  Rng rng(7);
+  PacketCtx ctx;
+  ctx.fields["nvme.vd"] = 7;
+  ctx.fields["nvme.lba"] = 8192;
+  ctx.fields["nvme.segment_index"] = 0;
+  ctx.payload.resize(4096);
+  for (auto& b : ctx.payload) b = static_cast<std::uint8_t>(rng.next());
+  const auto plain = ctx.payload;
+  ASSERT_TRUE(pipe.process(ctx));
+
+  // The FPGA model on the same block must produce identical ciphertext
+  // and identical CRC.
+  dpu::FpgaPipeline fpga(dpu::FpgaParams{}, Rng(11), cfg.cipher_key);
+  transport::DataBlock blk;
+  blk.lba = 8192;
+  blk.len = 4096;
+  blk.data = plain;
+  fpga.process_write_block(7, blk, /*encrypt=*/true);
+  EXPECT_EQ(ctx.payload, blk.data);
+  EXPECT_EQ(ctx.field("ebs.payload_crc"), blk.crc);
+}
+
+}  // namespace
+}  // namespace repro::p4

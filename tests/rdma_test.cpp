@@ -1,0 +1,195 @@
+#include "rdma/rdma.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace repro::rdma {
+namespace {
+
+using transport::OpType;
+using transport::StorageRequest;
+using transport::StorageResponse;
+using transport::StorageStatus;
+
+struct RdmaFixture {
+  sim::Engine eng;
+  net::Network net{eng, net::NetworkParams{}, 55};
+  net::TwoHosts hosts = net::build_two_hosts(net, gbps(25), us(1));
+  sim::CpuPool client_cpu{eng, "c", 2, sim::CpuPool::Dispatch::kByHash};
+  sim::CpuPool server_cpu{eng, "s", 2, sim::CpuPool::Dispatch::kByHash};
+  RdmaParams params;
+  std::unique_ptr<RdmaStack> client;
+  std::unique_ptr<RdmaStack> server;
+
+  explicit RdmaFixture(RdmaParams p = RdmaParams{}) : params(p) {
+    client = std::make_unique<RdmaStack>(eng, *hosts.a, client_cpu, params,
+                                         Rng(1));
+    server = std::make_unique<RdmaStack>(eng, *hosts.b, server_cpu, params,
+                                         Rng(2));
+    server->set_handler(
+        [](StorageRequest req, std::function<void(StorageResponse)> reply) {
+          StorageResponse resp;
+          if (req.op == OpType::kRead) {
+            resp.blocks =
+                transport::make_placeholder_blocks(0, req.len, 4096);
+          }
+          reply(std::move(resp));
+        });
+  }
+
+  StorageRequest write_request(std::uint32_t len) {
+    StorageRequest req;
+    req.op = OpType::kWrite;
+    req.len = len;
+    req.blocks = transport::make_placeholder_blocks(0, len, 4096);
+    return req;
+  }
+};
+
+TEST(Rdma, SingleRpcRoundTrip) {
+  RdmaFixture f;
+  bool done = false;
+  TimeNs at = 0;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse) {
+                     done = true;
+                     at = f.eng.now();
+                   });
+  });
+  f.eng.run();
+  EXPECT_TRUE(done);
+  // RDMA single 4KB RPC: close to the raw fabric RTT plus a few us.
+  EXPECT_LT(at, us(25));
+}
+
+TEST(Rdma, RdmaFasterThanLunaOnCpuButSimilarLatency) {
+  RdmaFixture f;
+  constexpr int kRpcs = 100;
+  int done = 0;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < kRpcs; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(done, kRpcs);
+  // Network processing is offloaded: only verbs/completions hit the CPU.
+  EXPECT_LT(f.client_cpu.total_busy_ns(), us(200));
+}
+
+TEST(Rdma, LargeMessageSegmentsByMtu) {
+  RdmaFixture f;
+  bool done = false;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(65536),
+                   [&](StorageResponse) { done = true; });
+  });
+  f.eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Rdma, GoBackNRecoversFromLoss) {
+  RdmaFixture f;
+  f.net.set_loss_rate(*f.hosts.sw, 0.03);
+  int done = 0;
+  constexpr int kRpcs = 60;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < kRpcs; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(32768),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run_until(seconds(30));
+  EXPECT_EQ(done, kRpcs);
+  EXPECT_GT(f.client->rewinds() + f.server->rewinds(), 0u);
+}
+
+TEST(Rdma, GoBackNWastesMoreThanSelectiveRepeatWould) {
+  // Under loss, rewinds retransmit packets that had already arrived.
+  RdmaFixture f;
+  f.net.set_loss_rate(*f.hosts.sw, 0.05);
+  int done = 0;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < 30; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(131072),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run_until(seconds(30));
+  EXPECT_EQ(done, 30);
+  // Out-of-order arrivals at the *server* (the bulk-data receiver)
+  // trigger NAKs, and the client rewinds whole windows.
+  EXPECT_GT(f.server->naks(), 0u);
+  EXPECT_GT(f.client->rewinds(), 0u);
+}
+
+TEST(Rdma, QpCacheMissesChargePenalty) {
+  RdmaParams p;
+  p.qp_cache_size = 4;  // tiny cache
+  RdmaFixture f(p);
+  // Talk to many "peers" (ports differ per QP -> here: single host, so
+  // force distinct QPs by issuing from server side too; instead spread
+  // over rpcs to one host: one QP only -> no misses beyond first).
+  int done = 0;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < 20; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(done, 20);
+  // One QP fits the cache: only cold misses.
+  EXPECT_LE(f.client->qp_cache_misses(), 4u);
+}
+
+TEST(Rdma, ManyQpsThrashTheCache) {
+  // Build a fabric with many storage hosts so the client opens many QPs.
+  sim::Engine eng;
+  net::Network net{eng, net::NetworkParams{}, 77};
+  net::ClosConfig cfg;
+  cfg.compute_servers = 1;
+  cfg.storage_servers = 24;
+  cfg.servers_per_rack = 24;
+  net::Clos clos = build_clos(net, cfg);
+  sim::CpuPool ccpu{eng, "c", 2, sim::CpuPool::Dispatch::kByHash};
+  RdmaParams p;
+  p.qp_cache_size = 4;
+  p.qp_cache_miss_penalty = us(3);
+  RdmaStack client(eng, *clos.compute[0], ccpu, p, Rng(1));
+  std::vector<std::unique_ptr<sim::CpuPool>> scpus;
+  std::vector<std::unique_ptr<RdmaStack>> servers;
+  for (auto* nic : clos.storage) {
+    scpus.push_back(std::make_unique<sim::CpuPool>(
+        eng, "s", 2, sim::CpuPool::Dispatch::kByHash));
+    servers.push_back(std::make_unique<RdmaStack>(eng, *nic, *scpus.back(),
+                                                  p, Rng(2)));
+    servers.back()->set_handler(
+        [](StorageRequest, std::function<void(StorageResponse)> reply) {
+          reply(StorageResponse{});
+        });
+  }
+  int done = 0;
+  eng.at(0, [&] {
+    for (int round = 0; round < 10; ++round) {
+      for (auto* nic : clos.storage) {
+        StorageRequest req;
+        req.op = OpType::kWrite;
+        req.len = 4096;
+        req.blocks = transport::make_placeholder_blocks(0, 4096, 4096);
+        client.call(nic->ip(), std::move(req),
+                    [&](StorageResponse) { ++done; });
+      }
+    }
+  });
+  eng.run();
+  EXPECT_EQ(done, 240);
+  // 24 QPs round-robin over a 4-entry cache: nearly every touch misses.
+  EXPECT_GT(client.qp_cache_misses(), 100u);
+}
+
+}  // namespace
+}  // namespace repro::rdma

@@ -1,0 +1,295 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "sim/cpu.h"
+#include "sim/pcie.h"
+
+namespace repro::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(us(30), [&] { order.push_back(3); });
+  eng.at(us(10), [&] { order.push_back(1); });
+  eng.at(us(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), us(30));
+}
+
+TEST(Engine, EqualTimestampsRunInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.at(us(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, AfterIsRelativeToNow) {
+  Engine eng;
+  TimeNs fired_at = -1;
+  eng.at(us(10), [&] { eng.after(us(5), [&] { fired_at = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(fired_at, us(15));
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine eng;
+  TimeNs fired_at = -1;
+  eng.at(us(10), [&] { eng.at(us(3), [&] { fired_at = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(fired_at, us(10));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  TimeNs fired_at = -1;
+  eng.after(-5, [&] { fired_at = eng.now(); });
+  eng.run();
+  EXPECT_EQ(fired_at, 0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  const TimerId id = eng.schedule_at(us(10), [&] { fired = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalseish) {
+  Engine eng;
+  const TimerId id = eng.schedule_at(us(1), [] {});
+  eng.run();
+  // Cancel of an already-fired id must not prevent anything or crash;
+  // a second cancel of the same id is a no-op.
+  eng.cancel(id);
+  bool fired = false;
+  eng.schedule_at(us(2), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelUnknownIdIsFalse) {
+  Engine eng;
+  EXPECT_FALSE(eng.cancel(0));
+  EXPECT_FALSE(eng.cancel(9999));
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Engine eng;
+  int count = 0;
+  eng.at(us(10), [&] { ++count; });
+  eng.at(us(20), [&] { ++count; });
+  eng.at(us(30), [&] { ++count; });
+  eng.run_until(us(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(eng.now(), us(20));
+  eng.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RunUntilWithOnlyCanceledEvents) {
+  Engine eng;
+  const TimerId id = eng.schedule_at(us(5), [] { FAIL(); });
+  eng.cancel(id);
+  eng.run_until(us(10));
+  EXPECT_EQ(eng.now(), us(10));
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine eng;
+  int count = 0;
+  eng.at(us(1), [&] {
+    ++count;
+    eng.stop();
+  });
+  eng.at(us(2), [&] { ++count; });
+  eng.run();
+  EXPECT_EQ(count, 1);
+  eng.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.after(us(1), chain);
+  };
+  eng.after(us(1), chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), us(100));
+  EXPECT_EQ(eng.executed(), 100u);
+}
+
+TEST(CpuCore, SerializesWork) {
+  Engine eng;
+  CpuCore core(eng, "c0");
+  std::vector<TimeNs> done;
+  eng.at(0, [&] {
+    core.run(us(10), [&] { done.push_back(eng.now()); });
+    core.run(us(5), [&] { done.push_back(eng.now()); });
+  });
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], us(10));
+  EXPECT_EQ(done[1], us(15));  // queued behind the first item
+  EXPECT_EQ(core.busy_ns(), us(15));
+}
+
+TEST(CpuCore, IdleGapsDoNotAccumulateBusy) {
+  Engine eng;
+  CpuCore core(eng, "c0");
+  eng.at(0, [&] { core.run(us(1)); });
+  eng.at(us(100), [&] { core.run(us(1)); });
+  eng.run();
+  EXPECT_EQ(core.busy_ns(), us(2));
+  EXPECT_NEAR(core.utilization(), 2.0 / 101.0, 1e-6);
+}
+
+TEST(CpuCore, BacklogReflectsQueuedWork) {
+  Engine eng;
+  CpuCore core(eng, "c0");
+  eng.at(0, [&] {
+    core.run(us(10));
+    EXPECT_EQ(core.backlog(), us(10));
+  });
+  eng.run();
+  EXPECT_EQ(core.backlog(), 0);
+}
+
+TEST(CpuCore, ZeroAndNegativeCostAreInstant) {
+  Engine eng;
+  CpuCore core(eng, "c0");
+  bool fired = false;
+  eng.at(us(3), [&] { core.run(-7, [&] { fired = true; }); });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(core.busy_ns(), 0);
+}
+
+TEST(CpuPool, ByHashPinsAffinity) {
+  Engine eng;
+  CpuPool pool(eng, "p", 4, CpuPool::Dispatch::kByHash);
+  // Same affinity key must always land on the same core: submit many items
+  // with one key and check exactly one core accumulated busy time.
+  eng.at(0, [&] {
+    for (int i = 0; i < 20; ++i) pool.submit(42, us(1));
+  });
+  eng.run();
+  int busy_cores = 0;
+  for (int i = 0; i < pool.size(); ++i) {
+    busy_cores += (pool.core(i).busy_ns() > 0);
+  }
+  EXPECT_EQ(busy_cores, 1);
+  EXPECT_EQ(pool.total_busy_ns(), us(20));
+}
+
+TEST(CpuPool, ByHashSpreadsDistinctKeys) {
+  Engine eng;
+  CpuPool pool(eng, "p", 4, CpuPool::Dispatch::kByHash);
+  eng.at(0, [&] {
+    for (std::uint64_t k = 0; k < 64; ++k) pool.submit(k, us(1));
+  });
+  eng.run();
+  int busy_cores = 0;
+  for (int i = 0; i < pool.size(); ++i) {
+    busy_cores += (pool.core(i).busy_ns() > 0);
+  }
+  EXPECT_EQ(busy_cores, 4);
+}
+
+TEST(CpuPool, LeastLoadedBalances) {
+  Engine eng;
+  CpuPool pool(eng, "p", 2, CpuPool::Dispatch::kLeastLoaded);
+  eng.at(0, [&] {
+    pool.submit(0, us(10));
+    pool.submit(0, us(10));
+    pool.submit(0, us(10));
+  });
+  eng.run();
+  // Third item should queue behind whichever core frees first: total span
+  // 20us, not 30us.
+  EXPECT_EQ(eng.now(), us(20));
+}
+
+TEST(CpuPool, CrossCoreOverheadCharged) {
+  Engine eng;
+  CpuPool pool(eng, "p", 2, CpuPool::Dispatch::kLeastLoaded, us(2));
+  eng.at(0, [&] { pool.submit(0, us(10)); });
+  eng.run();
+  EXPECT_EQ(pool.total_busy_ns(), us(12));
+}
+
+TEST(CpuPool, ConsumedCoresMetric) {
+  Engine eng;
+  CpuPool pool(eng, "p", 4, CpuPool::Dispatch::kByHash);
+  eng.at(0, [&] {
+    for (std::uint64_t k = 0; k < 4; ++k) pool.submit(k, ms(1));
+  });
+  eng.run_until(ms(1));
+  // 4 cores busy the whole time -> consumed ~4.
+  EXPECT_NEAR(pool.consumed_cores(ms(1)), 4.0, 0.05);
+}
+
+TEST(CpuPool, ResetAccountingExcludesWarmup) {
+  Engine eng;
+  CpuPool pool(eng, "p", 1, CpuPool::Dispatch::kByHash);
+  eng.at(0, [&] { pool.submit(0, us(100)); });
+  eng.run();
+  pool.reset_accounting();
+  EXPECT_EQ(pool.total_busy_ns(), 0);
+  eng.at(eng.now(), [&] { pool.submit(0, us(7)); });
+  eng.run();
+  EXPECT_EQ(pool.total_busy_ns(), us(7));
+}
+
+TEST(Pcie, TransferTakesSerializationPlusLatency) {
+  Engine eng;
+  // 100 Gbps, 1us per-transfer latency; 12500 bytes = 1us serialization.
+  PcieChannel pcie(eng, "pcie", gbps(100), us(1));
+  TimeNs done_at = -1;
+  eng.at(0, [&] { pcie.transfer(12500, [&] { done_at = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(done_at, us(2));
+  EXPECT_EQ(pcie.bytes_transferred(), 12500u);
+}
+
+TEST(Pcie, BackToBackTransfersQueue) {
+  Engine eng;
+  PcieChannel pcie(eng, "pcie", gbps(100), 0);
+  std::vector<TimeNs> done;
+  eng.at(0, [&] {
+    pcie.transfer(12500, [&] { done.push_back(eng.now()); });
+    pcie.transfer(12500, [&] { done.push_back(eng.now()); });
+  });
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], us(1));
+  EXPECT_EQ(done[1], us(2));
+  EXPECT_GT(pcie.goodput(), 0.0);
+}
+
+TEST(Pcie, GoodputCeiling) {
+  Engine eng;
+  PcieChannel pcie(eng, "pcie", gbps(10), 0);
+  eng.at(0, [&] {
+    for (int i = 0; i < 1000; ++i) pcie.transfer(125000);
+  });
+  eng.run();
+  // 1000 * 125KB at 10 Gbps should take 100 ms -> goodput pinned at 10G.
+  EXPECT_NEAR(pcie.goodput() / 1e9, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace repro::sim

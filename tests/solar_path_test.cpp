@@ -1,0 +1,205 @@
+#include "solar/path.h"
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace repro::solar {
+namespace {
+
+PathParams params() {
+  PathParams p;
+  p.paths_per_peer = 4;
+  return p;
+}
+
+TEST(PathSet, InitializesDistinctPorts) {
+  PathSet ps(params(), 40000);
+  std::set<std::uint16_t> ports;
+  for (auto& p : ps.paths()) ports.insert(p.port);
+  EXPECT_EQ(ports.size(), 4u);
+  EXPECT_EQ(*ports.begin(), 40000);
+}
+
+TEST(PathSet, PickPrefersLowRtt) {
+  PathSet ps(params(), 40000);
+  for (std::size_t i = 0; i < ps.paths().size(); ++i) {
+    ps.paths()[i].srtt = us(10 + 10 * static_cast<int>(i));
+  }
+  PathState* p = ps.pick();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->srtt, us(10));
+}
+
+TEST(PathSet, PickSkipsFullWindows) {
+  PathSet ps(params(), 40000);
+  for (auto& p : ps.paths()) {
+    p.srtt = us(10);
+    p.inflight = static_cast<int>(p.cwnd);
+  }
+  EXPECT_EQ(ps.pick(), nullptr);
+  ps.paths()[2].inflight = 0;
+  PathState* p = ps.pick();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->port, ps.paths()[2].port);
+}
+
+TEST(PathSet, PickAvoidsTimeoutTaintedPaths) {
+  PathSet ps(params(), 40000);
+  for (auto& p : ps.paths()) p.srtt = us(10);
+  ps.paths()[0].srtt = us(1);          // fastest...
+  ps.paths()[0].consec_timeouts = 2;   // ...but suspicious
+  PathState* p = ps.pick();
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->port, ps.paths()[0].port);
+}
+
+TEST(PathSet, PickExcludingAvoidsGivenPort) {
+  PathSet ps(params(), 40000);
+  const std::uint16_t first = ps.paths()[0].port;
+  for (int i = 0; i < 20; ++i) {
+    PathState* p = ps.pick_excluding(first);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(p->port, first);
+  }
+}
+
+TEST(PathSet, ForcePickAlwaysReturns) {
+  PathSet ps(params(), 40000);
+  for (auto& p : ps.paths()) p.inflight = 10000;  // windows all full
+  PathState& p = ps.force_pick(ps.paths()[0].port);
+  EXPECT_NE(p.port, ps.paths()[0].port);
+}
+
+TEST(PathSet, OnAckResetsTimeoutsAndSmoothsRtt) {
+  PathSet ps(params(), 40000);
+  PathState& p = ps.paths()[0];
+  p.consec_timeouts = 2;
+  ps.on_ack(p, us(10), {});
+  EXPECT_EQ(p.consec_timeouts, 0);
+  EXPECT_EQ(p.srtt, us(10));  // first sample adopted
+  ps.on_ack(p, us(90), {});
+  EXPECT_GT(p.srtt, us(10));
+  EXPECT_LT(p.srtt, us(90));  // EWMA, not replacement
+}
+
+TEST(PathSet, ConsecutiveTimeoutsRedrawPort) {
+  PathSet ps(params(), 40000);
+  PathState& p = ps.paths()[0];
+  const std::uint16_t old_port = p.port;
+  p.srtt = us(50);
+  p.inflight = 3;
+  EXPECT_FALSE(ps.on_timeout(p));
+  EXPECT_FALSE(ps.on_timeout(p));
+  EXPECT_TRUE(ps.on_timeout(p));  // third consecutive -> failed
+  EXPECT_NE(p.port, old_port);
+  EXPECT_EQ(p.srtt, 0);           // fresh path, no estimate
+  EXPECT_EQ(p.inflight, 0);       // stranded packets release the window
+  EXPECT_EQ(p.redraws, 1u);
+  EXPECT_EQ(ps.total_redraws(), 1u);
+}
+
+TEST(PathSet, AckBetweenTimeoutsPreventsRedraw) {
+  PathSet ps(params(), 40000);
+  PathState& p = ps.paths()[0];
+  const std::uint16_t old_port = p.port;
+  ps.on_timeout(p);
+  ps.on_timeout(p);
+  ps.on_ack(p, us(10), {});  // path works after all
+  EXPECT_FALSE(ps.on_timeout(p));
+  EXPECT_EQ(p.port, old_port);
+}
+
+TEST(PathSet, HpccDecreasesWindowWhenOverloaded) {
+  PathParams pp = params();
+  pp.hpcc_eta = 0.95;
+  PathSet ps(pp, 40000);
+  PathState& p = ps.paths()[0];
+  const double w0 = p.cwnd;
+
+  // Two consecutive INT samples from the same hop showing a saturated
+  // link: tx advanced at full line rate and a standing queue.
+  std::vector<net::IntRecord> first{{.node = 9,
+                                     .timestamp = us(100),
+                                     .queue_bytes = 0,
+                                     .link_rate = gbps(25),
+                                     .tx_bytes = 1'000'000}};
+  ps.on_ack(p, us(10), first);
+  std::vector<net::IntRecord> second{{.node = 9,
+                                      .timestamp = us(200),
+                                      .queue_bytes = 200'000,
+                                      .link_rate = gbps(25),
+                                      .tx_bytes = 1'000'000 + 312'500}};
+  ps.on_ack(p, us(10), second);
+  EXPECT_LT(p.cwnd, w0 + 1.0);  // decreased (or at least not grown)
+}
+
+TEST(PathSet, HpccGrowsWindowWhenIdle) {
+  PathSet ps(params(), 40000);
+  PathState& p = ps.paths()[0];
+  const double w0 = p.cwnd;
+  std::vector<net::IntRecord> first{{.node = 9,
+                                     .timestamp = us(100),
+                                     .queue_bytes = 0,
+                                     .link_rate = gbps(25),
+                                     .tx_bytes = 1000}};
+  ps.on_ack(p, us(10), first);
+  std::vector<net::IntRecord> second{{.node = 9,
+                                      .timestamp = us(200),
+                                      .queue_bytes = 0,
+                                      .link_rate = gbps(25),
+                                      .tx_bytes = 2000}};
+  ps.on_ack(p, us(10), second);
+  EXPECT_GT(p.cwnd, w0);
+}
+
+TEST(PathState, RtoScalesWithRttAndFloors) {
+  PathParams pp = params();
+  PathState p;
+  p.srtt = 0;
+  EXPECT_EQ(p.rto(pp), pp.timeout_min * 4);  // unprobed: patient
+  p.srtt = us(10);
+  EXPECT_EQ(p.rto(pp), pp.timeout_min);  // floor dominates
+  p.srtt = us(1000);
+  EXPECT_EQ(p.rto(pp), us(3000));  // 3x srtt
+}
+
+// Property: after any sequence of timeouts/acks, every path keeps a port
+// inside its slot's allocation and inflight never goes negative.
+class PathSetChaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathSetChaos, InvariantsHoldUnderRandomEvents) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PathSet ps(params(), 40000);
+  for (int i = 0; i < 3000; ++i) {
+    auto& p = ps.paths()[rng.next_below(ps.paths().size())];
+    switch (rng.next_below(4)) {
+      case 0:
+        if (PathState* picked = ps.pick()) picked->inflight++;
+        break;
+      case 1:
+        p.inflight = std::max(0, p.inflight - 1);
+        ps.on_ack(p, static_cast<TimeNs>(rng.next_below(200'000)), {});
+        break;
+      case 2:
+        ps.on_timeout(p);
+        break;
+      case 3:
+        ps.force_pick(p.port).inflight++;
+        break;
+    }
+    for (const auto& path : ps.paths()) {
+      EXPECT_GE(path.inflight, 0);
+      EXPECT_GE(path.cwnd, 1.0);
+      EXPECT_LE(path.cwnd, 256.0 + 1.0);
+      EXPECT_GE(path.port, 40000);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathSetChaos, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace repro::solar

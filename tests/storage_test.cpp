@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "storage/block_server.h"
+#include "storage/segment_store.h"
+#include "storage/ssd.h"
+
+namespace repro::storage {
+namespace {
+
+using transport::DataBlock;
+using transport::OpType;
+using transport::StorageRequest;
+using transport::StorageResponse;
+using transport::StorageStatus;
+
+TEST(Ssd, WriteCacheIsFastReadsAreSlower) {
+  sim::Engine eng;
+  SsdModel ssd(eng, SsdParams{}, Rng(1));
+  SampleSet writes, reads;
+  for (int i = 0; i < 300; ++i) {
+    const TimeNs t0 = eng.now();
+    bool done = false;
+    ssd.write(4096, [&] { done = true; });
+    eng.run();
+    ASSERT_TRUE(done);
+    writes.record(to_us(eng.now() - t0));
+  }
+  for (int i = 0; i < 300; ++i) {
+    const TimeNs t0 = eng.now();
+    ssd.read(4096, [] {});
+    eng.run();
+    reads.record(to_us(eng.now() - t0));
+  }
+  // Paper: writes land in the SSD write cache (tens of us), reads touch
+  // NAND (roughly an order of magnitude slower at the median).
+  EXPECT_LT(writes.percentile(0.5), 25.0);
+  EXPECT_GT(reads.percentile(0.5), 40.0);
+  EXPECT_GT(reads.percentile(0.5), writes.percentile(0.5) * 3);
+}
+
+TEST(Ssd, ChannelsAbsorbParallelism) {
+  sim::Engine eng;
+  SsdParams p;
+  p.channels = 8;
+  SsdModel ssd(eng, p, Rng(2));
+  int done = 0;
+  eng.at(0, [&] {
+    for (int i = 0; i < 8; ++i) ssd.read(4096, [&] { ++done; });
+  });
+  eng.run();
+  EXPECT_EQ(done, 8);
+  // 8 reads across 8 channels should take ~1 read, not 8.
+  EXPECT_LT(eng.now(), us(220));
+}
+
+TEST(Ssd, SingleChannelQueues) {
+  sim::Engine eng;
+  SsdParams p;
+  p.channels = 1;
+  p.read_sigma = 0.0;
+  SsdModel ssd(eng, p, Rng(3));
+  eng.at(0, [&] {
+    for (int i = 0; i < 4; ++i) ssd.read(4096, [] {});
+  });
+  eng.run();
+  EXPECT_GT(eng.now(), us(210));  // ~4x the ~55us read
+}
+
+TEST(SegmentStore, PutGetRoundTrip) {
+  SegmentStore store(/*store_payload=*/true);
+  std::vector<std::uint8_t> data(4096, 0x5A);
+  const std::uint32_t crc = crc32_raw(data);
+  ASSERT_TRUE(store.put(7, 0, 4096, crc, data));
+  auto blk = store.get(7, 0);
+  ASSERT_TRUE(blk.has_value());
+  EXPECT_EQ(blk->len, 4096u);
+  EXPECT_EQ(blk->crc, crc);
+  EXPECT_EQ(blk->data, data);
+  EXPECT_EQ(blk->version, 1u);
+}
+
+TEST(SegmentStore, MissingBlockIsNullopt) {
+  SegmentStore store(false);
+  EXPECT_FALSE(store.get(1, 0).has_value());
+  store.put(1, 0, 4096, 0, {});
+  EXPECT_FALSE(store.get(1, 4096).has_value());
+  EXPECT_FALSE(store.get(2, 0).has_value());
+}
+
+TEST(SegmentStore, OverwriteBumpsVersion) {
+  SegmentStore store(false);
+  store.put(1, 0, 4096, 1, {});
+  store.put(1, 0, 4096, 2, {});
+  auto blk = store.get(1, 0);
+  ASSERT_TRUE(blk.has_value());
+  EXPECT_EQ(blk->version, 2u);
+  EXPECT_EQ(blk->crc, 2u);
+}
+
+TEST(SegmentStore, RejectsOutOfSegmentWrites) {
+  SegmentStore store(false);
+  EXPECT_FALSE(store.put(1, kSegmentBytes - 1024, 4096, 0, {}));
+  EXPECT_FALSE(store.put(1, 0, 0, 0, {}));
+  EXPECT_TRUE(store.put(1, kSegmentBytes - 4096, 4096, 0, {}));
+}
+
+TEST(SegmentStore, PlaceholderModeDropsPayload) {
+  SegmentStore store(/*store_payload=*/false);
+  std::vector<std::uint8_t> data(4096, 1);
+  const std::uint32_t crc = crc32_raw(data);
+  store.put(3, 0, 4096, crc, std::move(data));
+  auto blk = store.get(3, 0);
+  ASSERT_TRUE(blk.has_value());
+  EXPECT_TRUE(blk->data.empty());
+  EXPECT_NE(blk->crc, 0u);
+}
+
+TEST(SegmentStore, RollingSegmentCrcMatchesFullRecompute) {
+  SegmentStore store(true);
+  Rng rng(11);
+  std::vector<std::uint8_t> all;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::uint8_t> blk(4096);
+    for (auto& b : blk) b = static_cast<std::uint8_t>(rng.next());
+    all.insert(all.end(), blk.begin(), blk.end());
+    ASSERT_TRUE(store.put(9, static_cast<std::uint64_t>(i) * 4096, 4096,
+                          crc32_raw(blk), std::move(blk)));
+  }
+  auto crc = store.segment_crc(9);
+  ASSERT_TRUE(crc.has_value());
+  EXPECT_EQ(*crc, crc32_ieee(all));
+}
+
+TEST(SegmentStore, OutOfOrderWriteInvalidatesRollingCrc) {
+  SegmentStore store(true);
+  std::vector<std::uint8_t> blk(4096, 7);
+  store.put(9, 8192, 4096, crc32_raw(blk), blk);  // hole at the front
+  EXPECT_FALSE(store.segment_crc(9).has_value());
+}
+
+struct ServerFixture {
+  sim::Engine eng;
+  BlockServerParams params;
+  std::unique_ptr<BlockServer> server;
+
+  explicit ServerFixture(bool store_payload = true) {
+    params.store_payload = store_payload;
+    server = std::make_unique<BlockServer>(eng, params, Rng(5));
+  }
+
+  StorageResponse run_request(StorageRequest req) {
+    StorageResponse out;
+    bool done = false;
+    eng.at(eng.now(), [&] {
+      server->handle(std::move(req), [&](StorageResponse resp) {
+        out = std::move(resp);
+        done = true;
+      });
+    });
+    eng.run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+StorageRequest write_req(std::uint64_t segment, std::uint64_t offset,
+                         std::vector<std::uint8_t> data) {
+  StorageRequest req;
+  req.op = OpType::kWrite;
+  req.segment_id = segment;
+  req.segment_offset = offset;
+  req.len = static_cast<std::uint32_t>(data.size());
+  DataBlock blk;
+  blk.lba = offset;
+  blk.len = req.len;
+  blk.crc = crc32_raw(data);
+  blk.data = std::move(data);
+  req.blocks.push_back(std::move(blk));
+  return req;
+}
+
+TEST(BlockServer, WriteThenReadReturnsSameBytes) {
+  ServerFixture f;
+  Rng rng(6);
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+  auto wresp = f.run_request(write_req(1, 0, data));
+  EXPECT_EQ(wresp.status, StorageStatus::kOk);
+  EXPECT_GT(wresp.server_bn_ns, 0);
+  EXPECT_GT(wresp.server_ssd_ns, 0);
+
+  StorageRequest rreq;
+  rreq.op = OpType::kRead;
+  rreq.segment_id = 1;
+  rreq.segment_offset = 0;
+  rreq.len = 4096;
+  auto rresp = f.run_request(std::move(rreq));
+  ASSERT_EQ(rresp.status, StorageStatus::kOk);
+  ASSERT_EQ(rresp.blocks.size(), 1u);
+  EXPECT_EQ(rresp.blocks[0].data, data);
+}
+
+TEST(BlockServer, CorruptedWriteRejected) {
+  ServerFixture f;
+  std::vector<std::uint8_t> data(4096, 0x42);
+  auto req = write_req(1, 0, data);
+  req.blocks[0].crc ^= 0xDEAD;  // wrong CRC
+  auto resp = f.run_request(std::move(req));
+  EXPECT_EQ(resp.status, StorageStatus::kCrcMismatch);
+  EXPECT_EQ(f.server->crc_failures(), 1u);
+}
+
+TEST(BlockServer, OutOfRangeWriteRejected) {
+  ServerFixture f;
+  std::vector<std::uint8_t> data(4096, 1);
+  auto req = write_req(1, kSegmentBytes - 1024, std::move(data));
+  auto resp = f.run_request(std::move(req));
+  EXPECT_EQ(resp.status, StorageStatus::kOutOfRange);
+}
+
+TEST(BlockServer, ReadOfUnwrittenSpaceReturnsPlaceholders) {
+  ServerFixture f;
+  StorageRequest rreq;
+  rreq.op = OpType::kRead;
+  rreq.segment_id = 99;
+  rreq.segment_offset = 0;
+  rreq.len = 8192;
+  auto resp = f.run_request(std::move(rreq));
+  ASSERT_EQ(resp.status, StorageStatus::kOk);
+  ASSERT_EQ(resp.blocks.size(), 2u);
+  EXPECT_FALSE(resp.blocks[0].has_payload());
+}
+
+TEST(BlockServer, WriteLatencyDominatedByBnAndWriteCache) {
+  ServerFixture f(false);
+  SampleSet total;
+  for (int i = 0; i < 200; ++i) {
+    StorageRequest req;
+    req.op = OpType::kWrite;
+    req.segment_id = 1;
+    req.segment_offset = (static_cast<std::uint64_t>(i) * 4096) %
+                         (kSegmentBytes - 4096);
+    req.len = 4096;
+    DataBlock blk;
+    blk.lba = req.segment_offset;
+    blk.len = 4096;
+    req.blocks.push_back(blk);
+    const TimeNs t0 = f.eng.now();
+    f.run_request(std::move(req));
+    total.record(to_us(f.eng.now() - t0));
+  }
+  // 3-replica write = BN rtt + write-cache hit, tens of microseconds.
+  EXPECT_GT(total.percentile(0.5), 15.0);
+  EXPECT_LT(total.percentile(0.5), 70.0);
+}
+
+}  // namespace
+}  // namespace repro::storage

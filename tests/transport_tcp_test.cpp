@@ -1,0 +1,264 @@
+#include "transport/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/cpu.h"
+
+namespace repro::transport {
+namespace {
+
+struct TcpFixture {
+  sim::Engine eng;
+  net::Network net{eng, net::NetworkParams{}, 99};
+  net::TwoHosts hosts = net::build_two_hosts(net, gbps(25), us(1));
+  sim::CpuPool client_cpu{eng, "client", 2, sim::CpuPool::Dispatch::kByHash};
+  sim::CpuPool server_cpu{eng, "server", 2, sim::CpuPool::Dispatch::kByHash};
+
+  std::unique_ptr<TcpStack> client;
+  std::unique_ptr<TcpStack> server;
+
+  explicit TcpFixture(TcpCostProfile profile = luna_profile()) {
+    client = std::make_unique<TcpStack>(eng, *hosts.a, client_cpu, profile,
+                                        Rng(1));
+    server = std::make_unique<TcpStack>(eng, *hosts.b, server_cpu, profile,
+                                        Rng(2));
+    server->set_handler(
+        [](StorageRequest req, std::function<void(StorageResponse)> reply) {
+          StorageResponse resp;
+          resp.status = StorageStatus::kOk;
+          if (req.op == OpType::kRead) {
+            resp.blocks = make_placeholder_blocks(req.segment_offset, req.len,
+                                                  4096);
+          }
+          reply(std::move(resp));
+        });
+  }
+
+  StorageRequest write_request(std::uint32_t len) {
+    StorageRequest req;
+    req.op = OpType::kWrite;
+    req.vd_id = 1;
+    req.len = len;
+    req.blocks = make_placeholder_blocks(0, len, 4096);
+    return req;
+  }
+};
+
+TEST(MakePlaceholderBlocks, SplitsAtBlockBoundaries) {
+  auto blocks = make_placeholder_blocks(0, 16384, 4096);
+  ASSERT_EQ(blocks.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(blocks[i].lba, i * 4096);
+    EXPECT_EQ(blocks[i].len, 4096u);
+  }
+}
+
+TEST(MakePlaceholderBlocks, UnalignedOffsetShortensFirstBlock) {
+  auto blocks = make_placeholder_blocks(1024, 8192, 4096);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].lba, 1024u);
+  EXPECT_EQ(blocks[0].len, 3072u);  // up to the 4K boundary
+  EXPECT_EQ(blocks[1].len, 4096u);
+  EXPECT_EQ(blocks[2].len, 1024u);
+}
+
+TEST(MakePlaceholderBlocks, EmptyAndZeroBlockSize) {
+  EXPECT_TRUE(make_placeholder_blocks(0, 0, 4096).empty());
+  EXPECT_TRUE(make_placeholder_blocks(0, 100, 0).empty());
+}
+
+TEST(Tcp, SingleRpcRoundTrip) {
+  TcpFixture f;
+  bool done = false;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse resp) {
+                     EXPECT_EQ(resp.status, StorageStatus::kOk);
+                     done = true;
+                   });
+  });
+  f.eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.client->retransmits(), 0u);
+}
+
+TEST(Tcp, LunaRpcLatencyIsTensOfMicroseconds) {
+  TcpFixture f(luna_profile());
+  TimeNs completed = -1;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse) { completed = f.eng.now(); });
+  });
+  f.eng.run();
+  ASSERT_GT(completed, 0);
+  EXPECT_LT(completed, us(40));
+  EXPECT_GT(completed, us(5));
+}
+
+TEST(Tcp, KernelSlowerThanLuna) {
+  TimeNs kernel_t = 0, luna_t = 0;
+  {
+    TcpFixture f(kernel_tcp_profile());
+    f.eng.at(0, [&] {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { kernel_t = f.eng.now(); });
+    });
+    f.eng.run();
+  }
+  {
+    TcpFixture f(luna_profile());
+    f.eng.at(0, [&] {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { luna_t = f.eng.now(); });
+    });
+    f.eng.run();
+  }
+  ASSERT_GT(kernel_t, 0);
+  ASSERT_GT(luna_t, 0);
+  // Paper Table 1: kernel ~3-5x the single-RPC latency of LUNA.
+  EXPECT_GT(kernel_t, luna_t * 2);
+}
+
+TEST(Tcp, LargeMessageSegmentsAndReassembles) {
+  TcpFixture f;
+  bool done = false;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(131072),  // 128 KB
+                   [&](StorageResponse resp) {
+                     EXPECT_EQ(resp.status, StorageStatus::kOk);
+                     done = true;
+                   });
+  });
+  f.eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server->messages_delivered(), 1u);
+}
+
+TEST(Tcp, ReadReturnsRequestedBlocks) {
+  TcpFixture f;
+  std::size_t got_blocks = 0;
+  f.eng.at(0, [&] {
+    StorageRequest req;
+    req.op = OpType::kRead;
+    req.len = 16384;
+    f.client->call(f.hosts.b->ip(), std::move(req),
+                   [&](StorageResponse resp) {
+                     got_blocks = resp.blocks.size();
+                   });
+  });
+  f.eng.run();
+  EXPECT_EQ(got_blocks, 4u);
+}
+
+TEST(Tcp, ManyConcurrentRpcsAllComplete) {
+  TcpFixture f;
+  int done = 0;
+  constexpr int kRpcs = 200;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < kRpcs; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(done, kRpcs);
+  // RPCs stripe over a small fixed set of connections per peer.
+  EXPECT_EQ(f.client->open_connections(),
+            static_cast<std::size_t>(f.client->profile().conns_per_peer));
+}
+
+TEST(Tcp, RecoversFromRandomLoss) {
+  TcpFixture f;
+  f.net.set_loss_rate(*f.hosts.sw, 0.05);
+  int done = 0;
+  constexpr int kRpcs = 100;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < kRpcs; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(16384),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(done, kRpcs);
+  EXPECT_GT(f.client->retransmits() + f.server->retransmits(), 0u);
+}
+
+TEST(Tcp, SurvivesSevereLossViaRtoBackoff) {
+  // 50% loss in both directions: progress is slow (RTO + exponential
+  // backoff — the "I/O hang" mechanism of §3.3) but never stops.
+  TcpFixture f;
+  f.net.set_loss_rate(*f.hosts.sw, 0.5);
+  int done = 0;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run_until(seconds(120));
+  EXPECT_EQ(done, 10);
+  EXPECT_GT(f.client->timeouts() + f.client->retransmits(), 0u);
+}
+
+TEST(Tcp, HangsAcrossSilentBlackholeUntilRepair) {
+  // A connection is pinned to its 5-tuple: if the (only) switch silently
+  // dies, RPCs hang until the device is repaired — LUNA's failure mode.
+  TcpFixture f;
+  int done = 0;
+  f.eng.at(0, [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse) { ++done; });
+  });
+  f.eng.at(ms(1), [&] { f.net.fail_device_silent(*f.hosts.sw); });
+  f.eng.at(ms(2), [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse) { ++done; });
+  });
+  f.eng.run_until(seconds(5));
+  EXPECT_EQ(done, 1);  // only the pre-failure RPC completed
+
+  // Ops repair the device; backoff eventually retries and drains.
+  f.net.repair_device(*f.hosts.sw);
+  f.eng.run_until(seconds(90));
+  EXPECT_EQ(done, 2);
+  EXPECT_GT(f.client->timeouts(), 0u);
+}
+
+TEST(Tcp, ThroughputApproachesLineRate) {
+  TcpFixture f;
+  // Pipeline 64 large writes; 25 Gbps line rate.
+  int done = 0;
+  constexpr int kRpcs = 64;
+  constexpr std::uint32_t kLen = 131072;
+  f.eng.at(0, [&] {
+    for (int i = 0; i < kRpcs; ++i) {
+      f.client->call(f.hosts.b->ip(), f.write_request(kLen),
+                     [&](StorageResponse) { ++done; });
+    }
+  });
+  f.eng.run();
+  ASSERT_EQ(done, kRpcs);
+  const double gbps_achieved =
+      throughput_bps(static_cast<std::uint64_t>(kRpcs) * kLen, f.eng.now()) /
+      1e9;
+  EXPECT_GT(gbps_achieved, 10.0);  // within 2.5x of the 25G line
+}
+
+TEST(Tcp, RttEstimatorConverges) {
+  TcpFixture f;
+  int done = 0;
+  std::function<void()> next = [&] {
+    f.client->call(f.hosts.b->ip(), f.write_request(4096),
+                   [&](StorageResponse) {
+                     if (++done < 50) next();
+                   });
+  };
+  f.eng.at(0, next);
+  f.eng.run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(f.client->timeouts(), 0u);  // RTO never fires on a clean path
+}
+
+}  // namespace
+}  // namespace repro::transport
