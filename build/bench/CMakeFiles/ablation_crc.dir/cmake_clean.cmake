@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crc.dir/ablation_crc.cpp.o"
+  "CMakeFiles/ablation_crc.dir/ablation_crc.cpp.o.d"
+  "ablation_crc"
+  "ablation_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jumbo.dir/ablation_jumbo.cpp.o"
+  "CMakeFiles/ablation_jumbo.dir/ablation_jumbo.cpp.o.d"
+  "ablation_jumbo"
+  "ablation_jumbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jumbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

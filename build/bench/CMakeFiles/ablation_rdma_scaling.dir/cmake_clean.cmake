@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rdma_scaling.dir/ablation_rdma_scaling.cpp.o"
+  "CMakeFiles/ablation_rdma_scaling.dir/ablation_rdma_scaling.cpp.o.d"
+  "ablation_rdma_scaling"
+  "ablation_rdma_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rdma_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_traffic_patterns.dir/fig03_traffic_patterns.cpp.o"
+  "CMakeFiles/fig03_traffic_patterns.dir/fig03_traffic_patterns.cpp.o.d"
+  "fig03_traffic_patterns"
+  "fig03_traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

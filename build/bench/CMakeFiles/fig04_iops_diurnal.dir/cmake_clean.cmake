@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_iops_diurnal.dir/fig04_iops_diurnal.cpp.o"
+  "CMakeFiles/fig04_iops_diurnal.dir/fig04_iops_diurnal.cpp.o.d"
+  "fig04_iops_diurnal"
+  "fig04_iops_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_iops_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

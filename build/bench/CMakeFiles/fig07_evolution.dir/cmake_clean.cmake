@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_evolution.dir/fig07_evolution.cpp.o"
+  "CMakeFiles/fig07_evolution.dir/fig07_evolution.cpp.o.d"
+  "fig07_evolution"
+  "fig07_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

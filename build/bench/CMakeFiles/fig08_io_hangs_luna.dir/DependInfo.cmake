@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_io_hangs_luna.cpp" "bench/CMakeFiles/fig08_io_hangs_luna.dir/fig08_io_hangs_luna.cpp.o" "gcc" "bench/CMakeFiles/fig08_io_hangs_luna.dir/fig08_io_hangs_luna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebs/CMakeFiles/repro_ebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/repro_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/repro_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/repro_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/repro_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sa/CMakeFiles/repro_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/repro_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/repro_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

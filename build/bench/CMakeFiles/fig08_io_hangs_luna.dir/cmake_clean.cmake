@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_io_hangs_luna.dir/fig08_io_hangs_luna.cpp.o"
+  "CMakeFiles/fig08_io_hangs_luna.dir/fig08_io_hangs_luna.cpp.o.d"
+  "fig08_io_hangs_luna"
+  "fig08_io_hangs_luna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_io_hangs_luna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

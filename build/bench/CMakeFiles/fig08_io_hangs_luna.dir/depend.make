@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_io_hangs_luna.
+# This may be replaced when dependencies are built.

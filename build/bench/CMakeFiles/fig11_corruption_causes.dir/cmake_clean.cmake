@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_corruption_causes.dir/fig11_corruption_causes.cpp.o"
+  "CMakeFiles/fig11_corruption_causes.dir/fig11_corruption_causes.cpp.o.d"
+  "fig11_corruption_causes"
+  "fig11_corruption_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_corruption_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fio_scaling.dir/fig14_fio_scaling.cpp.o"
+  "CMakeFiles/fig14_fio_scaling.dir/fig14_fio_scaling.cpp.o.d"
+  "fig14_fio_scaling"
+  "fig14_fio_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fio_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

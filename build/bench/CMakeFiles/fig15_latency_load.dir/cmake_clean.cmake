@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_latency_load.dir/fig15_latency_load.cpp.o"
+  "CMakeFiles/fig15_latency_load.dir/fig15_latency_load.cpp.o.d"
+  "fig15_latency_load"
+  "fig15_latency_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_luna_rpc.dir/table1_luna_rpc.cpp.o"
+  "CMakeFiles/table1_luna_rpc.dir/table1_luna_rpc.cpp.o.d"
+  "table1_luna_rpc"
+  "table1_luna_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_luna_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_luna_rpc.
+# This may be replaced when dependencies are built.

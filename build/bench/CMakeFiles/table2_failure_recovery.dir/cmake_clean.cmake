@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_failure_recovery.dir/table2_failure_recovery.cpp.o"
+  "CMakeFiles/table2_failure_recovery.dir/table2_failure_recovery.cpp.o.d"
+  "table2_failure_recovery"
+  "table2_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_workload.dir/database_workload.cpp.o"
+  "CMakeFiles/database_workload.dir/database_workload.cpp.o.d"
+  "database_workload"
+  "database_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_offload_tour.dir/dpu_offload_tour.cpp.o"
+  "CMakeFiles/dpu_offload_tour.dir/dpu_offload_tour.cpp.o.d"
+  "dpu_offload_tour"
+  "dpu_offload_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_offload_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

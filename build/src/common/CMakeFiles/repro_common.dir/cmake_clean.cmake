@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/crc32.cpp.o"
+  "CMakeFiles/repro_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/repro_common.dir/histogram.cpp.o"
+  "CMakeFiles/repro_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/repro_common.dir/logging.cpp.o"
+  "CMakeFiles/repro_common.dir/logging.cpp.o.d"
+  "CMakeFiles/repro_common.dir/rng.cpp.o"
+  "CMakeFiles/repro_common.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_common.dir/table.cpp.o"
+  "CMakeFiles/repro_common.dir/table.cpp.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

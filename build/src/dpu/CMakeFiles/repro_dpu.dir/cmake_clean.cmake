@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dpu.dir/fpga.cpp.o"
+  "CMakeFiles/repro_dpu.dir/fpga.cpp.o.d"
+  "CMakeFiles/repro_dpu.dir/resources.cpp.o"
+  "CMakeFiles/repro_dpu.dir/resources.cpp.o.d"
+  "librepro_dpu.a"
+  "librepro_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

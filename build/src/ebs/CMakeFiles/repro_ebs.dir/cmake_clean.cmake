@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ebs.dir/cluster.cpp.o"
+  "CMakeFiles/repro_ebs.dir/cluster.cpp.o.d"
+  "CMakeFiles/repro_ebs.dir/metrics.cpp.o"
+  "CMakeFiles/repro_ebs.dir/metrics.cpp.o.d"
+  "librepro_ebs.a"
+  "librepro_ebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_net.dir/network.cpp.o"
+  "CMakeFiles/repro_net.dir/network.cpp.o.d"
+  "CMakeFiles/repro_net.dir/nic.cpp.o"
+  "CMakeFiles/repro_net.dir/nic.cpp.o.d"
+  "CMakeFiles/repro_net.dir/switch.cpp.o"
+  "CMakeFiles/repro_net.dir/switch.cpp.o.d"
+  "CMakeFiles/repro_net.dir/topology.cpp.o"
+  "CMakeFiles/repro_net.dir/topology.cpp.o.d"
+  "librepro_net.a"
+  "librepro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

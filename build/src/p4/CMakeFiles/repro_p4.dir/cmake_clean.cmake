@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_p4.dir/pipeline.cpp.o"
+  "CMakeFiles/repro_p4.dir/pipeline.cpp.o.d"
+  "CMakeFiles/repro_p4.dir/solar_program.cpp.o"
+  "CMakeFiles/repro_p4.dir/solar_program.cpp.o.d"
+  "librepro_p4.a"
+  "librepro_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_proto.dir/headers.cpp.o"
+  "CMakeFiles/repro_proto.dir/headers.cpp.o.d"
+  "librepro_proto.a"
+  "librepro_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

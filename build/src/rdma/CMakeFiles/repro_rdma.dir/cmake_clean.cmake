@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_rdma.dir/rdma.cpp.o"
+  "CMakeFiles/repro_rdma.dir/rdma.cpp.o.d"
+  "librepro_rdma.a"
+  "librepro_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

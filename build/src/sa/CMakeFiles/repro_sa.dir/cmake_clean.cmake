@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sa.dir/agent.cpp.o"
+  "CMakeFiles/repro_sa.dir/agent.cpp.o.d"
+  "CMakeFiles/repro_sa.dir/crypto.cpp.o"
+  "CMakeFiles/repro_sa.dir/crypto.cpp.o.d"
+  "CMakeFiles/repro_sa.dir/qos_table.cpp.o"
+  "CMakeFiles/repro_sa.dir/qos_table.cpp.o.d"
+  "CMakeFiles/repro_sa.dir/segment_table.cpp.o"
+  "CMakeFiles/repro_sa.dir/segment_table.cpp.o.d"
+  "librepro_sa.a"
+  "librepro_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_solar.dir/client.cpp.o"
+  "CMakeFiles/repro_solar.dir/client.cpp.o.d"
+  "CMakeFiles/repro_solar.dir/path.cpp.o"
+  "CMakeFiles/repro_solar.dir/path.cpp.o.d"
+  "CMakeFiles/repro_solar.dir/server.cpp.o"
+  "CMakeFiles/repro_solar.dir/server.cpp.o.d"
+  "librepro_solar.a"
+  "librepro_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_storage.dir/block_server.cpp.o"
+  "CMakeFiles/repro_storage.dir/block_server.cpp.o.d"
+  "CMakeFiles/repro_storage.dir/segment_store.cpp.o"
+  "CMakeFiles/repro_storage.dir/segment_store.cpp.o.d"
+  "CMakeFiles/repro_storage.dir/ssd.cpp.o"
+  "CMakeFiles/repro_storage.dir/ssd.cpp.o.d"
+  "librepro_storage.a"
+  "librepro_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_transport.dir/message.cpp.o"
+  "CMakeFiles/repro_transport.dir/message.cpp.o.d"
+  "CMakeFiles/repro_transport.dir/tcp.cpp.o"
+  "CMakeFiles/repro_transport.dir/tcp.cpp.o.d"
+  "librepro_transport.a"
+  "librepro_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_test.dir/dpu_test.cpp.o"
+  "CMakeFiles/dpu_test.dir/dpu_test.cpp.o.d"
+  "dpu_test"
+  "dpu_test.pdb"
+  "dpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

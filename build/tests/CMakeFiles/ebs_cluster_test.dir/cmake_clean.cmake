@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_cluster_test.dir/ebs_cluster_test.cpp.o"
+  "CMakeFiles/ebs_cluster_test.dir/ebs_cluster_test.cpp.o.d"
+  "ebs_cluster_test"
+  "ebs_cluster_test.pdb"
+  "ebs_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_test.dir/p4_test.cpp.o"
+  "CMakeFiles/p4_test.dir/p4_test.cpp.o.d"
+  "p4_test"
+  "p4_test.pdb"
+  "p4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_path_test.dir/solar_path_test.cpp.o"
+  "CMakeFiles/solar_path_test.dir/solar_path_test.cpp.o.d"
+  "solar_path_test"
+  "solar_path_test.pdb"
+  "solar_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

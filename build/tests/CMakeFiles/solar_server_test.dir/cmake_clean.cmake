@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_server_test.dir/solar_server_test.cpp.o"
+  "CMakeFiles/solar_server_test.dir/solar_server_test.cpp.o.d"
+  "solar_server_test"
+  "solar_server_test.pdb"
+  "solar_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_crc32_test[1]_include.cmake")
+include("/root/repo/build/tests/common_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/net_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sa_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/dpu_test[1]_include.cmake")
+include("/root/repo/build/tests/solar_test[1]_include.cmake")
+include("/root/repo/build/tests/ebs_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/p4_test[1]_include.cmake")
+include("/root/repo/build/tests/solar_path_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/solar_server_test[1]_include.cmake")
