@@ -1,0 +1,83 @@
+// Fixed-capacity inline vector.
+//
+// Drop-in replacement for the handful of hot-path `std::vector` members
+// whose size has a small hard bound (e.g. INT trails on Clos paths of
+// at most 5 hops): elements live inside the owning object, so append,
+// copy, and clear never touch the allocator. Exceeding the capacity is
+// a programming error and asserts in debug builds; in release the
+// append is dropped (the trail is then truncated, never corrupted).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace repro {
+
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t capacity() { return N; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == N; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) {
+    assert(size_ < N);
+    if (size_ < N) data_[size_++] = v;
+  }
+  void push_back(T&& v) {
+    assert(size_ < N);
+    if (size_ < N) data_[size_++] = std::move(v);
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    assert(size_ < N);
+    if (size_ < N) data_[size_++] = T{std::forward<Args>(args)...};
+  }
+
+  void clear() { size_ = 0; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Value-initialized storage keeps InlineVec trivially copyable for
+  // trivially copyable T, which is what the packet pool relies on.
+  T data_[N]{};
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace repro

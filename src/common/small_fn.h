@@ -1,0 +1,139 @@
+// Small-buffer-optimized, move-only callable wrapper.
+//
+// The event engine schedules tens of millions of callbacks per simulated
+// second; `std::function` heap-allocates any capture larger than two
+// pointers and requires copyability (which forces shared_ptr wrappers
+// around move-only captures like pooled packets). `SmallFn` fixes both:
+// captures up to `InlineBytes` live inside the object, and move-only
+// callables (unique_ptr captures, pool handles) are first-class. Larger
+// callables transparently fall back to a single heap allocation, so cold
+// paths keep working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace repro {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True if the stored callable lives in the inline buffer (test hook).
+  bool is_inline() const { return vt_ != nullptr && vt_->inline_storage; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*move_to)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static const VTable vt = {
+          [](void* p, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<D*>(p)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+          /*inline_storage=*/true,
+      };
+      vt_ = &vt;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      static const VTable vt = {
+          [](void* p, Args&&... args) -> R {
+            return (**std::launder(reinterpret_cast<D**>(p)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) {
+            D** s = std::launder(reinterpret_cast<D**>(src));
+            ::new (dst) D*(*s);
+          },
+          [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+          /*inline_storage=*/false,
+      };
+      vt_ = &vt;
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->move_to(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace repro

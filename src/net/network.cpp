@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 namespace repro::net {
 
@@ -19,6 +20,50 @@ std::uint64_t flow_hash(const FlowKey& flow, std::uint64_t salt) {
   return h;
 }
 
+Port::Port(Port&& o) noexcept
+    : owner_(o.owner_),
+      index_(o.index_),
+      peer_(o.peer_),
+      peer_port_(o.peer_port_),
+      rate_(o.rate_),
+      prop_delay_(o.prop_delay_),
+      link_(std::move(o.link_)),
+      detected_up_(o.detected_up_),
+      cap_bytes_(o.cap_bytes_),
+      transmitting_(o.transmitting_),
+      stats_(o.stats_) {
+  for (int c = 0; c < kNumQueues; ++c) {
+    q_head_[c] = std::exchange(o.q_head_[c], nullptr);
+    q_tail_[c] = std::exchange(o.q_tail_[c], nullptr);
+    q_bytes_[c] = std::exchange(o.q_bytes_[c], 0);
+  }
+}
+
+void Port::push(int cls, Packet* pkt) {
+  pkt->next_ = nullptr;
+  if (q_tail_[cls] != nullptr) {
+    q_tail_[cls]->next_ = pkt;
+  } else {
+    q_head_[cls] = pkt;
+  }
+  q_tail_[cls] = pkt;
+}
+
+PacketPtr Port::pop(int cls) {
+  Packet* pkt = q_head_[cls];
+  q_head_[cls] = pkt->next_;
+  if (q_head_[cls] == nullptr) q_tail_[cls] = nullptr;
+  pkt->next_ = nullptr;
+  return PacketPtr(pkt);
+}
+
+void Port::drain() {
+  for (int c = 0; c < kNumQueues; ++c) {
+    while (q_head_[c] != nullptr) pop(c);  // PacketPtr recycles on drop
+    q_bytes_[c] = 0;
+  }
+}
+
 Device::Device(Network& net, DeviceId id, std::string name, int num_ports,
                bool is_host)
     : net_(&net), id_(id), name_(std::move(name)), is_host_(is_host) {
@@ -29,20 +74,20 @@ Device::Device(Network& net, DeviceId id, std::string name, int num_ports,
   }
 }
 
-void Device::send(int port_idx, Packet pkt) {
+void Device::send(int port_idx, PacketPtr pkt) {
   Port& p = port(port_idx);
   if (!p.connected()) {
     ++net_->drops().no_route;
     return;
   }
-  const int cls = pkt.priority == 0 ? 0 : 1;
-  if (p.q_bytes_[cls] + pkt.size_bytes > p.cap_bytes_) {
+  const int cls = pkt->priority == 0 ? 0 : 1;
+  if (p.q_bytes_[cls] + pkt->size_bytes > p.cap_bytes_) {
     ++p.stats_.drops_queue_full;
     ++net_->drops().queue_full;
     return;
   }
-  p.q_bytes_[cls] += pkt.size_bytes;
-  p.q_[cls].push_back(std::move(pkt));
+  p.q_bytes_[cls] += pkt->size_bytes;
+  p.push(cls, pkt.release());
   start_tx(port_idx);
 }
 
@@ -51,19 +96,18 @@ void Device::start_tx(int port_idx) {
   if (p.transmitting_) return;
   int cls = -1;
   for (int c = 0; c < Port::kNumQueues; ++c) {
-    if (!p.q_[c].empty()) {
+    if (p.q_head_[c] != nullptr) {
       cls = c;
       break;
     }
   }
   if (cls < 0) return;
-  auto pkt = std::make_shared<Packet>(std::move(p.q_[cls].front()));
-  p.q_[cls].pop_front();
+  PacketPtr pkt = p.pop(cls);
   p.q_bytes_[cls] -= pkt->size_bytes;
   p.transmitting_ = true;
 
   const TimeNs ser = serialization_delay(pkt->size_bytes, p.rate_);
-  net_->engine().after(ser, [this, port_idx, pkt] {
+  net_->engine().after(ser, [this, port_idx, pkt = std::move(pkt)]() mutable {
     Port& port_ref = port(port_idx);
     port_ref.transmitting_ = false;
     ++port_ref.stats_.pkts_tx;
@@ -72,19 +116,20 @@ void Device::start_tx(int port_idx) {
     auto* link = port_ref.link_.get();
     Device* peer = port_ref.peer_;
     const int peer_port = port_ref.peer_port_;
-    net_->engine().after(port_ref.prop_delay_, [this, link, peer, peer_port,
-                                                pkt] {
-      if (link == nullptr || !link->alive) {
-        ++net_->drops().link_down;
-        return;
-      }
-      peer->handle_arrival(std::move(*pkt), peer_port);
-    });
+    net_->engine().after(
+        port_ref.prop_delay_,
+        [this, link, peer, peer_port, pkt = std::move(pkt)]() mutable {
+          if (link == nullptr || !link->alive) {
+            ++net_->drops().link_down;
+            return;
+          }
+          peer->handle_arrival(std::move(pkt), peer_port);
+        });
     start_tx(port_idx);
   });
 }
 
-void Device::handle_arrival(Packet pkt, int in_port) {
+void Device::handle_arrival(PacketPtr pkt, int in_port) {
   if (faults_.silent_dead) {
     ++net_->drops().device_dead;
     return;
@@ -94,7 +139,7 @@ void Device::handle_arrival(Packet pkt, int in_port) {
     return;
   }
   if (faults_.blackhole_fraction > 0.0) {
-    const std::uint64_t h = flow_hash(pkt.flow, faults_.blackhole_salt);
+    const std::uint64_t h = flow_hash(pkt->flow, faults_.blackhole_salt);
     if (static_cast<double>(h % 1024) <
         faults_.blackhole_fraction * 1024.0) {
       ++net_->drops().blackhole;
@@ -106,7 +151,14 @@ void Device::handle_arrival(Packet pkt, int in_port) {
 
 Network::Network(sim::Engine& engine, NetworkParams params,
                  std::uint64_t seed)
-    : engine_(&engine), params_(params), rng_(seed) {}
+    : engine_(&engine), params_(params), rng_(seed), pool_(new PacketPool) {}
+
+Network::~Network() {
+  // Devices (and their queued packets) go first; then the pool deletes
+  // itself once any packets still captured in engine closures come home.
+  devices_.clear();
+  pool_->retire();
+}
 
 void Network::link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
                    TimeNs prop_delay, std::uint64_t queue_capacity) {

@@ -4,7 +4,10 @@
 // packets through `Port`s: each port has a strict-priority pair of
 // byte-limited egress queues (shallow buffers, per §3.1 the FN deliberately
 // uses shallow-buffer switches), a serialization stage at link rate, and a
-// propagation stage. Failure semantics:
+// propagation stage. Packets are pooled (`Network::make_packet`) and move
+// through the fabric as `PacketPtr`; egress queues are intrusive lists
+// threaded through the packets themselves, so the forwarding path performs
+// no allocation. Failure semantics:
 //
 //  * fail-stop (link/port down, device power-off): carrier loss is detected
 //    by both ends after `link_detect_delay`; ECMP selection then excludes
@@ -19,8 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,12 @@ class Port {
  public:
   static constexpr int kNumQueues = 2;  // 0 = high priority, 1 = best effort
 
+  Port() = default;
+  ~Port() { drain(); }
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+  Port(Port&& o) noexcept;
+
   bool connected() const { return peer_ != nullptr; }
   /// Carrier as currently *known* at this end (detection lags reality).
   bool detected_up() const { return connected() && detected_up_; }
@@ -65,6 +72,10 @@ class Port {
   friend class Device;
   friend class Network;
 
+  void push(int cls, Packet* pkt);
+  PacketPtr pop(int cls);
+  void drain();
+
   Device* owner_ = nullptr;
   int index_ = -1;
   Device* peer_ = nullptr;
@@ -74,7 +85,9 @@ class Port {
   std::shared_ptr<LinkState> link_;
   bool detected_up_ = false;
   std::uint64_t cap_bytes_ = 0;
-  std::deque<Packet> q_[kNumQueues];
+  // Intrusive FIFO per priority class, linked through Packet::next_.
+  Packet* q_head_[kNumQueues] = {nullptr, nullptr};
+  Packet* q_tail_[kNumQueues] = {nullptr, nullptr};
   std::uint64_t q_bytes_[kNumQueues] = {0, 0};
   bool transmitting_ = false;
   PortStats stats_;
@@ -105,14 +118,14 @@ class Device {
 
   /// Enqueues `pkt` on `port`'s egress. Drops (with accounting) if the
   /// queue is full or the port was never connected.
-  void send(int port, Packet pkt);
+  void send(int port, PacketPtr pkt);
 
   Network& network() { return *net_; }
   const DeviceFaults& faults() const { return faults_; }
 
  protected:
   /// Delivered packets after fault filtering. `in_port` is the ingress.
-  virtual void receive(Packet pkt, int in_port) = 0;
+  virtual void receive(PacketPtr pkt, int in_port) = 0;
   /// Carrier change notifications (fired at *detection* time).
   virtual void on_link_down(int port) { (void)port; }
   virtual void on_link_up(int port) { (void)port; }
@@ -121,7 +134,7 @@ class Device {
   friend class Network;
 
   void start_tx(int port);
-  void handle_arrival(Packet pkt, int in_port);
+  void handle_arrival(PacketPtr pkt, int in_port);
 
   Network* net_;
   DeviceId id_;
@@ -156,6 +169,7 @@ class Network {
   };
 
   Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed);
+  ~Network();
 
   /// Creates and owns a device. T must derive from Device and take
   /// (Network&, DeviceId, forwarded args...) in its constructor.
@@ -167,6 +181,10 @@ class Network {
     devices_.push_back(std::move(dev));
     return raw;
   }
+
+  /// Draws a blank packet from the network's pool.
+  PacketPtr make_packet() { return pool_->acquire(); }
+  const PacketPool& packet_pool() const { return *pool_; }
 
   /// Connects a.port(pa) <-> b.port(pb) with symmetric rate/propagation.
   void link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
@@ -211,6 +229,9 @@ class Network {
   sim::Engine* engine_;
   NetworkParams params_;
   Rng rng_;
+  // Owned via the retire() protocol: packets captured in still-pending
+  // engine closures may outlive the Network; the pool outlives them all.
+  PacketPool* pool_;
   std::vector<std::unique_ptr<Device>> devices_;
   DeviceId next_device_id_ = 1;
   std::uint64_t next_packet_id_ = 1;

@@ -2,9 +2,9 @@
 
 namespace repro::net {
 
-void Nic::send_packet(Packet pkt) {
-  pkt.id = network().next_packet_id();
-  pkt.sent_at = network().engine().now();
+void Nic::send_packet(PacketPtr pkt) {
+  pkt->id = network().next_packet_id();
+  pkt->sent_at = network().engine().now();
   int live[8];
   int n_live = 0;
   for (int i = 0; i < num_ports() && n_live < 8; ++i) {
@@ -14,17 +14,17 @@ void Nic::send_packet(Packet pkt) {
     ++network().drops().no_route;
     return;
   }
-  const std::uint64_t h = flow_hash(pkt.flow, salt_);
+  const std::uint64_t h = flow_hash(pkt->flow, salt_);
   ++tx_packets_;
-  tx_bytes_ += pkt.size_bytes;
+  tx_bytes_ += pkt->size_bytes;
   send(live[h % static_cast<std::uint64_t>(n_live)], std::move(pkt));
 }
 
-void Nic::receive(Packet pkt, int in_port) {
+void Nic::receive(PacketPtr pkt, int in_port) {
   (void)in_port;
   ++rx_packets_;
-  rx_bytes_ += pkt.size_bytes;
-  if (deliver_) deliver_(std::move(pkt));
+  rx_bytes_ += pkt->size_bytes;
+  if (deliver_) deliver_(*pkt);
 }
 
 BitsPerSec Nic::uplink_capacity() const {

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "net/network.h"
 
@@ -17,7 +18,9 @@ namespace repro::net {
 
 class Nic : public Device {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  /// The NIC keeps ownership of the packet; the stack reads (and may strip
+  /// the payload off) the reference, and the packet recycles on return.
+  using DeliverFn = std::function<void(Packet&)>;
 
   Nic(Network& net, DeviceId id, std::string name, int uplinks)
       : Device(net, id, std::move(name), uplinks, /*is_host=*/true),
@@ -26,9 +29,19 @@ class Nic : public Device {
   /// Host stack receive callback.
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Blank pooled packet for the host stack to fill in.
+  PacketPtr make_packet() { return network().make_packet(); }
+
   /// Sends a transport packet: picks an uplink by flow hash over the
   /// currently detected-up ports, stamps ids/timestamps.
-  void send_packet(Packet pkt);
+  void send_packet(PacketPtr pkt);
+  /// Convenience for stacks/tests that build value packets: moves the
+  /// fields into a pooled packet first.
+  void send_packet(Packet&& pkt) {
+    PacketPtr p = make_packet();
+    *p = std::move(pkt);
+    send_packet(std::move(p));
+  }
 
   IpAddr ip() const { return id(); }
 
@@ -42,7 +55,7 @@ class Nic : public Device {
   BitsPerSec uplink_capacity() const;
 
  protected:
-  void receive(Packet pkt, int in_port) override;
+  void receive(PacketPtr pkt, int in_port) override;
 
  private:
   DeliverFn deliver_;

@@ -5,13 +5,26 @@
 // HPCC-style congestion control consumes, §4.8), and a typed application
 // payload (the transport frame). Payload bytes live inside the transport
 // frames; the fabric only ever looks at `size_bytes`.
+//
+// The hot path is allocation-free in steady state:
+//  * Packets are pooled per Network (`PacketPool`) and passed around as
+//    `PacketPtr`, a unique_ptr whose deleter returns the packet to its pool.
+//    The intrusive `next_` link doubles as the pool free-list link and the
+//    egress-queue link, so queuing a packet costs two pointer writes.
+//  * The app payload is a tagged, intrusively refcounted record drawn from
+//    a process-global per-type free list — replacing the old
+//    `std::any` + `shared_ptr` pair (two allocations per packet).
+//  * The INT trail is a fixed-capacity inline array (Clos paths are <= 5
+//    hops) instead of a heap vector.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "common/units.h"
 
 namespace repro::net {
@@ -45,36 +58,317 @@ struct IntRecord {
   std::uint64_t tx_bytes = 0;     ///< cumulative bytes sent on the egress
 };
 
+/// INT trail, inline. Clos paths are at most 5 switch hops; 8 leaves slack
+/// for ad-hoc test topologies.
+using IntTrail = InlineVec<IntRecord, 8>;
+
+// ---------------------------------------------------------------------------
+// Typed, pooled, refcounted app payloads.
+// ---------------------------------------------------------------------------
+
+/// Header shared by every pooled payload record. `tag` identifies the
+/// concrete type (for checked downcasts), `refs` is a plain (single-thread)
+/// refcount, and `recycle` returns the record to its type's free list.
+struct PayloadBase {
+  std::uint32_t tag = 0;
+  std::uint32_t refs = 0;
+  void (*recycle)(PayloadBase*) = nullptr;
+  PayloadBase* free_next = nullptr;
+};
+
+namespace detail {
+inline std::uint32_t next_payload_tag() {
+  static std::uint32_t counter = 0;
+  return ++counter;
+}
+}  // namespace detail
+
+/// Stable process-wide tag for payload type T (assigned on first use).
+template <typename T>
+std::uint32_t payload_tag() {
+  static const std::uint32_t tag = detail::next_payload_tag();
+  return tag;
+}
+
+inline void payload_ref(PayloadBase* b) {
+  if (b != nullptr) ++b->refs;
+}
+
+inline void payload_unref(PayloadBase* b) {
+  if (b != nullptr && --b->refs == 0) b->recycle(b);
+}
+
+namespace detail {
+
+template <typename T>
+struct PayloadRec {
+  PayloadBase base;
+  union {
+    T value;  // constructed on acquire, destroyed on recycle
+  };
+  PayloadRec() {}   // NOLINT: value intentionally left unconstructed
+  ~PayloadRec() {}  // NOLINT
+};
+
+/// Per-type free list. Records are returned here on last unref and never
+/// freed (the static head keeps them reachable), so steady state allocates
+/// nothing and leak checkers stay quiet.
+template <typename T>
+struct PayloadFreeList {
+  inline static PayloadBase* head = nullptr;
+
+  template <typename... Args>
+  static PayloadBase* acquire(Args&&... args) {
+    PayloadRec<T>* rec;
+    if (head != nullptr) {
+      rec = reinterpret_cast<PayloadRec<T>*>(head);
+      head = head->free_next;
+    } else {
+      rec = new PayloadRec<T>();
+      rec->base.tag = payload_tag<T>();
+      rec->base.recycle = &PayloadFreeList<T>::recycle;
+    }
+    rec->base.refs = 1;
+    ::new (static_cast<void*>(&rec->value)) T(std::forward<Args>(args)...);
+    return &rec->base;
+  }
+
+  static void recycle(PayloadBase* b) {
+    auto* rec = reinterpret_cast<PayloadRec<T>*>(b);
+    rec->value.~T();
+    b->free_next = head;
+    head = b;
+  }
+};
+
+}  // namespace detail
+
+/// Shared, typed view of a pooled payload (the successor of the old
+/// `shared_ptr<const T>` convention). Copying bumps the refcount; the
+/// record returns to its free list when the last reference drops.
+template <typename T>
+class PayloadHandle {
+ public:
+  PayloadHandle() = default;
+  ~PayloadHandle() { payload_unref(base_); }
+
+  PayloadHandle(const PayloadHandle& o) : base_(o.base_) {
+    payload_ref(base_);
+  }
+  PayloadHandle(PayloadHandle&& o) noexcept : base_(o.base_) {
+    o.base_ = nullptr;
+  }
+  PayloadHandle& operator=(const PayloadHandle& o) {
+    if (this != &o) {
+      payload_unref(base_);
+      base_ = o.base_;
+      payload_ref(base_);
+    }
+    return *this;
+  }
+  PayloadHandle& operator=(PayloadHandle&& o) noexcept {
+    if (this != &o) {
+      payload_unref(base_);
+      base_ = o.base_;
+      o.base_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Adopts an already-counted reference (does not bump the refcount).
+  static PayloadHandle adopt(PayloadBase* b) {
+    PayloadHandle h;
+    h.base_ = b;
+    return h;
+  }
+  /// Shares an existing reference (bumps the refcount).
+  static PayloadHandle share(PayloadBase* b) {
+    payload_ref(b);
+    return adopt(b);
+  }
+
+  const T& operator*() const {
+    return reinterpret_cast<const detail::PayloadRec<T>*>(base_)->value;
+  }
+  const T* operator->() const { return &**this; }
+  const T* get() const { return base_ == nullptr ? nullptr : &**this; }
+
+  explicit operator bool() const { return base_ != nullptr; }
+  friend bool operator==(const PayloadHandle& h, std::nullptr_t) {
+    return h.base_ == nullptr;
+  }
+
+  PayloadBase* base() const { return base_; }
+
+ private:
+  PayloadBase* base_ = nullptr;
+};
+
+/// Builds a standalone pooled payload (e.g. a transport frame shared across
+/// retransmissions) without attaching it to a packet yet.
+template <typename T, typename... Args>
+PayloadHandle<T> make_payload(Args&&... args) {
+  return PayloadHandle<T>::adopt(
+      detail::PayloadFreeList<T>::acquire(std::forward<Args>(args)...));
+}
+
+// ---------------------------------------------------------------------------
+// Packet + per-network pool.
+// ---------------------------------------------------------------------------
+
+class PacketPool;
+
 struct Packet {
   FlowKey flow{};
   std::uint32_t size_bytes = 0;
   /// 0 = dedicated high-priority queue (SOLAR, §4.8); 1 = best effort.
   std::uint8_t priority = 1;
   bool request_int = false;
-  std::vector<IntRecord> int_records;
-  /// Transport frame (e.g. solar::Frame), stored as shared_ptr<const T>.
-  std::any app;
+  IntTrail int_records;
+  /// Transport frame (e.g. solar::Frame); owns one reference.
+  PayloadBase* app = nullptr;
   std::uint64_t id = 0;
   TimeNs sent_at = 0;
+
+  Packet() = default;
+  ~Packet() { payload_unref(app); }
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  /// Moves the wire-visible fields and payload reference. The destination's
+  /// pool/queue links are untouched, so moving into a pooled packet is safe.
+  Packet(Packet&& o) noexcept
+      : flow(o.flow),
+        size_bytes(o.size_bytes),
+        priority(o.priority),
+        request_int(o.request_int),
+        int_records(o.int_records),
+        app(std::exchange(o.app, nullptr)),
+        id(o.id),
+        sent_at(o.sent_at) {}
+  Packet& operator=(Packet&& o) noexcept {
+    if (this != &o) {
+      flow = o.flow;
+      size_bytes = o.size_bytes;
+      priority = o.priority;
+      request_int = o.request_int;
+      int_records = o.int_records;
+      payload_unref(app);
+      app = std::exchange(o.app, nullptr);
+      id = o.id;
+      sent_at = o.sent_at;
+    }
+    return *this;
+  }
+
+ private:
+  friend class PacketPool;
+  friend class Device;
+  friend class Port;
+  friend struct PacketRecycle;
+
+  Packet* next_ = nullptr;     // pool free list / egress queue link
+  PacketPool* pool_ = nullptr;
 };
 
-/// Helpers for the typed payload convention.
-template <typename T>
-void set_app(Packet& pkt, std::shared_ptr<const T> frame) {
-  pkt.app = std::move(frame);
+struct PacketRecycle {
+  void operator()(Packet* p) const;
+};
+
+/// Owning handle to a pooled packet; releasing returns it to its pool.
+using PacketPtr = std::unique_ptr<Packet, PacketRecycle>;
+
+/// Per-network packet free list. Heap-allocated and owned via the
+/// retire() protocol: the Network retires the pool in its destructor, and
+/// the pool deletes itself once the last outstanding packet (e.g. one still
+/// captured in an in-flight engine closure) comes home. That makes handle
+/// lifetime independent of Network lifetime.
+class PacketPool {
+ public:
+  PacketPtr acquire() {
+    if (free_head_ == nullptr) grow();
+    Packet* p = free_head_;
+    free_head_ = p->next_;
+    p->next_ = nullptr;
+    ++outstanding_;
+    return PacketPtr(p);
+  }
+
+  void release(Packet* p) {
+    payload_unref(p->app);
+    p->app = nullptr;
+    p->int_records.clear();
+    p->flow = FlowKey{};
+    p->size_bytes = 0;
+    p->priority = 1;
+    p->request_int = false;
+    p->id = 0;
+    p->sent_at = 0;
+    p->next_ = free_head_;
+    free_head_ = p;
+    if (--outstanding_ == 0 && retired_) delete this;
+  }
+
+  /// Owner is going away; self-destruct once all packets are back.
+  void retire() {
+    retired_ = true;
+    if (outstanding_ == 0) delete this;
+  }
+
+  std::size_t outstanding() const { return outstanding_; }
+  std::size_t capacity() const { return chunks_.size() * kChunk; }
+
+ private:
+  static constexpr std::size_t kChunk = 256;
+
+  void grow() {
+    auto chunk = std::make_unique<Packet[]>(kChunk);
+    for (std::size_t i = kChunk; i-- > 0;) {
+      chunk[i].pool_ = this;
+      chunk[i].next_ = free_head_;
+      free_head_ = &chunk[i];
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  Packet* free_head_ = nullptr;
+  std::size_t outstanding_ = 0;
+  bool retired_ = false;
+};
+
+inline void PacketRecycle::operator()(Packet* p) const {
+  p->pool_->release(p);
 }
 
+// ---------------------------------------------------------------------------
+// Typed payload helpers (same names as the std::any era, pooled semantics).
+// ---------------------------------------------------------------------------
+
+/// Attaches a shared payload to the packet (bumps the refcount).
+template <typename T>
+void set_app(Packet& pkt, const PayloadHandle<T>& frame) {
+  payload_unref(pkt.app);
+  pkt.app = frame.base();
+  payload_ref(pkt.app);
+}
+
+/// Constructs the payload in place from the type's free list.
 template <typename T, typename... Args>
 void emplace_app(Packet& pkt, Args&&... args) {
-  pkt.app = std::shared_ptr<const T>(
-      std::make_shared<T>(std::forward<Args>(args)...));
+  payload_unref(pkt.app);
+  pkt.app = detail::PayloadFreeList<T>::acquire(std::forward<Args>(args)...);
 }
 
-/// Returns nullptr if the packet does not carry a T payload.
+/// Returns an empty handle if the packet does not carry a T payload. The
+/// handle shares ownership, so it may outlive the packet (the TCP interrupt
+/// path relies on this).
 template <typename T>
-std::shared_ptr<const T> app_as(const Packet& pkt) {
-  if (auto* p = std::any_cast<std::shared_ptr<const T>>(&pkt.app)) return *p;
-  return nullptr;
+PayloadHandle<T> app_as(const Packet& pkt) {
+  if (pkt.app != nullptr && pkt.app->tag == payload_tag<T>()) {
+    return PayloadHandle<T>::share(pkt.app);
+  }
+  return {};
 }
 
 }  // namespace repro::net

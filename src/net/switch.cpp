@@ -2,9 +2,10 @@
 
 namespace repro::net {
 
-void Switch::receive(Packet pkt, int in_port) {
+void Switch::receive(PacketPtr pkt, int in_port) {
   (void)in_port;
-  const std::vector<int>* candidates = network().routes(id(), pkt.flow.dst_ip);
+  const std::vector<int>* candidates =
+      network().routes(id(), pkt->flow.dst_ip);
   if (candidates == nullptr || candidates->empty()) {
     ++network().drops().no_route;
     return;
@@ -20,12 +21,12 @@ void Switch::receive(Packet pkt, int in_port) {
     ++network().drops().no_route;
     return;
   }
-  const std::uint64_t h = flow_hash(pkt.flow, salt_);
+  const std::uint64_t h = flow_hash(pkt->flow, salt_);
   const int egress = live[h % static_cast<std::uint64_t>(n_live)];
 
-  if (pkt.request_int) {
+  if (pkt->request_int && !pkt->int_records.full()) {
     Port& p = port(egress);
-    pkt.int_records.push_back(IntRecord{
+    pkt->int_records.push_back(IntRecord{
         .node = id(),
         .timestamp = network().engine().now(),
         .queue_bytes = p.queue_bytes(),

@@ -16,7 +16,7 @@ class Switch : public Device {
   std::uint64_t forwarded() const { return forwarded_; }
 
  protected:
-  void receive(Packet pkt, int in_port) override;
+  void receive(PacketPtr pkt, int in_port) override;
 
  private:
   std::uint64_t salt_;  ///< per-switch ECMP hash salt

@@ -32,7 +32,7 @@ RdmaStack::RdmaStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
       params_(params),
       rng_(rng),
       nic_engine_(engine, "rnic") {
-  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+  nic_.set_deliver([this](net::Packet& pkt) { on_packet(pkt); });
 }
 
 TimeNs RdmaStack::qp_touch(const Qp& q) {
@@ -92,7 +92,7 @@ void RdmaStack::call(net::IpAddr dst, transport::StorageRequest request,
 }
 
 void RdmaStack::send_message(Qp& q, Message msg) {
-  auto shared = std::make_shared<const Message>(std::move(msg));
+  auto shared = net::make_payload<Message>(std::move(msg));
   // Posting the WQE costs a verb on the CPU; everything after is NIC work.
   cpu_.submit(key_of(q.flow), params_.per_verb_cpu, [this, &q, shared] {
     std::uint64_t remaining = shared->bytes;
@@ -127,17 +127,17 @@ void RdmaStack::pump(Qp& q) {
 
 void RdmaStack::transmit(Qp& q, Wire w) {
   const TimeNs nic_work = params_.nic_tx_latency + qp_touch(q);
-  auto shared = std::make_shared<const Wire>(std::move(w));
+  auto shared = net::make_payload<Wire>(std::move(w));
   nic_engine_.run(nic_work, [this, shared] {
-    net::Packet pkt;
-    pkt.flow = shared->flow;
-    pkt.size_bytes = shared->bytes + kHeaderBytes;
-    net::set_app<Wire>(pkt, shared);
+    net::PacketPtr pkt = nic_.make_packet();
+    pkt->flow = shared->flow;
+    pkt->size_bytes = shared->bytes + kHeaderBytes;
+    net::set_app(*pkt, shared);
     nic_.send_packet(std::move(pkt));
   });
 }
 
-void RdmaStack::on_packet(net::Packet pkt) {
+void RdmaStack::on_packet(net::Packet& pkt) {
   auto w = net::app_as<Wire>(pkt);
   if (!w) return;
   // RNIC-side receive processing (+ possible QP-context fetch).
@@ -156,10 +156,10 @@ void RdmaStack::on_wire(const Wire& w) {
         ack.flow = q.flow;
         ack.kind = Wire::Kind::kAck;
         ack.ack_seq = q.rcv_next;
-        net::Packet pkt;
-        pkt.flow = q.flow;
-        pkt.size_bytes = kAckBytes;
-        net::emplace_app<Wire>(pkt, std::move(ack));
+        net::PacketPtr pkt = nic_.make_packet();
+        pkt->flow = q.flow;
+        pkt->size_bytes = kAckBytes;
+        net::emplace_app<Wire>(*pkt, std::move(ack));
         nic_.send_packet(std::move(pkt));
       } else if (w.seq > q.rcv_next) {
         // Out of order: RC (go-back-N generation) drops and NAKs.
@@ -168,10 +168,10 @@ void RdmaStack::on_wire(const Wire& w) {
         nak.flow = q.flow;
         nak.kind = Wire::Kind::kNak;
         nak.ack_seq = q.rcv_next;
-        net::Packet pkt;
-        pkt.flow = q.flow;
-        pkt.size_bytes = kAckBytes;
-        net::emplace_app<Wire>(pkt, std::move(nak));
+        net::PacketPtr pkt = nic_.make_packet();
+        pkt->flow = q.flow;
+        pkt->size_bytes = kAckBytes;
+        net::emplace_app<Wire>(*pkt, std::move(nak));
         nic_.send_packet(std::move(pkt));
       } else {
         // Duplicate of already-received data: re-ACK.
@@ -179,10 +179,10 @@ void RdmaStack::on_wire(const Wire& w) {
         ack.flow = q.flow;
         ack.kind = Wire::Kind::kAck;
         ack.ack_seq = q.rcv_next;
-        net::Packet pkt;
-        pkt.flow = q.flow;
-        pkt.size_bytes = kAckBytes;
-        net::emplace_app<Wire>(pkt, std::move(ack));
+        net::PacketPtr pkt = nic_.make_packet();
+        pkt->flow = q.flow;
+        pkt->size_bytes = kAckBytes;
+        net::emplace_app<Wire>(*pkt, std::move(ack));
         nic_.send_packet(std::move(pkt));
       }
       return;
@@ -257,7 +257,7 @@ void RdmaStack::arm_rto(Qp& q, bool restart) {
   });
 }
 
-void RdmaStack::deliver(Qp& q, const std::shared_ptr<const Message>& m) {
+void RdmaStack::deliver(Qp& q, const net::PayloadHandle<Message>& m) {
   cpu_.submit(key_of(q.flow), params_.per_verb_cpu, [this, &q, m] {
     if (m->is_request) {
       if (!handler_) return;

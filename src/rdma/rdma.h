@@ -78,13 +78,13 @@ class RdmaStack : public transport::RpcTransport, public transport::RpcServer {
     std::uint32_t bytes = 0;
     enum class Kind : std::uint8_t { kData, kAck, kNak } kind = Kind::kData;
     std::uint64_t ack_seq = 0;  ///< cumulative for ACK; expected for NAK
-    std::shared_ptr<const Message> msg;
+    net::PayloadHandle<Message> msg;
     bool msg_last = false;
   };
 
   struct SentMeta {
     std::uint32_t bytes = 0;
-    std::shared_ptr<const Message> msg;
+    net::PayloadHandle<Message> msg;
     bool msg_last = false;
   };
 
@@ -107,13 +107,13 @@ class RdmaStack : public transport::RpcTransport, public transport::RpcServer {
   void send_message(Qp& q, Message msg);
   void pump(Qp& q);
   void transmit(Qp& q, Wire w);
-  void on_packet(net::Packet pkt);
+  void on_packet(net::Packet& pkt);
   void on_wire(const Wire& w);
   void rewind(Qp& q);
   void arm_rto(Qp& q, bool restart = false);
   /// Charges the QP-context-cache cost for touching this QP.
   TimeNs qp_touch(const Qp& q);
-  void deliver(Qp& q, const std::shared_ptr<const Message>& m);
+  void deliver(Qp& q, const net::PayloadHandle<Message>& m);
 
   sim::Engine& engine_;
   net::Nic& nic_;

@@ -1,38 +1,195 @@
 #include "sim/engine.h"
 
+#include <bit>
+#include <cassert>
+#include <limits>
 #include <utility>
 
 namespace repro::sim {
 
+namespace {
+constexpr TimeNs kNoLimit = std::numeric_limits<TimeNs>::max();
+}
+
+Engine::~Engine() = default;
+
+Engine::Node* Engine::alloc_node() {
+  if (free_head_ == nullptr) {
+    auto chunk = std::make_unique<Node[]>(kChunk);
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(chunks_.size() * kChunk);
+    // Thread the fresh chunk onto the free list in reverse so nodes are
+    // handed out in ascending index order (cosmetic, but makes ids stable).
+    for (std::size_t i = kChunk; i-- > 0;) {
+      chunk[i].index = base + static_cast<std::uint32_t>(i);
+      chunk[i].next = free_head_;
+      free_head_ = &chunk[i];
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+  Node* n = free_head_;
+  free_head_ = n->next;
+  return n;
+}
+
+void Engine::release_node(Node* n) {
+  // Bump the generation first: any TimerId still referring to this node is
+  // now stale, including one captured by the callback we are about to run.
+  ++n->gen;
+  n->fn.reset();
+  n->next = free_head_;
+  free_head_ = n;
+}
+
+void Engine::wheel_insert(Node* n) {
+  const std::uint64_t diff = static_cast<std::uint64_t>(n->time ^ now_);
+  const int level = diff == 0 ? 0 : (std::bit_width(diff) - 1) / kSlotBits;
+  const int idx = static_cast<int>(
+      (static_cast<std::uint64_t>(n->time) >> (kSlotBits * level)) &
+      (kSlots - 1));
+  n->level = static_cast<std::uint8_t>(level);
+  n->slot = static_cast<std::uint8_t>(idx);
+  n->linked = true;
+  n->next = nullptr;
+  n->prev = tails_[level][idx];
+  if (tails_[level][idx] != nullptr) {
+    tails_[level][idx]->next = n;
+  } else {
+    heads_[level][idx] = n;
+    occupied_[level] |= std::uint64_t{1} << idx;
+  }
+  tails_[level][idx] = n;
+}
+
+void Engine::unlink(Node* n) {
+  const int level = n->level;
+  const int idx = n->slot;
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    heads_[level][idx] = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  } else {
+    tails_[level][idx] = n->prev;
+  }
+  if (heads_[level][idx] == nullptr) {
+    occupied_[level] &= ~(std::uint64_t{1} << idx);
+  }
+  n->linked = false;
+}
+
+Engine::Node* Engine::pop_front(int level, int idx) {
+  Node* n = heads_[level][idx];
+  heads_[level][idx] = n->next;
+  if (n->next != nullptr) {
+    n->next->prev = nullptr;
+  } else {
+    tails_[level][idx] = nullptr;
+    occupied_[level] &= ~(std::uint64_t{1} << idx);
+  }
+  n->linked = false;
+  return n;
+}
+
+void Engine::cascade(int level, int idx) {
+  Node* n = heads_[level][idx];
+  heads_[level][idx] = nullptr;
+  tails_[level][idx] = nullptr;
+  occupied_[level] &= ~(std::uint64_t{1} << idx);
+  // Re-insert in list order. Each node lands at a strictly lower level
+  // (its level-`level` chunk now matches the clock's), and appending in
+  // source order preserves the global seq-FIFO within equal timestamps.
+  while (n != nullptr) {
+    Node* next = n->next;
+    wheel_insert(n);
+    n = next;
+  }
+}
+
+Engine::Node* Engine::take_next(TimeNs limit) {
+  for (;;) {
+    if (pending_ == 0) return nullptr;
+    // Level 0: every node in slot idx has the exact time
+    // (now & ~63) | idx, and only idx >= (now & 63) can be occupied.
+    const unsigned cur0 = static_cast<unsigned>(now_) & (kSlots - 1);
+    if (const std::uint64_t m0 = occupied_[0] & (~std::uint64_t{0} << cur0);
+        m0 != 0) {
+      const int idx = std::countr_zero(m0);
+      const TimeNs t = (now_ & ~TimeNs{kSlots - 1}) | idx;
+      if (t > limit) return nullptr;
+      now_ = t;
+      Node* n = pop_front(0, idx);
+      --pending_;
+      return n;
+    }
+    // Higher levels: the first occupied slot strictly above the clock's
+    // chunk, at the lowest such level, bounds every pending event from
+    // below. Cascade it and rescan.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const unsigned cur = static_cast<unsigned>(
+          (static_cast<std::uint64_t>(now_) >> (kSlotBits * level)) &
+          (kSlots - 1));
+      if (cur + 1 >= kSlots) continue;
+      const std::uint64_t above =
+          occupied_[level] & (~std::uint64_t{0} << (cur + 1));
+      if (above == 0) continue;
+      const int idx = std::countr_zero(above);
+      const int shift = kSlotBits * (level + 1);
+      const TimeNs high =
+          shift >= 64
+              ? TimeNs{0}
+              : static_cast<TimeNs>(
+                    (static_cast<std::uint64_t>(now_) >> shift) << shift);
+      const TimeNs slot_start =
+          high | (static_cast<TimeNs>(idx) << (kSlotBits * level));
+      if (slot_start > limit) return nullptr;
+      now_ = slot_start;
+      cascade(level, idx);
+      cascaded = true;
+      break;
+    }
+    if (!cascaded) {
+      assert(false && "pending_ > 0 but wheel scan found nothing");
+      return nullptr;
+    }
+  }
+}
+
 TimerId Engine::schedule_at(TimeNs t, Callback fn) {
   if (t < now_) t = now_;
-  const TimerId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  Node* n = alloc_node();
+  n->time = t;
+  n->seq = next_seq_++;
+  n->fn = std::move(fn);
+  const TimerId id =
+      (static_cast<std::uint64_t>(n->index) + 1) << 32 | n->gen;
+  wheel_insert(n);
+  ++pending_;
   return id;
 }
 
 bool Engine::cancel(TimerId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Insertion into the canceled set only succeeds once per id; events that
-  // already ran removed their id from bookkeeping by never consulting it
-  // again (ids are unique), so a double-cancel is a harmless no-op.
-  return canceled_.insert(id).second;
+  const std::uint64_t idx1 = id >> 32;
+  if (idx1 == 0 || idx1 > chunks_.size() * kChunk) return false;
+  Node* n = node_at(idx1 - 1);
+  if (n->gen != static_cast<std::uint32_t>(id) || !n->linked) return false;
+  unlink(n);
+  release_node(n);
+  --pending_;
+  return true;
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = canceled_.find(ev.id); it != canceled_.end()) {
-      canceled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  Node* n = take_next(kNoLimit);
+  if (n == nullptr) return false;
+  ++executed_;
+  Callback fn = std::move(n->fn);
+  release_node(n);  // recycle before invoking: fn may reschedule onto it
+  fn();
+  return true;
 }
 
 void Engine::run() {
@@ -43,19 +200,13 @@ void Engine::run() {
 
 void Engine::run_until(TimeNs t) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek through canceled entries to find the next live event time.
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (auto it = canceled_.find(top.id); it != canceled_.end()) {
-        canceled_.erase(it);
-        queue_.pop();
-        continue;
-      }
-      break;
-    }
-    if (queue_.empty() || queue_.top().time > t) break;
-    step();
+  while (!stopped_) {
+    Node* n = take_next(t);
+    if (n == nullptr) break;
+    ++executed_;
+    Callback fn = std::move(n->fn);
+    release_node(n);
+    fn();
   }
   if (now_ < t) now_ = t;
 }

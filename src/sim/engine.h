@@ -5,19 +5,28 @@
 // engine. Events at equal timestamps run in scheduling order (a strictly
 // increasing sequence number breaks ties), so runs are fully deterministic
 // for a given seed.
+//
+// The scheduler is a hierarchical timer wheel: 11 levels of 64 slots, each
+// level covering 64x the span of the one below, with a per-level occupancy
+// bitmap. Events are intrusive nodes drawn from a chunked free list, so
+// steady-state scheduling allocates nothing; cancel is an O(1) unlink
+// guarded by a per-node generation counter (no tombstone set to leak).
+// Within a slot, nodes are kept in insertion order and cascades preserve
+// that order, which is what keeps the equal-timestamp FIFO guarantee — and
+// therefore bit-identical seeded runs — intact across the rewrite.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "common/units.h"
 
 namespace repro::sim {
 
-using Callback = std::function<void()>;
+using Callback = SmallFn<void(), 48>;
 
 /// Identifier for a cancelable event. 0 is never a valid id.
 using TimerId = std::uint64_t;
@@ -27,6 +36,7 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   TimeNs now() const { return now_; }
 
@@ -39,7 +49,8 @@ class Engine {
   }
 
   /// Cancelable variants. `cancel` returns true if the event had not yet
-  /// fired (and will now never fire).
+  /// fired (and will now never fire); canceling an already-fired or
+  /// already-canceled id returns false and costs O(1).
   TimerId schedule_at(TimeNs t, Callback fn);
   TimerId schedule_after(TimeNs delay, Callback fn) {
     return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
@@ -58,28 +69,55 @@ class Engine {
   /// Makes `run`/`run_until` return after the current event completes.
   void stop() { stopped_ = true; }
 
-  std::size_t pending() const { return queue_.size() - canceled_.size(); }
+  std::size_t pending() const { return pending_; }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    TimeNs time;
-    std::uint64_t seq;
-    TimerId id;
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64
+  // Times are non-negative int64, so t ^ now never sets bit 63 and the
+  // highest home level is (62 / kSlotBits) = 10.
+  static constexpr int kLevels = 11;
+  static constexpr std::size_t kChunk = 256;  // nodes per pool chunk
+
+  struct Node {
+    Node* prev = nullptr;
+    Node* next = nullptr;  // doubles as the free-list link when unlinked
+    TimeNs time = 0;
+    std::uint64_t seq = 0;
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t gen = 0;
+    std::uint32_t index = 0;  // position in the pool, encodes into TimerId
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    bool linked = false;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<TimerId> canceled_;
+  Node* alloc_node();
+  void release_node(Node* n);
+  Node* node_at(std::uint64_t index) {
+    return &chunks_[index / kChunk][index % kChunk];
+  }
+
+  void wheel_insert(Node* n);
+  void unlink(Node* n);
+  Node* pop_front(int level, int idx);
+  void cascade(int level, int idx);
+
+  /// Advances the clock to — and detaches — the earliest pending node with
+  /// time <= limit, or returns nullptr (clock never passes `limit`).
+  Node* take_next(TimeNs limit);
+
+  Node* heads_[kLevels][kSlots] = {};
+  Node* tails_[kLevels][kSlots] = {};
+  std::uint64_t occupied_[kLevels] = {};
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_head_ = nullptr;
+
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
+  std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };

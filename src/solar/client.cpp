@@ -69,7 +69,7 @@ SolarClient::SolarClient(sim::Engine& engine, dpu::AliDpu& dpu, net::Nic& nic,
       qos_(qos),
       params_(params),
       rng_(rng) {
-  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+  nic_.set_deliver([this](net::Packet& pkt) { on_packet(pkt); });
 }
 
 PathSet& SolarClient::pathset(net::IpAddr peer) {
@@ -301,13 +301,13 @@ void SolarClient::emit(const std::shared_ptr<RpcCtx>& rpc,
       path.rto(params_.path),
       [this, rpc_id = rpc->rpc_id, pkt_id] { on_block_timeout(rpc_id, pkt_id); });
 
-  net::Packet pkt;
-  pkt.flow = net::FlowKey{nic_.ip(), rpc->dst, frame.rpc.path_id, kServerPort,
-                          net::Proto::kUdp};
-  pkt.size_bytes = frame_wire_bytes(frame);
-  pkt.priority = 0;  // SOLAR's dedicated switch queue (§4.8)
-  pkt.request_int = params_.use_int;
-  net::emplace_app<Frame>(pkt, std::move(frame));
+  net::PacketPtr pkt = nic_.make_packet();
+  pkt->flow = net::FlowKey{nic_.ip(), rpc->dst, frame.rpc.path_id, kServerPort,
+                           net::Proto::kUdp};
+  pkt->size_bytes = frame_wire_bytes(frame);
+  pkt->priority = 0;  // SOLAR's dedicated switch queue (§4.8)
+  pkt->request_int = params_.use_int;
+  net::emplace_app<Frame>(*pkt, std::move(frame));
   nic_.send_packet(std::move(pkt));
 }
 
@@ -332,7 +332,7 @@ void SolarClient::drain_queue(net::IpAddr peer) {
   }
 }
 
-void SolarClient::on_packet(net::Packet pkt) {
+void SolarClient::on_packet(net::Packet& pkt) {
   auto f = net::app_as<Frame>(pkt);
   if (!f) return;
   switch (f->rpc.msg_type) {
@@ -347,15 +347,14 @@ void SolarClient::on_packet(net::Packet pkt) {
       handle_write_response(*f);
       break;
     case RpcMsgType::kReadResponse:
-      handle_read_response(*f, std::move(pkt.int_records));
+      handle_read_response(*f, pkt.int_records);
       break;
     default:
       break;
   }
 }
 
-void SolarClient::handle_ack(const Frame& f,
-                             const std::vector<net::IntRecord>& int_recs) {
+void SolarClient::handle_ack(const Frame& f, const net::IntTrail& int_recs) {
   auto it = rpcs_.find(f.rpc.rpc_id);
   if (it == rpcs_.end() || it->second->completed) return;
   auto rpc = it->second;
@@ -503,8 +502,8 @@ void SolarClient::handle_write_response(const Frame& f) {
       });
 }
 
-void SolarClient::handle_read_response(Frame f,
-                                       std::vector<net::IntRecord> int_recs) {
+void SolarClient::handle_read_response(const Frame& f,
+                                       const net::IntTrail& int_recs) {
   auto it = rpcs_.find(f.rpc.rpc_id);
   if (it == rpcs_.end() || it->second->completed) return;
   auto rpc = it->second;
@@ -513,10 +512,10 @@ void SolarClient::handle_read_response(Frame f,
   if (st.arrived) return;  // duplicate response
   rpc->io->last_net_at = engine_.now();
 
-  DataBlock block = std::move(f.block);
+  DataBlock block = f.block;
   const std::uint16_t pkt_id = f.rpc.pkt_id;
   auto deliver = [this, rpc, pkt_id, block = std::move(block), f,
-                  int_recs = std::move(int_recs)]() mutable {
+                  int_recs]() mutable {
     BlockState& stt = rpc->st[pkt_id];
     if (stt.arrived || rpc->completed) return;
     bool hw_ok = true;
@@ -529,7 +528,7 @@ void SolarClient::handle_read_response(Frame f,
       hw_ok = !block.has_payload() || crc32_raw(block.data) == block.crc;
     }
     auto finish = [this, rpc, pkt_id, block = std::move(block), f,
-                   int_recs = std::move(int_recs), hw_ok]() mutable {
+                   int_recs, hw_ok]() mutable {
       BlockState& stt = rpc->st[pkt_id];
       if (stt.arrived || rpc->completed) return;
       if (!hw_ok) {
@@ -692,12 +691,12 @@ void SolarClient::arm_response_timer(const std::shared_ptr<RpcCtx>& rpc) {
         f.block = rpc2->wire[0];
         f.block.lba = f.ebs.lba;
         f.ts = engine_.now();
-        net::Packet pkt;
-        pkt.flow = net::FlowKey{nic_.ip(), rpc2->dst, path.port, kServerPort,
-                                net::Proto::kUdp};
-        pkt.size_bytes = frame_wire_bytes(f);
-        pkt.priority = 0;
-        net::emplace_app<Frame>(pkt, std::move(f));
+        net::PacketPtr pkt = nic_.make_packet();
+        pkt->flow = net::FlowKey{nic_.ip(), rpc2->dst, path.port, kServerPort,
+                                 net::Proto::kUdp};
+        pkt->size_bytes = frame_wire_bytes(f);
+        pkt->priority = 0;
+        net::emplace_app<Frame>(*pkt, std::move(f));
         nic_.send_packet(std::move(pkt));
         ++stats_.retransmits;
         arm_response_timer(rpc2);
@@ -717,13 +716,13 @@ void SolarClient::schedule_probes(net::IpAddr peer) {
       f.rpc.msg_type = RpcMsgType::kProbe;
       f.rpc.path_id = p.port;
       f.ts = engine_.now();
-      net::Packet pkt;
-      pkt.flow = net::FlowKey{nic_.ip(), peer, p.port, kServerPort,
-                              net::Proto::kUdp};
-      pkt.size_bytes = 64;
-      pkt.priority = 0;
-      pkt.request_int = params_.use_int;
-      net::emplace_app<Frame>(pkt, std::move(f));
+      net::PacketPtr pkt = nic_.make_packet();
+      pkt->flow = net::FlowKey{nic_.ip(), peer, p.port, kServerPort,
+                               net::Proto::kUdp};
+      pkt->size_bytes = 64;
+      pkt->priority = 0;
+      pkt->request_int = params_.use_int;
+      net::emplace_app<Frame>(*pkt, std::move(f));
       nic_.send_packet(std::move(pkt));
       ++probes_sent_;
     }

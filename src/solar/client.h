@@ -108,12 +108,12 @@ class SolarClient {
   void emit(const std::shared_ptr<RpcCtx>& rpc, std::uint16_t pkt_id,
             Frame frame, PathState& path);
   void drain_queue(net::IpAddr peer);
-  void on_packet(net::Packet pkt);
-  void handle_ack(const Frame& f, const std::vector<net::IntRecord>& int_recs);
+  void on_packet(net::Packet& pkt);
+  void handle_ack(const Frame& f, const net::IntTrail& int_recs);
   void handle_probe_ack(net::IpAddr peer, const Frame& f);
   void schedule_probes(net::IpAddr peer);
   void handle_write_response(const Frame& f);
-  void handle_read_response(Frame f, std::vector<net::IntRecord> int_recs);
+  void handle_read_response(const Frame& f, const net::IntTrail& int_recs);
   void on_block_timeout(std::uint64_t rpc_id, std::uint16_t pkt_id);
   void arm_response_timer(const std::shared_ptr<RpcCtx>& rpc);
   void maybe_complete_read(const std::shared_ptr<RpcCtx>& rpc);

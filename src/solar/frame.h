@@ -5,8 +5,6 @@
 // the typed form. The UDP source port doubles as the path id (§4.5).
 #pragma once
 
-#include <vector>
-
 #include "common/units.h"
 #include "net/packet.h"
 #include "proto/headers.h"
@@ -29,7 +27,7 @@ struct Frame {
 
   /// ACKs return the INT trail the data packet collected on its way out,
   /// so the sender can run HPCC-style congestion control per path (§4.8).
-  std::vector<net::IntRecord> int_echo;
+  net::IntTrail int_echo;
 };
 
 /// Wire size of a frame (headers + payload), for queue/link accounting.

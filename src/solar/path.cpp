@@ -59,7 +59,7 @@ PathState* PathSet::by_port(std::uint16_t port) {
 }
 
 void PathSet::on_ack(PathState& p, TimeNs rtt_sample,
-                     const std::vector<net::IntRecord>& int_echo) {
+                     const net::IntTrail& int_echo) {
   p.consec_timeouts = 0;
   if (rtt_sample > 0) {
     p.srtt = p.srtt == 0 ? rtt_sample : (7 * p.srtt + rtt_sample) / 8;

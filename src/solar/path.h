@@ -72,7 +72,7 @@ class PathSet {
 
   /// ACK bookkeeping: RTT EWMA + HPCC window update from the INT echo.
   void on_ack(PathState& p, TimeNs rtt_sample,
-              const std::vector<net::IntRecord>& int_echo);
+              const net::IntTrail& int_echo);
 
   /// Timeout bookkeeping. Returns true if the path was declared failed and
   /// its port redrawn.

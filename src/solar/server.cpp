@@ -24,14 +24,14 @@ SolarServer::SolarServer(sim::Engine& engine, net::Nic& nic,
       block_server_(block_server),
       params_(params),
       rng_(rng) {
-  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+  nic_.set_deliver([this](net::Packet& pkt) { on_packet(pkt); });
 }
 
 net::FlowKey SolarServer::reversed(const net::FlowKey& f) {
   return net::FlowKey{f.dst_ip, f.src_ip, f.dst_port, f.src_port, f.proto};
 }
 
-void SolarServer::on_packet(net::Packet pkt) {
+void SolarServer::on_packet(net::Packet& pkt) {
   auto f = net::app_as<Frame>(pkt);
   if (!f) return;
   ++packets_rx_;
@@ -60,12 +60,12 @@ void SolarServer::send_ack(const Frame& f, const net::Packet& pkt) {
   // Echo the INT trail the packet collected on its way here so the sender
   // can run per-path HPCC (§4.8).
   ack.int_echo = pkt.int_records;
-  net::Packet out;
-  out.flow = reversed(pkt.flow);
-  out.size_bytes = 64 + static_cast<std::uint32_t>(
-                            ack.int_echo.size() * 12);
-  out.priority = 0;
-  net::emplace_app<Frame>(out, std::move(ack));
+  net::PacketPtr out = nic_.make_packet();
+  out->flow = reversed(pkt.flow);
+  out->size_bytes = 64 + static_cast<std::uint32_t>(
+                             ack.int_echo.size() * 12);
+  out->priority = 0;
+  net::emplace_app<Frame>(*out, std::move(ack));
   nic_.send_packet(std::move(out));
 }
 
@@ -79,11 +79,11 @@ void SolarServer::send_write_response(std::uint64_t rpc_id,
   resp.server_bn = rpc.max_bn;
   resp.server_ssd = rpc.max_ssd;
   resp.ts = engine_.now();
-  net::Packet out;
-  out.flow = rpc.reply_flow;
-  out.size_bytes = 96;
-  out.priority = 0;
-  net::emplace_app<Frame>(out, std::move(resp));
+  net::PacketPtr out = nic_.make_packet();
+  out->flow = rpc.reply_flow;
+  out->size_bytes = 96;
+  out->priority = 0;
+  net::emplace_app<Frame>(*out, std::move(resp));
   nic_.send_packet(std::move(out));
 }
 
@@ -180,12 +180,12 @@ void SolarServer::handle_read(const Frame& f, const net::Packet& pkt) {
           resp.echo_ts = f.ts;
           resp.ts = engine_.now();
           resp.block = std::move(block);
-          net::Packet out;
-          out.flow = reply;
-          out.size_bytes = frame_wire_bytes(resp);
-          out.priority = 0;
-          out.request_int = true;  // CC signal for the data direction
-          net::emplace_app<Frame>(out, std::move(resp));
+          net::PacketPtr out = nic_.make_packet();
+          out->flow = reply;
+          out->size_bytes = frame_wire_bytes(resp);
+          out->priority = 0;
+          out->request_int = true;  // CC signal for the data direction
+          net::emplace_app<Frame>(*out, std::move(resp));
           nic_.send_packet(std::move(out));
         });
   });

@@ -53,7 +53,7 @@ class SolarServer {
     net::FlowKey reply_flow;  ///< reversed flow of the last block seen
   };
 
-  void on_packet(net::Packet pkt);
+  void on_packet(net::Packet& pkt);
   void handle_write(const Frame& f, const net::Packet& pkt);
   void handle_read(const Frame& f, const net::Packet& pkt);
   void send_ack(const Frame& f, const net::Packet& pkt);

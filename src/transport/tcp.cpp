@@ -63,7 +63,7 @@ TcpStack::TcpStack(sim::Engine& engine, net::Nic& nic, sim::CpuPool& cpu,
       cpu_(cpu),
       profile_(std::move(profile)),
       rng_(rng) {
-  nic_.set_deliver([this](net::Packet pkt) { on_packet(std::move(pkt)); });
+  nic_.set_deliver([this](net::Packet& pkt) { on_packet(pkt); });
 }
 
 TcpStack::~TcpStack() = default;
@@ -133,7 +133,7 @@ void TcpStack::send_message(Connection& c, Message msg) {
   const TimeNs cost =
       profile_.per_message_tx +
       profile_.copy_per_kb * static_cast<TimeNs>(msg.bytes / 1024);
-  auto shared = std::make_shared<const Message>(std::move(msg));
+  auto shared = net::make_payload<Message>(std::move(msg));
   cpu_.submit(key_of(c.flow), cost, [this, &c, shared] {
     // Segment the message; the last segment carries the payload handle.
     std::uint64_t remaining = shared->bytes;
@@ -177,17 +177,17 @@ void TcpStack::transmit(Connection& c, Segment seg, bool retransmission) {
   // TSO/GSO amortizes the per-packet CPU charge across a batch.
   const TimeNs cost =
       std::max<TimeNs>(profile_.tx_per_packet / profile_.tso_batch, 1);
-  auto shared = std::make_shared<const Segment>(std::move(seg));
+  auto shared = net::make_payload<Segment>(std::move(seg));
   cpu_.submit(key_of(c.flow), cost, [this, shared] {
-    net::Packet pkt;
-    pkt.flow = shared->flow;
-    pkt.size_bytes = shared->bytes + kHeaderBytes;
-    net::set_app<Segment>(pkt, shared);
+    net::PacketPtr pkt = nic_.make_packet();
+    pkt->flow = shared->flow;
+    pkt->size_bytes = shared->bytes + kHeaderBytes;
+    net::set_app(*pkt, shared);
     nic_.send_packet(std::move(pkt));
   });
 }
 
-void TcpStack::on_packet(net::Packet pkt) {
+void TcpStack::on_packet(net::Packet& pkt) {
   auto seg = net::app_as<Segment>(pkt);
   if (!seg) return;  // not TCP traffic for this stack
   if (profile_.interrupt_delay > 0) {
@@ -264,10 +264,10 @@ void TcpStack::send_ack(Connection& c, TimeNs echo_ts) {
   ack.is_ack = true;
   ack.ack_seq = c.rcv_next;
   ack.ts = echo_ts;
-  net::Packet pkt;
-  pkt.flow = c.flow;
-  pkt.size_bytes = kAckBytes;
-  net::emplace_app<Segment>(pkt, std::move(ack));
+  net::PacketPtr pkt = nic_.make_packet();
+  pkt->flow = c.flow;
+  pkt->size_bytes = kAckBytes;
+  net::emplace_app<Segment>(*pkt, std::move(ack));
   nic_.send_packet(std::move(pkt));
 }
 
@@ -365,7 +365,7 @@ void TcpStack::arm_rto(Connection& c, bool restart) {
 }
 
 void TcpStack::deliver_message(Connection& c,
-                               const std::shared_ptr<const Message>& m) {
+                               const net::PayloadHandle<Message>& m) {
   ++messages_delivered_;
   const TimeNs cost =
       profile_.per_message_rx +

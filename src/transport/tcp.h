@@ -107,13 +107,13 @@ class TcpStack : public RpcTransport, public RpcServer {
     /// that triggered this ACK (RFC 7323-style), the only unambiguous RTT
     /// sampling source under retransmission and HoL-delayed cumulative ACKs.
     TimeNs ts = 0;
-    std::shared_ptr<const Message> msg;  // set on a message's last segment
+    net::PayloadHandle<Message> msg;  // set on a message's last segment
     bool msg_last = false;
   };
 
   struct SentSeg {
     std::uint32_t bytes = 0;
-    std::shared_ptr<const Message> msg;
+    net::PayloadHandle<Message> msg;
     bool msg_last = false;
     bool retransmitted = false;
     TimeNs sent_at = 0;
@@ -147,12 +147,12 @@ class TcpStack : public RpcTransport, public RpcServer {
   void send_message(Connection& c, Message msg);
   void pump(Connection& c);
   void transmit(Connection& c, Segment seg, bool retransmission);
-  void on_packet(net::Packet pkt);
+  void on_packet(net::Packet& pkt);
   void on_segment(const Segment& seg);
   void on_ack(Connection& c, std::uint64_t ack_seq);
   void arm_rto(Connection& c, bool restart = false);
   void retransmit_first_unacked(Connection& c);
-  void deliver_message(Connection& c, const std::shared_ptr<const Message>& m);
+  void deliver_message(Connection& c, const net::PayloadHandle<Message>& m);
   void send_ack(Connection& c, TimeNs echo_ts);
   std::uint64_t key_of(const net::FlowKey& local_flow) const;
 

@@ -1,0 +1,128 @@
+// Whole-run determinism of the timer-wheel engine under a mixed load:
+// a SOLAR cluster and a TCP (Luna) cluster sharing one engine, with a
+// concurrent stream of timer schedule/cancel churn. Two runs with the
+// same seed must execute the same number of events and end at the same
+// simulated instant — the FIFO tie-break at equal timestamps is what
+// makes this hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ebs/cluster.h"
+#include "sim/engine.h"
+#include "workload/fio.h"
+
+namespace repro::ebs {
+namespace {
+
+using transport::IoRequest;
+
+ClusterParams mixed_params(StackKind stack, std::uint64_t seed) {
+  ClusterParams p;
+  p.topo.compute_servers = 2;
+  p.topo.storage_servers = 4;
+  p.topo.servers_per_rack = 4;
+  p.stack = stack;
+  p.seed = seed;
+  p.block_server.store_payload = false;
+  return p;
+}
+
+struct RunSig {
+  std::uint64_t executed = 0;
+  TimeNs end_time = 0;
+  std::uint64_t solar_done = 0;
+  std::uint64_t tcp_done = 0;
+  std::uint64_t cancels_hit = 0;
+};
+
+// Schedules bursts of dummy timers and cancels a pseudo-random subset —
+// exercising the cancel path concurrently with real protocol traffic.
+struct CancelChurn {
+  sim::Engine& eng;
+  Rng rng;
+  std::uint64_t cancels = 0;
+  int rounds_left = 50;
+
+  void round() {
+    std::vector<sim::TimerId> ids;
+    for (int i = 0; i < 20; ++i) {
+      const TimeNs t = eng.now() + static_cast<TimeNs>(rng.next_below(static_cast<std::uint64_t>(us(50))));
+      ids.push_back(eng.schedule_at(t, [] {}));
+    }
+    for (auto id : ids) {
+      if (rng.next_below(2) == 0 && eng.cancel(id)) ++cancels;
+    }
+    if (--rounds_left > 0) {
+      eng.after(us(30), [this] { round(); });
+    }
+  }
+};
+
+RunSig run_mixed(std::uint64_t seed) {
+  sim::Engine eng;
+  Cluster solar(eng, mixed_params(StackKind::kSolar, seed));
+  Cluster tcp(eng, mixed_params(StackKind::kLuna, seed + 17));
+  const std::uint64_t vd_solar = solar.create_vd(1ull << 30);
+  const std::uint64_t vd_tcp = tcp.create_vd(1ull << 30);
+
+  workload::FioConfig cfg;
+  cfg.iodepth = 4;
+  cfg.read_fraction = 0.5;
+  cfg.max_ios = 200;
+
+  cfg.vd_id = vd_solar;
+  workload::FioJob job_solar(
+      eng,
+      [&](IoRequest io, transport::IoCompleteFn done) {
+        solar.compute(0).submit_io(std::move(io), std::move(done));
+      },
+      cfg, Rng(seed));
+  cfg.vd_id = vd_tcp;
+  workload::FioJob job_tcp(
+      eng,
+      [&](IoRequest io, transport::IoCompleteFn done) {
+        tcp.compute(1).submit_io(std::move(io), std::move(done));
+      },
+      cfg, Rng(seed + 1));
+
+  CancelChurn churn{eng, Rng(seed + 2)};
+  eng.at(0, [&] {
+    job_solar.start();
+    job_tcp.start();
+    churn.round();
+  });
+  eng.run();
+
+  RunSig sig;
+  sig.executed = eng.executed();
+  sig.end_time = eng.now();
+  sig.solar_done = job_solar.completed();
+  sig.tcp_done = job_tcp.completed();
+  sig.cancels_hit = churn.cancels;
+  return sig;
+}
+
+TEST(Determinism, MixedStacksWithCancellationAreBitIdentical) {
+  const RunSig a = run_mixed(4242);
+  const RunSig b = run_mixed(4242);
+  EXPECT_EQ(a.solar_done, 200u);
+  EXPECT_EQ(a.tcp_done, 200u);
+  EXPECT_GT(a.cancels_hit, 0u);
+  EXPECT_EQ(a.executed, b.executed);  // identical event counts
+  EXPECT_EQ(a.end_time, b.end_time);  // identical final clock
+  EXPECT_EQ(a.solar_done, b.solar_done);
+  EXPECT_EQ(a.tcp_done, b.tcp_done);
+  EXPECT_EQ(a.cancels_hit, b.cancels_hit);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentSchedules) {
+  const RunSig a = run_mixed(1);
+  const RunSig b = run_mixed(2);
+  // Sanity that the signature is sensitive enough to catch divergence.
+  EXPECT_NE(a.executed, b.executed);
+}
+
+}  // namespace
+}  // namespace repro::ebs

@@ -48,7 +48,7 @@ TEST(TwoHosts, DeliversPacket) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(10), us(1));
   int delivered = 0;
-  t.b->set_deliver([&](Packet pkt) {
+  t.b->set_deliver([&](Packet& pkt) {
     ++delivered;
     EXPECT_EQ(pkt.flow.dst_ip, t.b->ip());
     EXPECT_GT(pkt.id, 0u);
@@ -67,7 +67,7 @@ TEST(TwoHosts, LatencyIsSerializationPlusPropagationPerHop) {
   // 1 Gbps, 10us prop: 1500B = 12us serialization per hop, 2 hops.
   auto t = build_two_hosts(f.net, gbps(1), us(10));
   TimeNs arrived = -1;
-  t.b->set_deliver([&](Packet) { arrived = f.eng.now(); });
+  t.b->set_deliver([&](Packet&) { arrived = f.eng.now(); });
   f.eng.at(0, [&] {
     t.a->send_packet(make_pkt(t.a->ip(), t.b->ip(), 1, 2, 1500));
   });
@@ -80,7 +80,7 @@ TEST(TwoHosts, QueueFullDropsTail) {
   // Tiny queue: 3000 bytes capacity, slow link.
   auto t = build_two_hosts(f.net, gbps(1), us(1), 3000);
   int delivered = 0;
-  t.b->set_deliver([&](Packet) { ++delivered; });
+  t.b->set_deliver([&](Packet&) { ++delivered; });
   f.eng.at(0, [&] {
     for (int i = 0; i < 10; ++i) {
       t.a->send_packet(make_pkt(t.a->ip(), t.b->ip(), 1, 2, 1500));
@@ -97,7 +97,7 @@ TEST(TwoHosts, HighPriorityOvertakesBestEffort) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(1), us(1));
   std::vector<std::uint8_t> arrival_order;
-  t.b->set_deliver([&](Packet pkt) { arrival_order.push_back(pkt.priority); });
+  t.b->set_deliver([&](Packet& pkt) { arrival_order.push_back(pkt.priority); });
   f.eng.at(0, [&] {
     // Three best-effort then one priority packet; priority jumps the queue
     // (but not the packet already serializing).
@@ -117,7 +117,7 @@ TEST(TwoHosts, RandomLossDropsApproximatelyRate) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(100), ns(100));
   int delivered = 0;
-  t.b->set_deliver([&](Packet) { ++delivered; });
+  t.b->set_deliver([&](Packet&) { ++delivered; });
   f.net.set_loss_rate(*t.sw, 0.5);
   f.eng.at(0, [&] {
     for (int i = 0; i < 2000; ++i) {
@@ -134,7 +134,7 @@ TEST(TwoHosts, SilentDeadDeviceDropsEverything) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(10), us(1));
   int delivered = 0;
-  t.b->set_deliver([&](Packet) { ++delivered; });
+  t.b->set_deliver([&](Packet&) { ++delivered; });
   f.net.fail_device_silent(*t.sw);
   f.eng.at(0, [&] {
     t.a->send_packet(make_pkt(t.a->ip(), t.b->ip(), 1, 2, 100));
@@ -155,7 +155,7 @@ TEST(TwoHosts, BlackholeDropsOnlyAffectedFlows) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(100), ns(100));
   int delivered = 0;
-  t.b->set_deliver([&](Packet) { ++delivered; });
+  t.b->set_deliver([&](Packet&) { ++delivered; });
   f.net.set_blackhole(*t.sw, 0.25);
   constexpr int kFlows = 4000;
   f.eng.at(0, [&] {
@@ -181,7 +181,7 @@ TEST(TwoHosts, FailStopLinkLosesInFlightThenExcluded) {
   Fixture f;
   auto t = build_two_hosts(f.net, gbps(10), us(1));
   int delivered = 0;
-  t.b->set_deliver([&](Packet) { ++delivered; });
+  t.b->set_deliver([&](Packet&) { ++delivered; });
   // Kill the b-side link; before detection the switch still transmits into
   // it and packets die, after detection sends are dropped as no_route.
   f.eng.at(0, [&] { f.net.fail_link(*t.b, 0); });
@@ -234,10 +234,10 @@ TEST(Clos, AllPairsReachable) {
   Clos clos = build_clos(f.net, cfg);
   int delivered = 0;
   for (auto* nic : clos.storage) {
-    nic->set_deliver([&](Packet) { ++delivered; });
+    nic->set_deliver([&](Packet&) { ++delivered; });
   }
   for (auto* nic : clos.compute) {
-    nic->set_deliver([&](Packet) { ++delivered; });
+    nic->set_deliver([&](Packet&) { ++delivered; });
   }
   f.eng.at(0, [&] {
     for (auto* src : clos.compute) {
@@ -260,7 +260,7 @@ TEST(Clos, EcmpSpreadsFlowsAcrossCores) {
   cfg.spines_per_pod = 2;
   cfg.core_switches = 4;
   Clos clos = build_clos(f.net, cfg);
-  clos.storage[0]->set_deliver([](Packet) {});
+  clos.storage[0]->set_deliver([](Packet&) {});
   f.eng.at(0, [&] {
     // Many distinct source ports = many flows = all cores should carry some.
     for (int sport = 1; sport <= 512; ++sport) {
@@ -278,7 +278,7 @@ TEST(Clos, EcmpSpreadsFlowsAcrossCores) {
 TEST(Clos, SameFlowStaysOnSamePath) {
   Fixture f;
   Clos clos = build_clos(f.net, ClosConfig{});
-  clos.storage[0]->set_deliver([](Packet) {});
+  clos.storage[0]->set_deliver([](Packet&) {});
   f.eng.at(0, [&] {
     for (int i = 0; i < 50; ++i) {
       clos.compute[0]->send_packet(make_pkt(
@@ -298,7 +298,7 @@ TEST(Clos, UplinkFailoverAfterDetection) {
   Nic* src = clos.compute[0];
   Nic* dst = clos.storage[0];
   int delivered = 0;
-  dst->set_deliver([&](Packet) { ++delivered; });
+  dst->set_deliver([&](Packet&) { ++delivered; });
 
   // Find which uplink flow 777 uses, fail that ToR link, wait past
   // detection, and confirm the same flow now flows via the sibling ToR.
@@ -326,7 +326,7 @@ TEST(Clos, SpineFailStopReroutesAfterReconvergence) {
   Nic* src = clos.compute[0];
   Nic* dst = clos.storage[0];
   int delivered = 0;
-  dst->set_deliver([&](Packet) { ++delivered; });
+  dst->set_deliver([&](Packet&) { ++delivered; });
   f.eng.at(0, [&] { f.net.fail_device_stop(*clos.compute_spines[0]); });
   // After detect (10ms) + reconverge (50ms), everything flows via spine 1.
   f.eng.at(ms(100), [&] {
@@ -348,7 +348,7 @@ TEST(Clos, SilentSpineDeathBlackholesSubsetUntilRepair) {
   Nic* src = clos.compute[0];
   Nic* dst = clos.storage[0];
   int delivered = 0;
-  dst->set_deliver([&](Packet) { ++delivered; });
+  dst->set_deliver([&](Packet&) { ++delivered; });
   f.net.fail_device_silent(*clos.compute_spines[0]);
   f.eng.at(ms(100), [&] {
     for (int sport = 1; sport <= 256; ++sport) {
@@ -370,7 +370,7 @@ TEST(Clos, IntRecordsAppendedPerSwitchHop) {
   Nic* src = clos.compute[0];
   Nic* dst = clos.storage[0];
   std::size_t hops = 0;
-  dst->set_deliver([&](Packet pkt) { hops = pkt.int_records.size(); });
+  dst->set_deliver([&](Packet& pkt) { hops = pkt.int_records.size(); });
   f.eng.at(0, [&] {
     Packet p = make_pkt(src->ip(), dst->ip(), 1, 2, 4096);
     p.request_int = true;
@@ -387,12 +387,12 @@ TEST(Clos, BaseRttIsAFewMicroseconds) {
   Nic* src = clos.compute[0];
   Nic* dst = clos.storage[0];
   TimeNs fwd = -1, rtt = -1;
-  dst->set_deliver([&](Packet pkt) {
+  dst->set_deliver([&](Packet& pkt) {
     fwd = f.eng.now();
     dst->send_packet(make_pkt(dst->ip(), src->ip(), pkt.flow.dst_port,
                               pkt.flow.src_port, 4096));
   });
-  src->set_deliver([&](Packet) { rtt = f.eng.now(); });
+  src->set_deliver([&](Packet&) { rtt = f.eng.now(); });
   f.eng.at(0, [&] {
     src->send_packet(make_pkt(src->ip(), dst->ip(), 1, 2, 4096));
   });

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -76,6 +80,159 @@ TEST(Engine, CancelAfterFireReturnsFalseish) {
   eng.schedule_at(us(2), [&] { fired = true; });
   eng.run();
   EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelAfterFireDoesNotCorruptPending) {
+  // Regression: the old scheduler counted canceled tombstones separately
+  // and a cancel() after the event had already fired made pending()
+  // underflow to a huge value.
+  Engine eng;
+  const TimerId id = eng.schedule_at(us(1), [] {});
+  EXPECT_EQ(eng.pending(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_FALSE(eng.cancel(id));
+  EXPECT_EQ(eng.pending(), 0u);  // was 2^64-1 with the tombstone counter
+  eng.schedule_at(us(2), [] {});
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+TEST(Engine, PendingTracksScheduleCancelFire) {
+  Engine eng;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(eng.schedule_at(us(10 + i), [] {}));
+  }
+  EXPECT_EQ(eng.pending(), 8u);
+  EXPECT_TRUE(eng.cancel(ids[2]));
+  EXPECT_TRUE(eng.cancel(ids[5]));
+  EXPECT_FALSE(eng.cancel(ids[5]));  // double cancel
+  EXPECT_EQ(eng.pending(), 6u);
+  eng.run_until(us(12));
+  EXPECT_EQ(eng.pending(), 4u);  // 13, 14, 16, 17 left (12 and 15 canceled)
+  eng.run();
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, StaleIdAfterSlotReuseDoesNotCancelNewTimer) {
+  // A fired timer's slot is recycled; the old TimerId must not be able to
+  // cancel whatever new timer now occupies that slot.
+  Engine eng;
+  const TimerId old_id = eng.schedule_at(us(1), [] {});
+  eng.run();
+  bool fired = false;
+  // The freed node is reused by the next schedule (LIFO free list).
+  eng.schedule_at(us(5), [&] { fired = true; });
+  EXPECT_FALSE(eng.cancel(old_id));
+  eng.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, FifoAcrossSourcesAtEqualTimestamps) {
+  // Events scheduled from different "sources" (top level, callbacks, at()
+  // vs after()) for the same instant fire in global schedule order.
+  Engine eng;
+  std::vector<int> order;
+  eng.at(us(10), [&] { order.push_back(0); });
+  eng.schedule_at(us(10), [&] { order.push_back(1); });
+  eng.at(us(5), [&] {
+    eng.at(us(10), [&] { order.push_back(2); });
+    eng.after(us(5), [&] { order.push_back(3); });
+  });
+  eng.at(us(10), [&] { order.push_back(4); });
+  eng.run();
+  // 0, 1, 4 were scheduled before the run; 2 and 3 at us(5) during it —
+  // FIFO within a timestamp is global schedule order, not source order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 4, 2, 3}));
+}
+
+TEST(Engine, FifoPreservedAcrossCancellations) {
+  Engine eng;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(eng.schedule_at(us(7), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 16; i += 2) eng.cancel(ids[static_cast<size_t>(i)]);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15}));
+}
+
+TEST(Engine, LongDelaysCascadeToExactTimes) {
+  // Spread events across every level of the timer hierarchy: each must
+  // fire at exactly its scheduled instant even after multiple cascades.
+  Engine eng;
+  const std::vector<TimeNs> times = {
+      1,       63,        64,        65,         4095,         4096,
+      100000,  1 << 20,   1 << 26,   TimeNs{1} << 32, TimeNs{1} << 40,
+      seconds(1), seconds(100), seconds(3600)};
+  std::vector<TimeNs> fired;
+  for (TimeNs t : times) {
+    eng.at(t, [&fired, &eng] { fired.push_back(eng.now()); });
+  }
+  eng.run();
+  std::vector<TimeNs> expect = times;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Engine, RandomizedScheduleCancelMatchesModel) {
+  // Drive the wheel with a deterministic random mix of schedules and
+  // cancels and check it against a straightforward model: every surviving
+  // event fires exactly once, in nondecreasing time order, FIFO within a
+  // timestamp, and the clock ends at the latest fired time.
+  Engine eng;
+  std::mt19937 rng(12345);
+  std::uniform_int_distribution<TimeNs> when(0, 100000);
+  struct Rec {
+    TimerId id;
+    TimeNs t;
+    std::uint64_t seq;
+    bool canceled = false;
+  };
+  std::vector<Rec> recs;
+  std::vector<std::pair<TimeNs, std::uint64_t>> fired;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (!recs.empty() && rng() % 4 == 0) {
+      Rec& victim = recs[rng() % recs.size()];
+      const bool want = !victim.canceled;
+      EXPECT_EQ(eng.cancel(victim.id), want);
+      victim.canceled = true;
+    } else {
+      const TimeNs t = when(rng);
+      const std::uint64_t s = seq++;
+      recs.push_back(
+          {eng.schedule_at(t, [&fired, t, s] { fired.emplace_back(t, s); }),
+           t, s});
+    }
+  }
+  std::size_t live = 0;
+  for (const auto& r : recs) live += !r.canceled;
+  EXPECT_EQ(eng.pending(), live);
+  eng.run();
+
+  std::vector<std::pair<TimeNs, std::uint64_t>> expect;
+  for (const auto& r : recs) {
+    if (!r.canceled) expect.emplace_back(r.t, r.seq);
+  }
+  std::stable_sort(expect.begin(), expect.end());  // time, then seq = FIFO
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(eng.pending(), 0u);
+  if (!expect.empty()) {
+    EXPECT_EQ(eng.now(), expect.back().first);
+  }
+}
+
+TEST(Engine, MoveOnlyCallbacksSupported) {
+  // The packet path schedules lambdas owning move-only pooled packets;
+  // the engine's callback type must accept move-only captures.
+  Engine eng;
+  auto token = std::make_unique<int>(41);
+  int seen = 0;
+  eng.at(us(1), [&seen, token = std::move(token)] { seen = *token + 1; });
+  eng.run();
+  EXPECT_EQ(seen, 42);
 }
 
 TEST(Engine, CancelUnknownIdIsFalse) {

@@ -121,17 +121,19 @@ TEST(PathSet, HpccDecreasesWindowWhenOverloaded) {
 
   // Two consecutive INT samples from the same hop showing a saturated
   // link: tx advanced at full line rate and a standing queue.
-  std::vector<net::IntRecord> first{{.node = 9,
-                                     .timestamp = us(100),
-                                     .queue_bytes = 0,
-                                     .link_rate = gbps(25),
-                                     .tx_bytes = 1'000'000}};
+  net::IntTrail first;
+  first.push_back({.node = 9,
+                   .timestamp = us(100),
+                   .queue_bytes = 0,
+                   .link_rate = gbps(25),
+                   .tx_bytes = 1'000'000});
   ps.on_ack(p, us(10), first);
-  std::vector<net::IntRecord> second{{.node = 9,
-                                      .timestamp = us(200),
-                                      .queue_bytes = 200'000,
-                                      .link_rate = gbps(25),
-                                      .tx_bytes = 1'000'000 + 312'500}};
+  net::IntTrail second;
+  second.push_back({.node = 9,
+                    .timestamp = us(200),
+                    .queue_bytes = 200'000,
+                    .link_rate = gbps(25),
+                    .tx_bytes = 1'000'000 + 312'500});
   ps.on_ack(p, us(10), second);
   EXPECT_LT(p.cwnd, w0 + 1.0);  // decreased (or at least not grown)
 }
@@ -140,17 +142,19 @@ TEST(PathSet, HpccGrowsWindowWhenIdle) {
   PathSet ps(params(), 40000);
   PathState& p = ps.paths()[0];
   const double w0 = p.cwnd;
-  std::vector<net::IntRecord> first{{.node = 9,
-                                     .timestamp = us(100),
-                                     .queue_bytes = 0,
-                                     .link_rate = gbps(25),
-                                     .tx_bytes = 1000}};
+  net::IntTrail first;
+  first.push_back({.node = 9,
+                   .timestamp = us(100),
+                   .queue_bytes = 0,
+                   .link_rate = gbps(25),
+                   .tx_bytes = 1000});
   ps.on_ack(p, us(10), first);
-  std::vector<net::IntRecord> second{{.node = 9,
-                                      .timestamp = us(200),
-                                      .queue_bytes = 0,
-                                      .link_rate = gbps(25),
-                                      .tx_bytes = 2000}};
+  net::IntTrail second;
+  second.push_back({.node = 9,
+                    .timestamp = us(200),
+                    .queue_bytes = 0,
+                    .link_rate = gbps(25),
+                    .tx_bytes = 2000});
   ps.on_ack(p, us(10), second);
   EXPECT_GT(p.cwnd, w0);
 }

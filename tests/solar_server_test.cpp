@@ -31,7 +31,7 @@ struct ServerRig {
     bs = std::make_unique<storage::BlockServer>(eng, bs_params, Rng(1));
     server = std::make_unique<SolarServer>(eng, *hosts.b, cpu, *bs,
                                            SolarServerParams{}, Rng(2));
-    hosts.a->set_deliver([this](net::Packet pkt) {
+    hosts.a->set_deliver([this](net::Packet& pkt) {
       if (auto f = net::app_as<Frame>(pkt)) client_rx.push_back(*f);
     });
   }
