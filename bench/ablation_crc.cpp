@@ -8,6 +8,7 @@
 
 #include "common/crc32.h"
 #include "common/rng.h"
+#include "gbench_main.h"
 
 namespace repro {
 namespace {
@@ -71,4 +72,6 @@ BENCHMARK(BM_Crc32SingleBlock)->Arg(512)->Arg(4096)->Arg(65536);
 }  // namespace
 }  // namespace repro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return repro::bench::run_gbench_main(argc, argv, "BENCH_ablation_crc.json");
+}

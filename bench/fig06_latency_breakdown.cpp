@@ -7,7 +7,10 @@
 // path selection/CC under load (§4.7).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_util.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 using namespace repro;
 using ebs::StackKind;
@@ -82,7 +85,8 @@ Breakdown measure(StackKind stack, transport::OpType op, int ios) {
   return out;
 }
 
-void print_quadrant(const char* title, transport::OpType op, double q) {
+void print_quadrant(const char* title, transport::OpType op, double q,
+                    bench::RunSummary& summary) {
   std::printf("--- %s ---\n", title);
   TextTable t({"component", "Kernel (us)", "Luna (us)", "Solar (us)"});
   std::map<StackKind, Breakdown> rows;
@@ -110,6 +114,23 @@ void print_quadrant(const char* title, transport::OpType op, double q) {
              cell(StackKind::kSolar, &Breakdown::total)});
   std::printf("%s", t.render().c_str());
 
+  const std::pair<const char*, Histogram Breakdown::*> components[] = {
+      {"fn", &Breakdown::fn},   {"bn", &Breakdown::bn},
+      {"ssd", &Breakdown::ssd}, {"sa", &Breakdown::sa},
+      {"total", &Breakdown::total}};
+  for (const auto& [name, member] : components) {
+    summary.row()
+        .set("op", op == transport::OpType::kRead ? "read" : "write")
+        .set("percentile", q)
+        .set("component", name)
+        .set("kernel_us",
+             to_us((rows.at(StackKind::kKernelTcp).*member).percentile(q)))
+        .set("luna_us",
+             to_us((rows.at(StackKind::kLuna).*member).percentile(q)))
+        .set("solar_us",
+             to_us((rows.at(StackKind::kSolar).*member).percentile(q)));
+  }
+
   const double kernel_fn = to_us(rows.at(StackKind::kKernelTcp).fn.percentile(q));
   const double luna_fn = to_us(rows.at(StackKind::kLuna).fn.percentile(q));
   const double luna_sa = to_us(rows.at(StackKind::kLuna).sa.percentile(q));
@@ -124,16 +145,66 @@ void print_quadrant(const char* title, transport::OpType op, double q) {
               100.0 * (1 - solar_tot / luna_tot));
 }
 
+// A second, observability-enabled SOLAR pass: one 4KB write and one 4KB
+// read on an instrumented cluster, exported as a Perfetto-loadable Chrome
+// trace (guest -> SA/QoS -> FPGA -> fabric hops -> block server -> SSD)
+// plus the metrics snapshot. This is the PR artifact CI uploads.
+void export_sample_trace() {
+  obs::ObsConfig oc;
+  oc.trace_capacity = 1 << 15;
+  obs::Obs obs(oc);
+  auto params = bench::default_params(StackKind::kSolar, /*compute=*/2,
+                                      /*storage=*/8);
+  params.obs = &obs;
+  auto c = bench::make_cluster(params);
+  auto& eng = *c.engine;
+  obs.attach(eng);
+
+  const std::uint64_t vd = c.vds[0];
+  for (auto op : {transport::OpType::kWrite, transport::OpType::kRead}) {
+    transport::IoRequest io;
+    io.vd_id = vd;
+    io.op = op;
+    io.offset = 0;
+    io.len = 4096;
+    if (op == transport::OpType::kWrite) {
+      io.payload = transport::make_placeholder_blocks(0, 4096, 4096);
+    }
+    bool finished = false;
+    eng.at(eng.now(), [&] {
+      c.cluster->compute(0).submit_io(std::move(io),
+                                      [&](transport::IoResult) {
+                                        finished = true;
+                                      });
+    });
+    while (!finished && eng.step()) {
+    }
+  }
+  eng.run_until(eng.now() + ms(1));
+  if (obs::export_chrome_trace("fig06_solar.trace.json", obs.tracer())) {
+    std::printf("wrote fig06_solar.trace.json (%zu spans; load in "
+                "ui.perfetto.dev)\n",
+                obs.tracer().size());
+  }
+  obs::export_metrics_json("fig06_solar.metrics.json", obs.registry());
+}
+
 }  // namespace
 
 int main() {
   bench::print_header("Figure 6: 4KB I/O latency breakdown by component",
                       "Fig. 6 a-d (Kernel/Luna/Solar; SA/FN/BN/SSD)");
-  print_quadrant("(a) 4KB Read, median", transport::OpType::kRead, 0.50);
+  bench::RunSummary summary("fig06",
+                            "Fig. 6 a-d (Kernel/Luna/Solar; SA/FN/BN/SSD)");
+  print_quadrant("(a) 4KB Read, median", transport::OpType::kRead, 0.50,
+                 summary);
   print_quadrant("(b) 4KB Read, 95th percentile", transport::OpType::kRead,
-                 0.95);
-  print_quadrant("(c) 4KB Write, median", transport::OpType::kWrite, 0.50);
+                 0.95, summary);
+  print_quadrant("(c) 4KB Write, median", transport::OpType::kWrite, 0.50,
+                 summary);
   print_quadrant("(d) 4KB Write, 95th percentile", transport::OpType::kWrite,
-                 0.95);
+                 0.95, summary);
+  summary.write();
+  export_sample_trace();
   return 0;
 }

@@ -8,6 +8,7 @@
 // internal-PCIe crossings (Fig. 10); SOLAR's offloaded data path does not.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace repro;
@@ -47,6 +48,8 @@ int main() {
 
   const StackKind stacks[] = {StackKind::kLuna, StackKind::kRdma,
                               StackKind::kSolarStar, StackKind::kSolar};
+  bench::RunSummary summary("fig14",
+                            "Fig. 14a (64KB MB/s) / 14b (4KB KIOPS)");
 
   std::printf("--- (a) throughput of 64KB I/O (MB/s) ---\n");
   TextTable ta({"stack", "1 core", "2 cores", "3 cores"});
@@ -56,6 +59,11 @@ int main() {
     for (int cores = 1; cores <= 3; ++cores) {
       const Point p = run_case(s, cores, 65536);
       row.push_back(TextTable::num(p.mbps, 0));
+      summary.row()
+          .set("panel", "a")
+          .set("stack", ebs::to_string(s))
+          .set("cores", static_cast<std::int64_t>(cores))
+          .set("mbps", p.mbps);
       if (cores == 1 && s == StackKind::kSolar) solar1 = p.mbps;
       if (cores == 1 && s == StackKind::kLuna) luna1 = p.mbps;
     }
@@ -77,6 +85,11 @@ int main() {
     for (int cores = 1; cores <= 3; ++cores) {
       const Point p = run_case(s, cores, 4096);
       row.push_back(TextTable::num(p.kiops, 0));
+      summary.row()
+          .set("panel", "b")
+          .set("stack", ebs::to_string(s))
+          .set("cores", static_cast<std::int64_t>(cores))
+          .set("kiops", p.kiops);
       if (cores == 1 && s == StackKind::kSolar) solar_k1 = p.kiops;
       if (cores == 1 && s == StackKind::kLuna) luna_k1 = p.kiops;
     }
@@ -86,5 +99,6 @@ int main() {
   std::printf("shape: SOLAR 1-core IOPS vs LUNA (the incumbent): +%.0f%% "
               "(paper: +46%%); ~150K IOPS/core without queueing (§4.8)\n",
               100.0 * (solar_k1 / luna_k1 - 1.0));
+  summary.write();
   return 0;
 }

@@ -1,0 +1,36 @@
+// Shared main() body for the google-benchmark binaries: console output for
+// humans plus a BENCH_<name>.json mirror for the driver's benchmark gate,
+// unless the caller already passed an explicit --benchmark_out.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::bench {
+
+inline int run_gbench_main(int argc, char** argv, const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  static constexpr char kFmtFlag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(const_cast<char*>(kFmtFlag));
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace repro::bench

@@ -28,9 +28,12 @@
 #include "common/crc32.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "gbench_main.h"
 #include "net/nic.h"
 #include "net/packet.h"
 #include "net/topology.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "p4/solar_program.h"
 #include "proto/headers.h"
 #include "sa/crypto.h"
@@ -391,6 +394,64 @@ void BM_BlockCipher4K(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockCipher4K);
 
+// ---------------------------------------------------------------------------
+// Observability overhead guard. The registry's contract is that counter
+// bumps and span records are allocation-free in steady state and that a
+// disabled registry costs the same single add; these benchmarks are the
+// gate (allocs_per_op must report 0).
+// ---------------------------------------------------------------------------
+
+void obs_counter_inc(benchmark::State& state, bool enabled) {
+  obs::Registry reg(enabled);
+  obs::Counter c = reg.counter("bench.counter");
+  std::uint64_t ops = 0;
+  std::uint64_t allocs_start = 0;
+  std::uint64_t allocs_end = 0;
+  for (auto _ : state) {
+    c.inc();
+    allocs_end = alloc_count();
+    if (++ops == 1) allocs_start = allocs_end;
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      ops > 1 ? static_cast<double>(allocs_end - allocs_start) /
+                    static_cast<double>(ops - 1)
+              : 0.0);
+}
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs_counter_inc(state, /*enabled=*/true);
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  obs_counter_inc(state, /*enabled=*/false);
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_ObsSpanRecord(benchmark::State& state) {
+  obs::Tracer trc(/*enabled=*/true, /*capacity=*/1 << 12);
+  TimeNs t = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t allocs_start = 0;
+  std::uint64_t allocs_end = 0;
+  for (auto _ : state) {
+    const std::uint64_t parent = trc.begin();
+    trc.span("bench.span", parent, t, t + 100, 1, 0, "arg", ops);
+    t += 100;
+    allocs_end = alloc_count();
+    if (++ops == 1) allocs_start = allocs_end;
+  }
+  benchmark::DoNotOptimize(trc.total_recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      ops > 1 ? static_cast<double>(allocs_end - allocs_start) /
+                    static_cast<double>(ops - 1)
+              : 0.0);
+}
+BENCHMARK(BM_ObsSpanRecord);
+
 void BM_SolarPacketParse(benchmark::State& state) {
   Rng rng(3);
   std::vector<std::uint8_t> payload(proto::kBlockSize);
@@ -413,23 +474,5 @@ BENCHMARK(BM_SolarPacketParse);
 // Console for humans, BENCH_core.json for the driver's benchmark gate.
 // The JSON mirror is on by default; an explicit --benchmark_out wins.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
-      has_out = true;
-    }
-  }
-  static char out_flag[] = "--benchmark_out=BENCH_core.json";
-  static char fmt_flag[] = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag);
-    args.push_back(fmt_flag);
-  }
-  int new_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&new_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return repro::bench::run_gbench_main(argc, argv, "BENCH_core.json");
 }

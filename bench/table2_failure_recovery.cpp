@@ -14,6 +14,7 @@
 // consecutive-timeout failover).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_util.h"
 
 using namespace repro;
@@ -140,6 +141,8 @@ int main() {
   };
 
   TextTable t({"Failure scenario", "LUNA", "SOLAR"});
+  bench::RunSummary summary(
+      "table2", "Table 2 (I/Os unanswered >=1s under failures)");
   bool solar_all_zero = true;
   for (const auto& s : scenarios) {
     std::fprintf(stderr, "[table2] %s ...\n", s.name);
@@ -148,8 +151,11 @@ int main() {
     solar_all_zero &= (solar == 0);
     t.add_row({s.name, TextTable::num(static_cast<std::int64_t>(luna)),
                TextTable::num(static_cast<std::int64_t>(solar))});
+    summary.row().set("scenario", s.name).set("luna_hangs", luna).set(
+        "solar_hangs", solar);
   }
   std::printf("%s", t.render().c_str());
+  summary.write();
   std::printf("shape: SOLAR column all zeros: %s (paper: yes); LUNA hangs "
               "on silent failures, none on fail-stop port/spine failures\n",
               solar_all_zero ? "YES" : "NO");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace repro::ebs {
 
 std::string to_string(StackKind kind) {
@@ -115,6 +117,49 @@ void ComputeNode::submit_io(transport::IoRequest io,
   }
 }
 
+void ComputeNode::register_observables(obs::Obs& obs) {
+  obs::Registry& reg = obs.registry();
+  const std::uint32_t pid = static_cast<std::uint32_t>(nic_->id());
+  obs.tracer().set_process_name(pid, nic_->name());
+  nic_->register_metrics(reg);
+  const obs::Labels node = obs::label("node", nic_->name());
+  if (cpu_) {
+    reg.expose_gauge("cpu.busy_ns", node,
+                     [c = cpu_.get()]() -> std::int64_t {
+                       return c->total_busy_ns();
+                     });
+    reg.add_resettable(cpu_.get());
+  }
+  if (dpu_) {
+    reg.expose_gauge("dpu.cpu.busy_ns", node,
+                     [c = &dpu_->cpu()]() -> std::int64_t {
+                       return c->total_busy_ns();
+                     });
+    reg.expose_gauge("dpu.pcie.bytes", node,
+                     [p = &dpu_->internal_pcie()]() -> std::int64_t {
+                       return static_cast<std::int64_t>(
+                           p->bytes_transferred());
+                     });
+    reg.expose_gauge("dpu.pcie.backlog_ns", node,
+                     [p = &dpu_->internal_pcie()]() -> std::int64_t {
+                       return p->backlog();
+                     });
+    reg.expose_gauge("dpu.guest_dma.bytes", node,
+                     [p = &dpu_->guest_dma()]() -> std::int64_t {
+                       return static_cast<std::int64_t>(
+                           p->bytes_transferred());
+                     });
+    reg.add_resettable(&dpu_->cpu());
+    reg.add_resettable(&dpu_->internal_pcie());
+    reg.add_resettable(&dpu_->guest_dma());
+  }
+  if (solar_) solar_->register_metrics(reg);
+  if (agent_) {
+    agent_->set_obs(&obs, pid);
+    agent_->register_metrics(reg, nic_->name());
+  }
+}
+
 double ComputeNode::consumed_cores(TimeNs over) const {
   double total = 0.0;
   if (cpu_) total += cpu_->consumed_cores(over);
@@ -173,6 +218,27 @@ StorageNode::StorageNode(Cluster& cluster, int index, net::Nic& nic)
   }
 }
 
+void StorageNode::register_observables(obs::Obs& obs) {
+  obs::Registry& reg = obs.registry();
+  obs.tracer().set_process_name(static_cast<std::uint32_t>(nic_->id()),
+                                nic_->name());
+  nic_->register_metrics(reg);
+  const obs::Labels node = obs::label("node", nic_->name());
+  reg.expose_gauge("storage.cpu.busy_ns", node,
+                   [c = cpu_.get()]() -> std::int64_t {
+                     return c->total_busy_ns();
+                   });
+  reg.add_resettable(cpu_.get());
+  reg.expose_gauge("ssd.queue_backlog_ns", node,
+                   [b = block_server_.get()]() -> std::int64_t {
+                     return b->ssd_queue_backlog();
+                   });
+  reg.expose_gauge("ssd.ops", node,
+                   [b = block_server_.get()]() -> std::int64_t {
+                     return static_cast<std::int64_t>(b->ssd_ops());
+                   });
+}
+
 Cluster::Cluster(sim::Engine& engine, ClusterParams params)
     : engine_(&engine),
       params_(std::move(params)),
@@ -180,6 +246,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterParams params)
       cipher_(params_.dpu.cipher_key) {
   network_ = std::make_unique<net::Network>(engine, net::NetworkParams{},
                                             rng_.next());
+  if (params_.obs != nullptr) network_->set_obs(params_.obs);
   clos_ = net::build_clos(*network_, params_.topo);
   for (int i = 0; i < static_cast<int>(clos_.storage.size()); ++i) {
     storage_nodes_.push_back(
@@ -189,6 +256,26 @@ Cluster::Cluster(sim::Engine& engine, ClusterParams params)
     compute_nodes_.push_back(
         std::make_unique<ComputeNode>(*this, i, *clos_.compute[static_cast<std::size_t>(i)]));
   }
+  if (params_.obs != nullptr) register_observables();
+}
+
+void Cluster::register_observables() {
+  obs::Obs& obs = *params_.obs;
+  obs::Registry& reg = obs.registry();
+  auto switches = [&](const std::vector<net::Switch*>& sws) {
+    for (net::Switch* sw : sws) {
+      obs.tracer().set_process_name(static_cast<std::uint32_t>(sw->id()),
+                                    sw->name());
+      sw->register_metrics(reg);
+    }
+  };
+  switches(clos_.compute_tors);
+  switches(clos_.compute_spines);
+  switches(clos_.cores);
+  switches(clos_.storage_spines);
+  switches(clos_.storage_tors);
+  for (auto& n : compute_nodes_) n->register_observables(obs);
+  for (auto& n : storage_nodes_) n->register_observables(obs);
 }
 
 Cluster::~Cluster() = default;

@@ -27,6 +27,10 @@
 #include "storage/block_server.h"
 #include "transport/tcp.h"
 
+namespace repro::obs {
+class Obs;
+}
+
 namespace repro::ebs {
 
 enum class StackKind { kKernelTcp, kLuna, kRdma, kSolarStar, kSolar };
@@ -45,6 +49,11 @@ struct ClusterParams {
   rdma::RdmaParams rdma;
   storage::BlockServerParams block_server;
   std::uint64_t seed = 1;
+  /// Optional observability hookup: when set, the cluster hands the
+  /// subsystem to the network, names every trace process, and registers
+  /// all component metrics/gauges. Null = dark (the default): no obs code
+  /// runs anywhere near the hot path.
+  obs::Obs* obs = nullptr;
 };
 
 class Cluster;
@@ -68,6 +77,9 @@ class ComputeNode {
   sa::StorageAgent* agent() { return agent_.get(); }
   transport::TcpStack* tcp() { return tcp_.get(); }
 
+  /// Registers this node's metrics, gauges and trace names on `obs`.
+  void register_observables(obs::Obs& obs);
+
  private:
   Cluster& cluster_;
   net::Nic* nic_;
@@ -87,6 +99,9 @@ class StorageNode {
 
   storage::BlockServer& block_server() { return *block_server_; }
   net::Nic& nic() { return *nic_; }
+
+  /// Registers this node's metrics, gauges and trace names on `obs`.
+  void register_observables(obs::Obs& obs);
 
  private:
   net::Nic* nic_;
@@ -122,6 +137,10 @@ class Cluster {
  private:
   friend class ComputeNode;
   friend class StorageNode;
+
+  /// Names every trace process and registers switch/node observables.
+  /// Called once from the ctor when `params.obs` is set.
+  void register_observables();
 
   sim::Engine* engine_;
   ClusterParams params_;

@@ -21,6 +21,21 @@ void MetricSink::record(const transport::IoRequest& io,
   ssd_.record(res.trace.ssd_ns);
 }
 
+void MetricSink::register_with(obs::Registry& reg,
+                               const obs::Labels& labels) {
+  reg.expose_histogram("ebs.latency_total", labels, &total_);
+  reg.expose_histogram("ebs.latency_sa", labels, &sa_);
+  reg.expose_histogram("ebs.latency_fn", labels, &fn_);
+  reg.expose_histogram("ebs.latency_bn", labels, &bn_);
+  reg.expose_histogram("ebs.latency_ssd", labels, &ssd_);
+  reg.expose_histogram("ebs.latency_read", labels, &read_total_);
+  reg.expose_histogram("ebs.latency_write", labels, &write_total_);
+  reg.expose_counter("ebs.ios", labels, &ios_);
+  reg.expose_counter("ebs.errors", labels, &errors_);
+  reg.expose_counter("ebs.hangs", labels, &hangs_);
+  reg.expose_counter("ebs.bytes", labels, &bytes_, /*sampled=*/true);
+}
+
 void MetricSink::clear() {
   total_.clear();
   sa_.clear();

@@ -8,6 +8,7 @@
 
 #include "common/histogram.h"
 #include "common/units.h"
+#include "obs/registry.h"
 #include "transport/message.h"
 
 namespace repro::ebs {
@@ -51,6 +52,11 @@ class MetricSink {
   }
 
   void clear();
+
+  /// Publishes the sink's histograms and counters on a registry (the
+  /// accessors above keep working unchanged — the registry holds
+  /// addresses, not copies).
+  void register_with(obs::Registry& reg, const obs::Labels& labels);
 
  private:
   Histogram total_, sa_, fn_, bn_, ssd_, read_total_, write_total_;

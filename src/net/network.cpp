@@ -87,6 +87,9 @@ void Device::send(int port_idx, PacketPtr pkt) {
     return;
   }
   p.q_bytes_[cls] += pkt->size_bytes;
+  ++p.stats_.enqueues;
+  const std::uint64_t depth = p.q_bytes_[0] + p.q_bytes_[1];
+  if (depth > p.stats_.queue_bytes_peak) p.stats_.queue_bytes_peak = depth;
   p.push(cls, pkt.release());
   start_tx(port_idx);
 }

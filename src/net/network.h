@@ -32,6 +32,10 @@
 #include "net/packet.h"
 #include "sim/engine.h"
 
+namespace repro::obs {
+class Obs;
+}
+
 namespace repro::net {
 
 class Device;
@@ -44,6 +48,8 @@ struct LinkState {
 struct PortStats {
   std::uint64_t pkts_tx = 0;
   std::uint64_t bytes_tx = 0;
+  std::uint64_t enqueues = 0;
+  std::uint64_t queue_bytes_peak = 0;  ///< high-water mark across classes
   std::uint64_t drops_queue_full = 0;
   std::uint64_t drops_link_down = 0;
 };
@@ -209,6 +215,13 @@ class Network {
   void set_loss_rate(Device& dev, double p);
   void set_blackhole(Device& dev, double fraction);
 
+  /// Non-owning observability hook shared by everything fabric-adjacent.
+  /// Null (the default) means fully dark; set it before building devices so
+  /// construction-time registrations land. Attaching obs must never change
+  /// simulation behaviour.
+  void set_obs(obs::Obs* obs) { obs_ = obs; }
+  obs::Obs* obs() const { return obs_; }
+
   sim::Engine& engine() { return *engine_; }
   Rng& rng() { return rng_; }
   const NetworkParams& params() const { return params_; }
@@ -229,6 +242,7 @@ class Network {
   sim::Engine* engine_;
   NetworkParams params_;
   Rng rng_;
+  obs::Obs* obs_ = nullptr;
   // Owned via the retire() protocol: packets captured in still-pending
   // engine closures may outlive the Network; the pool outlives them all.
   PacketPool* pool_;

@@ -1,6 +1,17 @@
 #include "net/nic.h"
 
+#include "obs/obs.h"
+
 namespace repro::net {
+
+void Nic::register_metrics(obs::Registry& reg) {
+  const obs::Labels node = obs::label("node", name());
+  reg.expose_counter("nic.tx_packets", node, &tx_packets_);
+  reg.expose_counter("nic.rx_packets", node, &rx_packets_);
+  reg.expose_counter("nic.tx_bytes", node, &tx_bytes_, /*sampled=*/true);
+  reg.expose_counter("nic.rx_bytes", node, &rx_bytes_, /*sampled=*/true);
+  reg.add_resettable(this);
+}
 
 void Nic::send_packet(PacketPtr pkt) {
   pkt->id = network().next_packet_id();
@@ -24,6 +35,24 @@ void Nic::receive(PacketPtr pkt, int in_port) {
   (void)in_port;
   ++rx_packets_;
   rx_bytes_ += pkt->size_bytes;
+  // Fold the INT trail of a traced packet into per-hop fabric spans: each
+  // switch stamp opens a hop that closes at the next stamp (arrival here
+  // for the last one). pid = the switch, parented on the sender's span.
+  if (pkt->span != 0 && !pkt->int_records.empty()) {
+    if (obs::Obs* o = network().obs(); o != nullptr && o->tracer().enabled()) {
+      obs::Tracer& trc = o->tracer();
+      const TimeNs now = network().engine().now();
+      for (std::size_t i = 0; i < pkt->int_records.size(); ++i) {
+        const IntRecord& r = pkt->int_records[i];
+        const TimeNs t1 = i + 1 < pkt->int_records.size()
+                              ? pkt->int_records[i + 1].timestamp
+                              : now;
+        trc.span("fabric.hop", pkt->span, r.timestamp, t1, r.node,
+                 /*tid=*/0, "queue_bytes", r.queue_bytes, "tx_bytes",
+                 r.tx_bytes);
+      }
+    }
+  }
   if (deliver_) deliver_(*pkt);
 }
 

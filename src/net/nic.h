@@ -13,10 +13,15 @@
 #include <utility>
 
 #include "net/network.h"
+#include "obs/resettable.h"
+
+namespace repro::obs {
+class Registry;
+}
 
 namespace repro::net {
 
-class Nic : public Device {
+class Nic : public Device, public obs::Resettable {
  public:
   /// The NIC keeps ownership of the packet; the stack reads (and may strip
   /// the payload off) the reference, and the packet recycles on return.
@@ -49,7 +54,12 @@ class Nic : public Device {
   std::uint64_t rx_packets() const { return rx_packets_; }
   std::uint64_t tx_bytes() const { return tx_bytes_; }
   std::uint64_t rx_bytes() const { return rx_bytes_; }
-  void reset_counters() { tx_packets_ = rx_packets_ = tx_bytes_ = rx_bytes_ = 0; }
+  void reset_counters() override {
+    tx_packets_ = rx_packets_ = tx_bytes_ = rx_bytes_ = 0;
+  }
+
+  /// Publishes tx/rx counters and registers for reset (labels: node=<name>).
+  void register_metrics(obs::Registry& reg);
 
   /// Aggregate line rate over detected-up uplinks.
   BitsPerSec uplink_capacity() const;

@@ -229,6 +229,10 @@ struct Packet {
   PayloadBase* app = nullptr;
   std::uint64_t id = 0;
   TimeNs sent_at = 0;
+  /// Originating trace span (obs::Tracer id); 0 = untraced. Receivers
+  /// parent their spans on it and copy it onto response packets so the
+  /// return path folds into the same causal tree.
+  std::uint64_t span = 0;
 
   Packet() = default;
   ~Packet() { payload_unref(app); }
@@ -245,7 +249,8 @@ struct Packet {
         int_records(o.int_records),
         app(std::exchange(o.app, nullptr)),
         id(o.id),
-        sent_at(o.sent_at) {}
+        sent_at(o.sent_at),
+        span(o.span) {}
   Packet& operator=(Packet&& o) noexcept {
     if (this != &o) {
       flow = o.flow;
@@ -257,6 +262,7 @@ struct Packet {
       app = std::exchange(o.app, nullptr);
       id = o.id;
       sent_at = o.sent_at;
+      span = o.span;
     }
     return *this;
   }
@@ -304,6 +310,7 @@ class PacketPool {
     p->request_int = false;
     p->id = 0;
     p->sent_at = 0;
+    p->span = 0;
     p->next_ = free_head_;
     free_head_ = p;
     if (--outstanding_ == 0 && retired_) delete this;

@@ -5,6 +5,10 @@
 
 #include "net/network.h"
 
+namespace repro::obs {
+class Registry;
+}
+
 namespace repro::net {
 
 class Switch : public Device {
@@ -14,6 +18,13 @@ class Switch : public Device {
         salt_(net.rng().next()) {}
 
   std::uint64_t forwarded() const { return forwarded_; }
+  /// Packets whose nominal ECMP choice (hash over the full candidate set)
+  /// was a detected-down port, forcing a re-hash onto the live subset —
+  /// the window where flows silently shift paths.
+  std::uint64_t ecmp_rehashes() const { return ecmp_rehashes_; }
+
+  /// Publishes forwarding/drop/queue metrics (labels: node=<name>).
+  void register_metrics(obs::Registry& reg) const;
 
  protected:
   void receive(PacketPtr pkt, int in_port) override;
@@ -21,6 +32,7 @@ class Switch : public Device {
  private:
   std::uint64_t salt_;  ///< per-switch ECMP hash salt
   std::uint64_t forwarded_ = 0;
+  std::uint64_t ecmp_rehashes_ = 0;
 };
 
 }  // namespace repro::net

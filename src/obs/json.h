@@ -1,0 +1,144 @@
+// Minimal streaming JSON writer shared by the exporters and the bench
+// run-summary helper. Handles commas and string escaping; structure is the
+// caller's responsibility (matched begin/end, key before value in objects).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace repro::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    separator();
+    os_ << '{';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separator();
+    os_ << '[';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separator();
+    write_string(k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separator();
+    write_string(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v) {
+    separator();
+    if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+      os_ << static_cast<std::int64_t>(v) << ".0";
+    } else {
+      os_ << v;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separator();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separator();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v) {
+    separator();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  /// Emits pre-formatted numeric text verbatim (caller guarantees it is a
+  /// valid JSON number, e.g. fixed-point "12.345").
+  JsonWriter& value_raw(std::string_view text) {
+    separator();
+    os_ << text;
+    return *this;
+  }
+
+  template <class V>
+  JsonWriter& field(std::string_view k, V v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separator() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (!stack_.back()) os_ << ',';
+      stack_.back() = false;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            os_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // true = container still empty
+  bool pending_value_ = false;
+};
+
+}  // namespace repro::obs

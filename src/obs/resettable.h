@@ -1,0 +1,26 @@
+// The one reset convention for measurement-phase splits.
+//
+// Warmup/measure experiments need to zero every throughput counter at the
+// phase boundary; historically `net::Nic` called this `reset_counters()`
+// while `sim::CpuPool`/`sim::PcieChannel` called it `reset_accounting()`,
+// and a bench that forgot one silently reported warmup traffic. Components
+// implement this interface and register with `obs::Registry`, so
+// `Registry::reset_all()` cannot miss a counter.
+//
+// Header-only and dependency-free on purpose: sim-layer components
+// implement it without linking against repro_obs.
+#pragma once
+
+namespace repro::obs {
+
+class Resettable {
+ public:
+  virtual ~Resettable() = default;
+
+  /// Zeroes accumulated counters (packets, bytes, busy time). Must not
+  /// change any behaviourally relevant state — resetting during a run is
+  /// an observation-side action and must keep the simulation bit-identical.
+  virtual void reset_counters() = 0;
+};
+
+}  // namespace repro::obs

@@ -1,0 +1,44 @@
+#include "obs/series.h"
+
+#include "sim/engine.h"
+
+namespace repro::obs {
+
+void Sampler::attach(sim::Engine& engine, TimeNs interval) {
+  if (!registry_.enabled() || interval <= 0) return;
+  engine.set_probe(engine.now() + interval,
+                   [this, interval](TimeNs t) -> TimeNs {
+                     sample(t);
+                     return t + interval;
+                   });
+}
+
+void Sampler::sample(TimeNs t) {
+  if (!registry_.enabled()) return;
+  ++samples_;
+  const auto& entries = registry_.entries();
+  if (slot_of_entry_.size() < entries.size()) {
+    slot_of_entry_.resize(entries.size(), 0);
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const MetricEntry& e = entries[i];
+    if (!e.sampled) continue;
+    std::size_t slot = slot_of_entry_[i];
+    if (slot == 0) {
+      series_.emplace_back();
+      Series& s = series_.back();
+      s.entry_index = i;
+      s.ring.resize(capacity_);
+      slot = series_.size();
+      slot_of_entry_[i] = slot;
+    }
+    Series& s = series_[slot - 1];
+    SeriesPoint& p =
+        s.ring[static_cast<std::size_t>(s.total % s.ring.size())];
+    ++s.total;
+    p.t = t;
+    p.v = registry_.value_of(e);
+  }
+}
+
+}  // namespace repro::obs

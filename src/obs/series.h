@@ -1,0 +1,92 @@
+// Sim-time series: periodic snapshots of sampled registry entries.
+//
+// The sampler rides the engine's out-of-band probe hook (see
+// `sim::Engine::set_probe`) rather than scheduling events: probes fire as
+// the clock advances past each sample instant but are not events, so
+// `executed()`, `pending()` and the event interleaving are bit-identical
+// with sampling on or off. That is the subsystem's hard invariant —
+// observation must not perturb the simulation.
+//
+// Each sampled entry (gauges by default, counters opt-in) gets a
+// fixed-capacity ring of `{t, value}` points; when a run outlives the ring
+// the oldest points fall off, like the span flight recorder.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/registry.h"
+
+namespace repro::sim {
+class Engine;
+}
+
+namespace repro::obs {
+
+struct SeriesPoint {
+  TimeNs t = 0;
+  std::int64_t v = 0;
+};
+
+class Sampler {
+ public:
+  /// A ring of sample points for one registry entry.
+  struct Series {
+    std::size_t entry_index = 0;  // index into Registry::entries()
+    std::vector<SeriesPoint> ring;
+    std::uint64_t total = 0;
+
+    std::size_t size() const {
+      return total < ring.size() ? static_cast<std::size_t>(total)
+                                 : ring.size();
+    }
+    /// Visits retained points oldest-first.
+    template <class F>
+    void for_each(F&& f) const {
+      const std::size_t n = size();
+      const std::size_t start =
+          total < ring.size()
+              ? 0
+              : static_cast<std::size_t>(total % ring.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        f(ring[(start + i) % ring.size()]);
+      }
+    }
+  };
+
+  Sampler(Registry& registry, std::size_t capacity)
+      : registry_(registry), capacity_(capacity == 0 ? 1 : capacity) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Starts periodic sampling on `engine`'s probe hook. No-op when the
+  /// registry is disabled or `interval <= 0`.
+  void attach(sim::Engine& engine, TimeNs interval);
+
+  /// Takes one snapshot of every sampled entry at time `t`. Entries
+  /// registered after earlier samples join the series from now on.
+  void sample(TimeNs t);
+
+  const std::vector<Series>& series() const { return series_; }
+  std::uint64_t samples_taken() const { return samples_; }
+
+  /// Series for a given registry entry index, or nullptr.
+  const Series* series_for(std::size_t entry_index) const {
+    for (const Series& s : series_) {
+      if (s.entry_index == entry_index) return &s;
+    }
+    return nullptr;
+  }
+
+ private:
+  Registry& registry_;
+  std::size_t capacity_;
+  std::vector<Series> series_;
+  // entry index -> series_ slot + 1 (0 = none yet); grows with the registry.
+  std::vector<std::size_t> slot_of_entry_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace repro::obs

@@ -1,0 +1,162 @@
+// Causal trace spans: a flight recorder for per-I/O stage timing.
+//
+// One I/O produces a tree of spans — guest NVMe submit → SA / DPU CPU →
+// FPGA pipeline → internal PCIe → per-hop fabric traversal (folded from the
+// HPCC INT trail each packet already carries) → block server → SSD. Each
+// span is `{id, parent, name, t0, t1, pid, tid, args}` where `pid` is a
+// simulated device (NIC/switch node id) and `tid` a core or port within it,
+// matching the Chrome trace-event process/thread model so exports load
+// straight into Perfetto.
+//
+// The recorder is a fixed-capacity ring fully allocated at construction:
+// recording a span is a couple of stores plus one wrapping index increment,
+// with zero steady-state allocations. When full it overwrites the oldest
+// records (flight-recorder semantics) and counts the drops. Span names and
+// arg names must be string literals (static storage) — records keep the
+// pointer only.
+//
+// Disabled tracers hand out span id 0 and drop records after one
+// predictable branch; id 0 also means "no parent", so call sites never
+// special-case the disabled path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace repro::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  const char* name = "";
+  TimeNs t0 = 0;
+  TimeNs t1 = 0;
+  std::uint32_t pid = 0;  // simulated device (node id)
+  std::uint32_t tid = 0;  // core / port within the device
+  const char* arg_name = nullptr;
+  std::uint64_t arg = 0;
+  const char* arg2_name = nullptr;
+  std::uint64_t arg2 = 0;
+};
+
+class Tracer {
+ public:
+  Tracer(bool enabled, std::size_t capacity)
+      : enabled_(enabled && capacity > 0) {
+    if (enabled_) ring_.resize(capacity);
+  }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Reserves a span id before its end time is known; the record is written
+  /// later via `span_with_id`. Returns 0 when disabled.
+  std::uint64_t begin() { return enabled_ ? next_id_++ : 0; }
+
+  /// Records a completed span and returns its id (0 when disabled).
+  std::uint64_t span(const char* name, std::uint64_t parent, TimeNs t0,
+                     TimeNs t1, std::uint32_t pid, std::uint32_t tid = 0,
+                     const char* arg_name = nullptr, std::uint64_t arg = 0,
+                     const char* arg2_name = nullptr, std::uint64_t arg2 = 0) {
+    if (!enabled_) return 0;
+    return write(next_id_++, name, parent, t0, t1, pid, tid, arg_name, arg,
+                 arg2_name, arg2);
+  }
+
+  /// Records a span under an id previously reserved with `begin()`.
+  void span_with_id(std::uint64_t id, const char* name, std::uint64_t parent,
+                    TimeNs t0, TimeNs t1, std::uint32_t pid,
+                    std::uint32_t tid = 0, const char* arg_name = nullptr,
+                    std::uint64_t arg = 0, const char* arg2_name = nullptr,
+                    std::uint64_t arg2 = 0) {
+    if (!enabled_ || id == 0) return;
+    write(id, name, parent, t0, t1, pid, tid, arg_name, arg, arg2_name, arg2);
+  }
+
+  /// Perfetto-visible display names, emitted as "M" metadata events.
+  void set_process_name(std::uint32_t pid, std::string name) {
+    if (enabled_) process_names_[pid] = std::move(name);
+  }
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string name) {
+    if (enabled_) thread_names_[{pid, tid}] = std::move(name);
+  }
+
+  std::size_t size() const {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ < ring_.size() ? 0 : total_ - ring_.size();
+  }
+
+  /// Visits retained records oldest-first.
+  template <class F>
+  void for_each(F&& f) const {
+    const std::size_t n = size();
+    const std::size_t start =
+        total_ < ring_.size() ? 0 : static_cast<std::size_t>(total_ % ring_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      f(ring_[(start + i) % ring_.size()]);
+    }
+  }
+
+  /// Linear scan by id (test/export convenience, not a hot path).
+  const SpanRecord* find(std::uint64_t id) const {
+    const SpanRecord* out = nullptr;
+    for_each([&](const SpanRecord& r) {
+      if (r.id == id) out = &r;
+    });
+    return out;
+  }
+
+  const std::map<std::uint32_t, std::string>& process_names() const {
+    return process_names_;
+  }
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>&
+  thread_names() const {
+    return thread_names_;
+  }
+
+  void clear() {
+    total_ = 0;
+    next_id_ = 1;
+  }
+
+ private:
+  std::uint64_t write(std::uint64_t id, const char* name, std::uint64_t parent,
+                      TimeNs t0, TimeNs t1, std::uint32_t pid,
+                      std::uint32_t tid, const char* arg_name,
+                      std::uint64_t arg, const char* arg2_name,
+                      std::uint64_t arg2) {
+    SpanRecord& r = ring_[static_cast<std::size_t>(total_ % ring_.size())];
+    ++total_;
+    r.id = id;
+    r.parent = parent;
+    r.name = name;
+    r.t0 = t0;
+    r.t1 = t1;
+    r.pid = pid;
+    r.tid = tid;
+    r.arg_name = arg_name;
+    r.arg = arg;
+    r.arg2_name = arg2_name;
+    r.arg2 = arg2;
+    return id;
+  }
+
+  bool enabled_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t total_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names_;
+};
+
+}  // namespace repro::obs

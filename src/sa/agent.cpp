@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "obs/obs.h"
 
 namespace repro::sa {
 
@@ -16,6 +17,8 @@ using transport::StorageStatus;
 
 struct StorageAgent::Gather {
   int remaining = 0;
+  std::uint64_t span = 0;   ///< root trace span of the I/O (0 = untraced)
+  TimeNs submitted_at = 0;
   StorageStatus status = StorageStatus::kOk;
   TimeNs fn_max = 0;
   TimeNs bn_max = 0;
@@ -40,6 +43,27 @@ StorageAgent::StorageAgent(sim::Engine& engine, sim::CpuPool& cpu,
       cipher_(cipher),
       params_(params) {}
 
+void StorageAgent::set_obs(obs::Obs* obs, std::uint32_t pid) {
+  obs_ = obs;
+  pid_ = pid;
+}
+
+obs::Tracer* StorageAgent::trc() const {
+  return obs_ != nullptr && obs_->tracer().enabled() ? &obs_->tracer()
+                                                     : nullptr;
+}
+
+void StorageAgent::register_metrics(obs::Registry& reg,
+                                    const std::string& node) {
+  const obs::Labels labels = obs::label("node", node);
+  reg.expose_counter("sa.ios", labels, &stats_.ios);
+  reg.expose_counter("sa.rpcs", labels, &stats_.rpcs);
+  reg.expose_counter("sa.split_ios", labels, &stats_.split_ios);
+  reg.expose_counter("sa.crc_mismatches", labels, &stats_.crc_mismatches);
+  reg.expose_counter("sa.qos_throttled_ns", labels,
+                     &stats_.qos_throttled_ns);
+}
+
 void StorageAgent::submit_io(IoRequest io, transport::IoCompleteFn done) {
   const TimeNs now = engine_.now();
   const auto admission = qos_.admit(io.vd_id, io.len, now);
@@ -59,6 +83,14 @@ void StorageAgent::submit_io(IoRequest io, transport::IoCompleteFn done) {
 void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
                           TimeNs admitted_at, TimeNs qos_wait) {
   ++stats_.ios;
+  std::uint64_t io_span = 0;
+  if (obs::Tracer* t = trc()) {
+    io_span = t->begin();
+    if (qos_wait > 0) {
+      t->span("qos.wait", io_span, admitted_at - qos_wait, admitted_at,
+              pid_);
+    }
+  }
   const std::size_t nblocks = std::max<std::size_t>(
       io.payload.size(), (io.len + 4095) / 4096);
   TimeNs cpu_cost = params_.per_io_cost;
@@ -71,8 +103,12 @@ void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
 
   cpu_.submit(io.vd_id, cpu_cost, [this, io = std::move(io),
                                    done = std::move(done), admitted_at,
-                                   qos_wait]() mutable {
+                                   qos_wait, io_span]() mutable {
     const TimeNs sa_pre = engine_.now() - admitted_at;
+    if (obs::Tracer* t = trc()) {
+      t->span("sa.cpu", io_span, admitted_at, engine_.now(), pid_, 0,
+              "blocks", io.payload.size());
+    }
     // Real byte work for blocks that carry payloads: encrypt then CRC the
     // ciphertext (the wire/storage CRC covers exactly what is stored).
     if (io.op == OpType::kWrite) {
@@ -100,6 +136,8 @@ void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
 
     auto g = std::make_shared<Gather>();
     g->remaining = static_cast<int>(extents.size());
+    g->span = io_span;
+    g->submitted_at = admitted_at - qos_wait;
     g->sa_pre = sa_pre;
     g->qos_wait = qos_wait;
     g->io = std::move(io);
@@ -128,6 +166,21 @@ void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
       rpc_.call(ext.loc.block_server, std::move(req),
                 [this, g, ext, call_at](StorageResponse resp) {
                   const TimeNs elapsed = engine_.now() - call_at;
+                  if (obs::Tracer* t = trc()) {
+                    // Server-side stage durations come back in the response
+                    // metadata; anchor them at the response arrival, nested
+                    // bs > ssd — the §2.3 breakdown as a span tree.
+                    const TimeNs now = engine_.now();
+                    const bool wr = g->io.op == OpType::kWrite;
+                    const std::uint64_t rpc_span =
+                        t->span(wr ? "rpc.write" : "rpc.read", g->span,
+                                call_at, now, pid_, 0, "len", ext.len);
+                    const std::uint64_t bs_span =
+                        t->span(wr ? "bs.write" : "bs.read", rpc_span,
+                                now - resp.server_bn_ns, now, pid_);
+                    t->span(wr ? "ssd.write" : "ssd.read", bs_span,
+                            now - resp.server_ssd_ns, now, pid_);
+                  }
                   g->fn_max = std::max(
                       g->fn_max,
                       elapsed - resp.server_bn_ns - resp.server_ssd_ns);
@@ -159,7 +212,15 @@ void StorageAgent::finish_io(const std::shared_ptr<Gather>& g) {
       cpu_cost += params_.per_block_crypto * static_cast<TimeNs>(read_blocks);
     }
   }
-  cpu_.submit(g->io.vd_id, cpu_cost, [this, g] {
+  cpu_.submit(g->io.vd_id, cpu_cost, [this, g, post_t0 = engine_.now()] {
+    if (obs::Tracer* t = trc()) {
+      const TimeNs now = engine_.now();
+      t->span("sa.post", g->span, post_t0, now, pid_);
+      t->span_with_id(g->span,
+                      g->io.op == OpType::kWrite ? "io.write" : "io.read",
+                      0, g->submitted_at, now, pid_, 0, "bytes", g->io.len,
+                      "vd", g->io.vd_id);
+    }
     IoResult res;
     res.status = g->status;
     if (g->io.op == OpType::kRead && g->status == StorageStatus::kOk) {

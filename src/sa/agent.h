@@ -16,6 +16,12 @@
 #include "sim/engine.h"
 #include "transport/rpc.h"
 
+namespace repro::obs {
+class Obs;
+class Registry;
+class Tracer;
+}
+
 namespace repro::sa {
 
 struct SaParams {
@@ -46,12 +52,20 @@ class StorageAgent {
   const SaStats& stats() const { return stats_; }
   SaParams& params() { return params_; }
 
+  /// Hooks the agent up to the observability subsystem. The agent has no
+  /// NIC of its own, so the caller supplies the trace pid (its node id).
+  void set_obs(obs::Obs* obs, std::uint32_t pid);
+  /// Publishes SA counters (labels: node=<node>).
+  void register_metrics(obs::Registry& reg, const std::string& node);
+
  private:
   struct Gather;  // in-flight multi-extent I/O state (defined in agent.cpp)
 
   void run_io(transport::IoRequest io, transport::IoCompleteFn done,
               TimeNs admitted_at, TimeNs qos_wait);
   void finish_io(const std::shared_ptr<Gather>& g);
+  /// Active tracer, or nullptr when observability is dark.
+  obs::Tracer* trc() const;
 
   sim::Engine& engine_;
   sim::CpuPool& cpu_;
@@ -61,6 +75,8 @@ class StorageAgent {
   const BlockCipher* cipher_;
   SaParams params_;
   SaStats stats_;
+  obs::Obs* obs_ = nullptr;
+  std::uint32_t pid_ = 0;  ///< trace process id (owning node's device id)
 };
 
 }  // namespace repro::sa

@@ -60,7 +60,7 @@ TimeNs CpuPool::total_busy_ns() const {
   return total - busy_baseline_;
 }
 
-void CpuPool::reset_accounting() {
+void CpuPool::reset_counters() {
   busy_baseline_ = 0;
   busy_baseline_ = total_busy_ns();
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/resettable.h"
 #include "sim/engine.h"
 
 namespace repro::sim {
@@ -56,7 +57,7 @@ class CpuCore {
   TimeNs busy_ns_ = 0;
 };
 
-class CpuPool {
+class CpuPool : public obs::Resettable {
  public:
   enum class Dispatch { kByHash, kLeastLoaded };
 
@@ -79,7 +80,10 @@ class CpuPool {
   }
 
   /// Resets busy accounting (used between warmup and measurement phases).
-  void reset_accounting();
+  /// Canonical name per the obs::Resettable convention; the historical
+  /// `reset_accounting()` spelling forwards to it.
+  void reset_counters() override;
+  void reset_accounting() { reset_counters(); }
 
  private:
   Engine& engine_;

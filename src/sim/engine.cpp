@@ -119,6 +119,7 @@ Engine::Node* Engine::take_next(TimeNs limit) {
       const int idx = std::countr_zero(m0);
       const TimeNs t = (now_ & ~TimeNs{kSlots - 1}) | idx;
       if (t > limit) return nullptr;
+      run_probe_to(t);
       now_ = t;
       Node* n = pop_front(0, idx);
       --pending_;
@@ -146,6 +147,7 @@ Engine::Node* Engine::take_next(TimeNs limit) {
       const TimeNs slot_start =
           high | (static_cast<TimeNs>(idx) << (kSlotBits * level));
       if (slot_start > limit) return nullptr;
+      run_probe_to(slot_start);
       now_ = slot_start;
       cascade(level, idx);
       cascaded = true;
@@ -208,7 +210,10 @@ void Engine::run_until(TimeNs t) {
     release_node(n);
     fn();
   }
-  if (now_ < t) now_ = t;
+  if (now_ < t) {
+    run_probe_to(t);
+    now_ = t;
+  }
 }
 
 }  // namespace repro::sim

@@ -28,6 +28,10 @@ namespace repro::sim {
 
 using Callback = SmallFn<void(), 48>;
 
+/// Out-of-band clock probe: called with the probe instant, returns the next
+/// instant (a value <= the argument disarms the probe).
+using ProbeFn = SmallFn<TimeNs(TimeNs), 48>;
+
 /// Identifier for a cancelable event. 0 is never a valid id.
 using TimerId = std::uint64_t;
 
@@ -72,6 +76,24 @@ class Engine {
   std::size_t pending() const { return pending_; }
   std::uint64_t executed() const { return executed_; }
 
+  /// Installs an out-of-band clock probe, first firing at `first_at`.
+  ///
+  /// The probe is NOT an event: it fires while the clock advances past each
+  /// probe instant, is invisible to `pending()`/`executed()`, cannot keep a
+  /// run alive, and must not mutate simulation state. This is the hook the
+  /// observability sampler uses so that sampling cannot perturb the event
+  /// schedule (tests/determinism_test.cpp holds runs bit-identical with it
+  /// armed or not). The probe returns the next instant to fire at; a return
+  /// value <= the current instant disarms it.
+  void set_probe(TimeNs first_at, ProbeFn fn) {
+    probe_ = std::move(fn);
+    probe_at_ = first_at < now_ ? now_ : first_at;
+  }
+  void clear_probe() {
+    probe_.reset();
+    probe_at_ = -1;
+  }
+
  private:
   static constexpr int kSlotBits = 6;
   static constexpr int kSlots = 1 << kSlotBits;  // 64
@@ -108,6 +130,16 @@ class Engine {
   /// time <= limit, or returns nullptr (clock never passes `limit`).
   Node* take_next(TimeNs limit);
 
+  /// Fires the probe for every armed instant <= `t` (the clock is about to
+  /// advance to `t`).
+  void run_probe_to(TimeNs t) {
+    while (probe_at_ >= 0 && probe_at_ <= t) {
+      const TimeNs at = probe_at_;
+      const TimeNs next = probe_(at);
+      probe_at_ = next > at ? next : -1;
+    }
+  }
+
   Node* heads_[kLevels][kSlots] = {};
   Node* tails_[kLevels][kSlots] = {};
   std::uint64_t occupied_[kLevels] = {};
@@ -116,6 +148,8 @@ class Engine {
   Node* free_head_ = nullptr;
 
   TimeNs now_ = 0;
+  ProbeFn probe_;
+  TimeNs probe_at_ = -1;  // -1 = disarmed
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;

@@ -11,11 +11,12 @@
 #include <string>
 
 #include "common/units.h"
+#include "obs/resettable.h"
 #include "sim/engine.h"
 
 namespace repro::sim {
 
-class PcieChannel {
+class PcieChannel : public obs::Resettable {
  public:
   PcieChannel(Engine& engine, std::string name, BitsPerSec bandwidth,
               TimeNs per_transfer_latency)
@@ -41,7 +42,10 @@ class PcieChannel {
     return free_at_ > now ? free_at_ - now : 0;
   }
 
-  void reset_accounting() { bytes_transferred_ = 0; }
+  /// Canonical reset per the obs::Resettable convention; the historical
+  /// `reset_accounting()` spelling forwards to it.
+  void reset_counters() override { bytes_transferred_ = 0; }
+  void reset_accounting() { reset_counters(); }
 
  private:
   Engine& engine_;

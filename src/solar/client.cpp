@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "obs/obs.h"
 
 namespace repro::solar {
 
@@ -25,6 +26,8 @@ struct SolarClient::IoCtx {
   transport::IoCompleteFn done;
   int remaining_rpcs = 0;
   StorageStatus status = StorageStatus::kOk;
+  std::uint64_t span = 0;  // root trace span (0 = untraced)
+  TimeNs submitted_at = 0;
   TimeNs admitted_at = 0;
   TimeNs qos_wait = 0;
   TimeNs first_tx_at = -1;
@@ -37,6 +40,7 @@ struct SolarClient::IoCtx {
 
 struct SolarClient::RpcCtx {
   std::uint64_t rpc_id = 0;
+  std::uint64_t span = 0;  // trace span (0 = untraced)
   net::IpAddr dst = 0;
   OpType op = OpType::kWrite;
   sa::Extent ext;
@@ -72,6 +76,58 @@ SolarClient::SolarClient(sim::Engine& engine, dpu::AliDpu& dpu, net::Nic& nic,
   nic_.set_deliver([this](net::Packet& pkt) { on_packet(pkt); });
 }
 
+obs::Tracer* SolarClient::trc() const {
+  obs::Obs* o = nic_.network().obs();
+  return o != nullptr && o->tracer().enabled() ? &o->tracer() : nullptr;
+}
+
+SolarClient::PathAggregates SolarClient::path_aggregates() const {
+  PathAggregates agg;
+  double cwnd_sum = 0.0;
+  std::int64_t srtt_sum = 0;
+  for (const auto& [peer, ps] : paths_) {
+    for (const auto& p : ps->paths()) {
+      ++agg.paths;
+      agg.total_inflight += p.inflight;
+      cwnd_sum += p.cwnd;
+      srtt_sum += p.srtt;
+    }
+  }
+  if (agg.paths > 0) {
+    agg.avg_cwnd =
+        static_cast<std::int64_t>(cwnd_sum / static_cast<double>(agg.paths));
+    agg.avg_srtt_ns = srtt_sum / agg.paths;
+  }
+  return agg;
+}
+
+void SolarClient::register_metrics(obs::Registry& reg) {
+  const obs::Labels node = obs::label("node", nic_.name());
+  reg.expose_counter("solar.ios", node, &stats_.ios);
+  reg.expose_counter("solar.rpcs", node, &stats_.rpcs);
+  reg.expose_counter("solar.data_pkts_tx", node, &stats_.data_pkts_tx);
+  reg.expose_counter("solar.retransmits", node, &stats_.retransmits);
+  reg.expose_counter("solar.pkt_timeouts", node, &stats_.pkt_timeouts);
+  reg.expose_counter("solar.agg_check_failures", node,
+                     &stats_.agg_check_failures);
+  reg.expose_counter("solar.blocks_repaired", node, &stats_.blocks_repaired);
+  reg.expose_counter("solar.read_hw_crc_rejects", node,
+                     &stats_.read_hw_crc_rejects);
+  reg.expose_counter("solar.path_redraws", node, &stats_.path_redraws);
+  reg.expose_gauge(
+      "solar.path.inflight", node,
+      [this]() -> std::int64_t { return path_aggregates().total_inflight; },
+      /*sampled=*/true);
+  reg.expose_gauge(
+      "solar.path.avg_cwnd", node,
+      [this]() -> std::int64_t { return path_aggregates().avg_cwnd; },
+      /*sampled=*/true);
+  reg.expose_gauge(
+      "solar.path.avg_srtt_ns", node,
+      [this]() -> std::int64_t { return path_aggregates().avg_srtt_ns; },
+      /*sampled=*/true);
+}
+
 PathSet& SolarClient::pathset(net::IpAddr peer) {
   auto it = paths_.find(peer);
   if (it == paths_.end()) {
@@ -94,8 +150,10 @@ void SolarClient::submit_io(IoRequest io, transport::IoCompleteFn done) {
   auto ctx = std::make_shared<IoCtx>();
   ctx->io = std::move(io);
   ctx->done = std::move(done);
+  ctx->submitted_at = now;
   ctx->qos_wait = admission.admit_at - now;
   ctx->admitted_at = admission.admit_at;
+  if (obs::Tracer* t = trc()) ctx->span = t->begin();
   if (ctx->qos_wait == 0) {
     start_io(std::move(ctx));
   } else {
@@ -115,6 +173,12 @@ void SolarClient::start_io(std::shared_ptr<IoCtx> io) {
     res.trace.qos_wait_ns = io->qos_wait;
     io->done(std::move(res));
     return;
+  }
+  if (io->qos_wait > 0) {
+    if (obs::Tracer* t = trc()) {
+      t->span("qos.wait", io->span, io->submitted_at, io->admitted_at,
+              nic_.id());
+    }
   }
   io->remaining_rpcs = static_cast<int>(extents.size());
   for (const auto& ext : extents) start_rpc(io, ext);
@@ -147,12 +211,22 @@ void SolarClient::start_rpc(const std::shared_ptr<IoCtx>& io,
   rpc->st.resize(nblocks);
   rpc->outstanding = static_cast<int>(nblocks);
   rpcs_[rpc->rpc_id] = rpc;
+  if (obs::Tracer* t = trc()) rpc->span = t->begin();
 
   // RPC issue cost on the DPU CPU (§4.5: the CPU polls the I/O to issue an
   // RPC), then the Block-table lookup in the FPGA.
-  dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_rpc, [this, rpc] {
-    engine_.after(dpu_.fpga().lookup_latency() * 2 /*QoS + Block*/, [this,
-                                                                     rpc] {
+  const TimeNs cpu_t0 = engine_.now();
+  dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_rpc, [this, rpc, cpu_t0] {
+    const TimeNs cpu_t1 = engine_.now();
+    if (obs::Tracer* t = trc()) {
+      t->span("dpu.cpu", rpc->span, cpu_t0, cpu_t1, nic_.id(), 0, "rpc_issue",
+              1);
+    }
+    engine_.after(dpu_.fpga().lookup_latency() * 2 /*QoS + Block*/,
+                  [this, rpc, cpu_t1] {
+      if (obs::Tracer* t = trc()) {
+        t->span("fpga.lookup", rpc->span, cpu_t1, engine_.now(), nic_.id());
+      }
       for (std::uint16_t i = 0; i < rpc->st.size(); ++i) {
         if (rpc->op == OpType::kWrite) {
           send_write_block(rpc, i, /*software_path=*/!params_.offload);
@@ -209,10 +283,29 @@ void SolarClient::send_write_block(const std::shared_ptr<RpcCtx>& rpc,
     }
   }
 
+  rpc->st[pkt_id].stage_t0 = engine_.now();
   dpu_.cpu().submit(rpc->rpc_id, cpu_cost, [this, rpc, pkt_id, port,
                                                   software_path, fpga_lat] {
     const DataBlock& blk = rpc->wire[pkt_id];
-    auto send_frame = [this, rpc, pkt_id, port] {
+    if (obs::Tracer* t = trc()) {
+      t->span("dpu.cpu", rpc->span, rpc->st[pkt_id].stage_t0, engine_.now(),
+              nic_.id(), 0, "pkt", pkt_id);
+    }
+    rpc->st[pkt_id].stage_t0 = engine_.now();
+    auto send_frame = [this, rpc, pkt_id, port, software_path] {
+      if (obs::Tracer* t = trc()) {
+        const BlockState& bst = rpc->st[pkt_id];
+        if (software_path) {
+          // Two internal-PCIe crossings (DPU memory in and out, Fig. 10).
+          t->span("pcie.internal", rpc->span, bst.stage_t0, engine_.now(),
+                  nic_.id(), 0, "crossings", 2, "pkt", pkt_id);
+        } else {
+          t->span("pcie.guest_dma", rpc->span, bst.stage_t0, bst.stage_t1,
+                  nic_.id(), 0, "pkt", pkt_id);
+          t->span("fpga.pipeline", rpc->span, bst.stage_t1, engine_.now(),
+                  nic_.id(), 0, "pkt", pkt_id);
+        }
+      }
       PathSet& ps2 = pathset(rpc->dst);
       PathState* p2 = ps2.by_port(port);
       Frame f;
@@ -242,9 +335,10 @@ void SolarClient::send_write_block(const std::shared_ptr<RpcCtx>& rpc,
     } else {
       // Offloaded path: DMA from guest memory straight into the FPGA,
       // through the pipeline, out of PktGen. No DPU CPU, no internal PCIe.
-      dpu_.guest_dma().transfer(blk.len, [this, fpga_lat, send_frame] {
-        engine_.after(fpga_lat, send_frame);
-      });
+      rpc->st[pkt_id].stage_t1 =
+          dpu_.guest_dma().transfer(blk.len, [this, fpga_lat, send_frame] {
+            engine_.after(fpga_lat, send_frame);
+          });
     }
   });
 }
@@ -263,12 +357,23 @@ void SolarClient::send_read_request(const std::shared_ptr<RpcCtx>& rpc,
   rpc->st[pkt_id].port = path->port;
   rpc->st[pkt_id].request_acked = false;
   const std::uint16_t port = path->port;
+  rpc->st[pkt_id].stage_t0 = engine_.now();
   dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_packet, [this, rpc,
                                                                 pkt_id,
                                                                 port] {
+    rpc->st[pkt_id].stage_t1 = engine_.now();
+    if (obs::Tracer* t = trc()) {
+      t->span("dpu.cpu", rpc->span, rpc->st[pkt_id].stage_t0, engine_.now(),
+              nic_.id(), 0, "pkt", pkt_id);
+    }
     // Addr-table insert + request PktGen in the FPGA.
     engine_.after(dpu_.fpga().lookup_latency() + dpu_.fpga().pktgen_latency(),
                   [this, rpc, pkt_id, port] {
+                    if (obs::Tracer* t = trc()) {
+                      t->span("fpga.pktgen", rpc->span,
+                              rpc->st[pkt_id].stage_t1, engine_.now(),
+                              nic_.id(), 0, "pkt", pkt_id);
+                    }
                     PathSet& ps2 = pathset(rpc->dst);
                     PathState* p2 = ps2.by_port(port);
                     Frame f;
@@ -295,6 +400,7 @@ void SolarClient::emit(const std::shared_ptr<RpcCtx>& rpc,
                        std::uint16_t pkt_id, Frame frame, PathState& path) {
   frame.ts = engine_.now();
   rpc->st[pkt_id].sent_at = frame.ts;
+  if (obs::Tracer* t = trc()) rpc->st[pkt_id].span = t->begin();
   if (rpc->io->first_tx_at < 0) rpc->io->first_tx_at = frame.ts;
   if (rpc->st[pkt_id].timer != 0) engine_.cancel(rpc->st[pkt_id].timer);
   rpc->st[pkt_id].timer = engine_.schedule_after(
@@ -307,6 +413,7 @@ void SolarClient::emit(const std::shared_ptr<RpcCtx>& rpc,
   pkt->size_bytes = frame_wire_bytes(frame);
   pkt->priority = 0;  // SOLAR's dedicated switch queue (§4.8)
   pkt->request_int = params_.use_int;
+  pkt->span = rpc->st[pkt_id].span;
   net::emplace_app<Frame>(*pkt, std::move(frame));
   nic_.send_packet(std::move(pkt));
 }
@@ -371,6 +478,11 @@ void SolarClient::handle_ack(const Frame& f, const net::IntTrail& int_recs) {
     // here — they carry no CC signal; the read side pays per data response.
     dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_ack, [] {});
     st.acked = true;
+    if (obs::Tracer* t = trc()) {
+      t->span_with_id(st.span, "blk.net", rpc->span, st.sent_at,
+                      engine_.now(), nic_.id(), st.port, "pkt", f.rpc.pkt_id,
+                      "rtt_ns", static_cast<std::uint64_t>(rtt));
+    }
     if (st.timer != 0) {
       engine_.cancel(st.timer);
       st.timer = 0;
@@ -548,6 +660,10 @@ void SolarClient::handle_read_response(const Frame& f,
         return;
       }
       stt.arrived = true;
+      if (obs::Tracer* t = trc()) {
+        t->span_with_id(stt.span, "blk.net", rpc->span, stt.sent_at,
+                        engine_.now(), nic_.id(), stt.port, "pkt", pkt_id);
+      }
       if (stt.timer != 0) {
         engine_.cancel(stt.timer);
         stt.timer = 0;
@@ -642,6 +758,11 @@ void SolarClient::on_block_timeout(std::uint64_t rpc_id,
   st.timer = 0;
   if (rpc->op == OpType::kWrite ? st.acked : st.arrived) return;
   ++stats_.pkt_timeouts;
+  if (obs::Tracer* t = trc()) {
+    t->span_with_id(st.span, "blk.net.timeout", rpc->span, st.sent_at,
+                    engine_.now(), nic_.id(), st.port, "pkt", pkt_id,
+                    "retries", static_cast<std::uint64_t>(st.retries));
+  }
   PathSet& ps = pathset(rpc->dst);
   if (PathState* path = ps.by_port(st.port)) {
     path->inflight = std::max(0, path->inflight - 1);
@@ -751,6 +872,13 @@ void SolarClient::complete_rpc(const std::shared_ptr<RpcCtx>& rpc,
                                StorageStatus status) {
   if (rpc->completed) return;
   rpc->completed = true;
+  if (obs::Tracer* t = trc()) {
+    t->span_with_id(rpc->span,
+                    rpc->op == OpType::kWrite ? "rpc.write" : "rpc.read",
+                    rpc->io->span, rpc->started_at, engine_.now(), nic_.id(),
+                    0, "blocks", rpc->st.size(), "status",
+                    static_cast<std::uint64_t>(status));
+  }
   if (rpc->response_timer != 0) {
     engine_.cancel(rpc->response_timer);
     rpc->response_timer = 0;
@@ -784,6 +912,12 @@ void SolarClient::complete_rpc(const std::shared_ptr<RpcCtx>& rpc,
 }
 
 void SolarClient::finish_io(const std::shared_ptr<IoCtx>& io) {
+  if (obs::Tracer* t = trc()) {
+    t->span_with_id(io->span,
+                    io->io.op == OpType::kWrite ? "io.write" : "io.read", 0,
+                    io->submitted_at, engine_.now(), nic_.id(), 0, "bytes",
+                    io->io.len, "vd", io->io.vd_id);
+  }
   IoResult res;
   res.status = io->status;
   res.completed_at = engine_.now();

@@ -24,6 +24,11 @@
 #include "solar/path.h"
 #include "transport/message.h"
 
+namespace repro::obs {
+class Registry;
+class Tracer;
+}
+
 namespace repro::solar {
 
 struct SolarParams {
@@ -84,6 +89,19 @@ class SolarClient {
   SolarParams& params() { return params_; }
   PathSet& path_set(net::IpAddr peer) { return pathset(peer); }
 
+  /// Order-independent aggregates over all peers' paths (the per-path map
+  /// is unordered, so gauges must not depend on iteration order).
+  struct PathAggregates {
+    std::int64_t paths = 0;
+    std::int64_t total_inflight = 0;
+    std::int64_t avg_cwnd = 0;     ///< mean congestion window (blocks)
+    std::int64_t avg_srtt_ns = 0;  ///< mean smoothed RTT
+  };
+  PathAggregates path_aggregates() const;
+
+  /// Publishes transport counters and path gauges (labels: node=<name>).
+  void register_metrics(obs::Registry& reg);
+
  private:
   struct IoCtx;
   struct RpcCtx;
@@ -96,6 +114,12 @@ class SolarClient {
     TimeNs sent_at = 0;
     sim::TimerId timer = 0;
     int retries = 0;
+    /// Trace span of the current network attempt (obs; 0 = untraced).
+    /// Timestamps for data-path stage spans live here rather than in
+    /// lambda captures so the hot-path SmallFns stay within inline SBO.
+    std::uint64_t span = 0;
+    TimeNs stage_t0 = 0;
+    TimeNs stage_t1 = 0;
   };
 
   PathSet& pathset(net::IpAddr peer);
@@ -121,6 +145,8 @@ class SolarClient {
                     transport::StorageStatus status);
   void finish_io(const std::shared_ptr<IoCtx>& io);
   void release_path(std::uint16_t port, net::IpAddr peer);
+  /// Active tracer, or nullptr when observability is dark.
+  obs::Tracer* trc() const;
 
   sim::Engine& engine_;
   dpu::AliDpu& dpu_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "obs/obs.h"
 
 namespace repro::solar {
 
@@ -29,6 +30,11 @@ SolarServer::SolarServer(sim::Engine& engine, net::Nic& nic,
 
 net::FlowKey SolarServer::reversed(const net::FlowKey& f) {
   return net::FlowKey{f.dst_ip, f.src_ip, f.dst_port, f.src_port, f.proto};
+}
+
+obs::Tracer* SolarServer::trc() const {
+  obs::Obs* o = nic_.network().obs();
+  return o != nullptr && o->tracer().enabled() ? &o->tracer() : nullptr;
 }
 
 void SolarServer::on_packet(net::Packet& pkt) {
@@ -65,6 +71,7 @@ void SolarServer::send_ack(const Frame& f, const net::Packet& pkt) {
   out->size_bytes = 64 + static_cast<std::uint32_t>(
                              ack.int_echo.size() * 12);
   out->priority = 0;
+  out->span = pkt.span;  // return-path hops fold into the same block span
   net::emplace_app<Frame>(*out, std::move(ack));
   nic_.send_packet(std::move(out));
 }
@@ -83,6 +90,7 @@ void SolarServer::send_write_response(std::uint64_t rpc_id,
   out->flow = rpc.reply_flow;
   out->size_bytes = 96;
   out->priority = 0;
+  out->span = rpc.reply_span;
   net::emplace_app<Frame>(*out, std::move(resp));
   nic_.send_packet(std::move(out));
 }
@@ -101,6 +109,7 @@ void SolarServer::handle_write(const Frame& f, const net::Packet& pkt) {
     gc_queue_.emplace_back(engine_.now(), rpc_id);
   }
   rpc.reply_flow = reversed(pkt.flow);
+  rpc.reply_span = pkt.span;
   if (rpc.response_sent) {
     // Duplicate block of a completed RPC: the response must have been
     // lost; resend it.
@@ -120,10 +129,15 @@ void SolarServer::handle_write(const Frame& f, const net::Packet& pkt) {
   if (params_.verify_crc && !encrypted && f.block.has_payload()) {
     cpu += params_.cpu_per_block_crc;
   }
-  cpu_.submit(rpc_id, cpu, [this, f, rpc_id, encrypted] {
+  cpu_.submit(rpc_id, cpu, [this, f, rpc_id, encrypted,
+                            span = pkt.span, cpu_t0 = engine_.now()] {
     auto wit = writes_.find(rpc_id);
     if (wit == writes_.end()) return;
     WriteRpc& w = wit->second;
+    if (obs::Tracer* t = trc()) {
+      t->span("server.cpu", span, cpu_t0, engine_.now(), nic_.id(), 0,
+              "pkt", f.rpc.pkt_id);
+    }
     // Software CRC verification of the plaintext (skipped when the block
     // is ciphertext — the client-side aggregation covers that case).
     if (params_.verify_crc && !encrypted && f.block.has_payload() &&
@@ -140,12 +154,21 @@ void SolarServer::handle_write(const Frame& f, const net::Packet& pkt) {
     block_server_.write_block(
         f.ebs.segment_id, f.ebs.lba, std::move(block),
         /*done=*/
-        [this, rpc_id, pkt_id = f.rpc.pkt_id](StorageStatus status, TimeNs bn,
-                                              TimeNs ssd) {
+        [this, rpc_id, pkt_id = f.rpc.pkt_id, span](StorageStatus status,
+                                                    TimeNs bn, TimeNs ssd) {
           auto it2 = writes_.find(rpc_id);
           if (it2 == writes_.end()) return;
           WriteRpc& w2 = it2->second;
           if (pkt_id >= w2.progress.size() || w2.response_sent) return;
+          if (obs::Tracer* t = trc()) {
+            // bn covers the whole block-server stage, ssd the SSD service
+            // tail inside it — reconstruct both from the completion time.
+            const TimeNs done_at = engine_.now();
+            const std::uint64_t bs_span =
+                t->span("bs.write", span, done_at - bn, done_at, nic_.id(),
+                        0, "pkt", pkt_id);
+            t->span("ssd.write", bs_span, done_at - ssd, done_at, nic_.id());
+          }
           w2.progress[pkt_id] = BlockProgress::kDone;
           ++w2.done_count;
           w2.max_bn = std::max(w2.max_bn, bn);
@@ -164,11 +187,23 @@ void SolarServer::handle_write(const Frame& f, const net::Packet& pkt) {
 void SolarServer::handle_read(const Frame& f, const net::Packet& pkt) {
   send_ack(f, pkt);
   const net::FlowKey reply = reversed(pkt.flow);
-  cpu_.submit(f.rpc.rpc_id, params_.cpu_per_packet, [this, f, reply] {
+  cpu_.submit(f.rpc.rpc_id, params_.cpu_per_packet,
+              [this, f, reply, span = pkt.span, cpu_t0 = engine_.now()] {
+    if (obs::Tracer* t = trc()) {
+      t->span("server.cpu", span, cpu_t0, engine_.now(), nic_.id(), 0,
+              "pkt", f.rpc.pkt_id);
+    }
     block_server_.read_block(
         f.ebs.segment_id, f.ebs.lba, f.ebs.block_len,
-        [this, f, reply](StorageStatus status, DataBlock block, TimeNs bn,
-                         TimeNs ssd) {
+        [this, f, reply, span](StorageStatus status, DataBlock block,
+                               TimeNs bn, TimeNs ssd) {
+          if (obs::Tracer* t = trc()) {
+            const TimeNs done_at = engine_.now();
+            const std::uint64_t bs_span =
+                t->span("bs.read", span, done_at - bn, done_at, nic_.id(),
+                        0, "pkt", f.rpc.pkt_id);
+            t->span("ssd.read", bs_span, done_at - ssd, done_at, nic_.id());
+          }
           Frame resp;
           resp.rpc = f.rpc;
           resp.rpc.msg_type = RpcMsgType::kReadResponse;
@@ -185,6 +220,7 @@ void SolarServer::handle_read(const Frame& f, const net::Packet& pkt) {
           out->size_bytes = frame_wire_bytes(resp);
           out->priority = 0;
           out->request_int = true;  // CC signal for the data direction
+          out->span = span;
           net::emplace_app<Frame>(*out, std::move(resp));
           nic_.send_packet(std::move(out));
         });

@@ -20,6 +20,10 @@
 #include "solar/frame.h"
 #include "storage/block_server.h"
 
+namespace repro::obs {
+class Tracer;
+}
+
 namespace repro::solar {
 
 struct SolarServerParams {
@@ -51,6 +55,9 @@ class SolarServer {
     TimeNs max_bn = 0;
     TimeNs max_ssd = 0;
     net::FlowKey reply_flow;  ///< reversed flow of the last block seen
+    /// Trace span of the last block seen; stamped onto the response so the
+    /// return path folds into the client's span tree (0 = untraced).
+    std::uint64_t reply_span = 0;
   };
 
   void on_packet(net::Packet& pkt);
@@ -60,6 +67,8 @@ class SolarServer {
   void send_write_response(std::uint64_t rpc_id, const WriteRpc& rpc);
   void gc(TimeNs now);
   static net::FlowKey reversed(const net::FlowKey& f);
+  /// Active tracer, or nullptr when observability is dark.
+  obs::Tracer* trc() const;
 
   sim::Engine& engine_;
   net::Nic& nic_;

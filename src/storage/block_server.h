@@ -61,6 +61,19 @@ class BlockServer {
   const BlockServerParams& params() const { return params_; }
   std::uint64_t crc_failures() const { return crc_failures_; }
 
+  /// Queued-but-unserved SSD work across all replicas (sampler gauge).
+  TimeNs ssd_queue_backlog() const {
+    TimeNs total = 0;
+    for (const auto& s : replica_ssds_) total += s->queue_backlog();
+    return total;
+  }
+  /// Completed SSD ops across all replicas.
+  std::uint64_t ssd_ops() const {
+    std::uint64_t total = 0;
+    for (const auto& s : replica_ssds_) total += s->writes() + s->reads();
+    return total;
+  }
+
  private:
   void handle_write(transport::StorageRequest request,
                     std::function<void(transport::StorageResponse)> reply);

@@ -39,6 +39,14 @@ class SsdModel {
   std::uint64_t writes() const { return writes_; }
   std::uint64_t reads() const { return reads_; }
 
+  /// Total queued-but-unserved work across channels (the sampler's "SSD
+  /// queue length" gauge).
+  TimeNs queue_backlog() const {
+    TimeNs total = 0;
+    for (const auto& c : channels_) total += c->backlog();
+    return total;
+  }
+
  private:
   TimeNs submit(std::uint32_t bytes, TimeNs median, double sigma,
                 sim::Callback done);

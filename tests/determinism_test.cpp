@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ebs/cluster.h"
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "workload/fio.h"
 
@@ -35,6 +36,13 @@ struct RunSig {
   std::uint64_t solar_done = 0;
   std::uint64_t tcp_done = 0;
   std::uint64_t cancels_hit = 0;
+  // Latency-histogram fingerprint: any observability-induced perturbation
+  // of the simulation shows up here even if event counts happen to match.
+  std::uint64_t lat_count = 0;
+  TimeNs lat_max = 0;
+  double lat_mean = 0.0;
+
+  bool operator==(const RunSig&) const = default;
 };
 
 // Schedules bursts of dummy timers and cancels a pseudo-random subset —
@@ -60,10 +68,14 @@ struct CancelChurn {
   }
 };
 
-RunSig run_mixed(std::uint64_t seed) {
+RunSig run_mixed(std::uint64_t seed, obs::Obs* obs = nullptr) {
   sim::Engine eng;
-  Cluster solar(eng, mixed_params(StackKind::kSolar, seed));
-  Cluster tcp(eng, mixed_params(StackKind::kLuna, seed + 17));
+  ClusterParams solar_params = mixed_params(StackKind::kSolar, seed);
+  ClusterParams tcp_params = mixed_params(StackKind::kLuna, seed + 17);
+  solar_params.obs = obs;
+  Cluster solar(eng, solar_params);
+  Cluster tcp(eng, tcp_params);
+  if (obs != nullptr) obs->attach(eng);
   const std::uint64_t vd_solar = solar.create_vd(1ull << 30);
   const std::uint64_t vd_tcp = tcp.create_vd(1ull << 30);
 
@@ -101,6 +113,10 @@ RunSig run_mixed(std::uint64_t seed) {
   sig.solar_done = job_solar.completed();
   sig.tcp_done = job_tcp.completed();
   sig.cancels_hit = churn.cancels;
+  const Histogram& lat = job_solar.metrics().total();
+  sig.lat_count = lat.count() + job_tcp.metrics().total().count();
+  sig.lat_max = std::max(lat.max(), job_tcp.metrics().total().max());
+  sig.lat_mean = lat.mean() + job_tcp.metrics().total().mean();
   return sig;
 }
 
@@ -115,6 +131,26 @@ TEST(Determinism, MixedStacksWithCancellationAreBitIdentical) {
   EXPECT_EQ(a.solar_done, b.solar_done);
   EXPECT_EQ(a.tcp_done, b.tcp_done);
   EXPECT_EQ(a.cancels_hit, b.cancels_hit);
+}
+
+// The observability invariant: a fully-instrumented run (registry, tracer,
+// time-series sampler attached to the engine) must be bit-identical to a
+// dark run — same events, same final clock, same latency histograms. The
+// sampler rides the engine's probe hook, which fires during clock
+// advancement without being an event; spans and counters never schedule.
+TEST(Determinism, ObservabilityOnVsOffIsBitIdentical) {
+  const RunSig dark = run_mixed(4242);
+
+  obs::ObsConfig oc;
+  oc.sample_interval = us(20);  // aggressive sampling to maximize exposure
+  obs::Obs obs(oc);
+  const RunSig lit = run_mixed(4242, &obs);
+
+  EXPECT_EQ(dark, lit);
+  // And the instrumentation actually ran: samples were taken and spans
+  // recorded, so the equality above is not vacuous.
+  EXPECT_GT(obs.sampler().samples_taken(), 0u);
+  EXPECT_GT(obs.tracer().total_recorded(), 0u);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentSchedules) {

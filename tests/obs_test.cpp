@@ -1,0 +1,524 @@
+// Observability subsystem unit tests: registry slot semantics, tracer
+// flight-recorder ring, probe-driven sampler, Chrome-trace export schema,
+// and the end-to-end span tree produced by an instrumented SOLAR cluster.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ebs/cluster.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "sim/engine.h"
+#include "transport/message.h"
+
+namespace repro::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, SameNameAndLabelsShareOneSlot) {
+  Registry reg;
+  Counter a = reg.counter("pkts", label("node", "c0"));
+  Counter b = reg.counter("pkts", label("node", "c0"));
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(reg.counter_value("pkts", label("node", "c0")), 3u);
+  EXPECT_EQ(reg.entries().size(), 1u);
+}
+
+TEST(Registry, DifferentLabelsAreDistinctMetrics) {
+  Registry reg;
+  reg.counter("pkts", label("node", "c0")).inc(1);
+  reg.counter("pkts", label("node", "c1")).inc(2);
+  EXPECT_EQ(reg.counter_value("pkts", label("node", "c0")), 1u);
+  EXPECT_EQ(reg.counter_value("pkts", label("node", "c1")), 2u);
+  EXPECT_EQ(reg.entries().size(), 2u);
+}
+
+TEST(Registry, EntriesIterateInRegistrationOrder) {
+  Registry reg;
+  reg.counter("zzz");
+  reg.expose_gauge("aaa", {}, [] { return 7; });
+  reg.histogram("mmm");
+  ASSERT_EQ(reg.entries().size(), 3u);
+  EXPECT_EQ(reg.entries()[0].name, "zzz");  // not alphabetical
+  EXPECT_EQ(reg.entries()[1].name, "aaa");
+  EXPECT_EQ(reg.entries()[2].name, "mmm");
+}
+
+TEST(Registry, DefaultCounterHandleIsSafeBeforeRegistration) {
+  // Members can bump a default-constructed handle before (or without) a
+  // registry existing; the writes land in the shared scratch slot.
+  Counter c;
+  c.inc(5);
+  EXPECT_GE(c.value(), 5u);
+}
+
+TEST(Registry, DisabledRegistryRecordsNothing) {
+  Registry reg(/*enabled=*/false);
+  Counter c = reg.counter("pkts");
+  c.inc(10);  // lands in the scratch slot, never exported
+  Histogram* h = reg.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  h->record(42);
+  reg.expose_gauge("depth", {}, [] { return 1; });
+  EXPECT_TRUE(reg.entries().empty());
+  EXPECT_EQ(reg.counter_value("pkts"), 0u);
+  EXPECT_EQ(reg.find("depth"), nullptr);
+}
+
+TEST(Registry, ValueOfAndFindCoverAllKinds) {
+  Registry reg;
+  std::uint64_t external = 9;
+  std::int64_t depth = 4;
+  reg.counter("owned").inc(3);
+  reg.expose_counter("exposed", {}, &external);
+  reg.expose_gauge("gauge", {}, [&] { return depth; });
+  reg.histogram("hist")->record(1);
+  reg.histogram("hist")->record(2);
+  EXPECT_EQ(reg.value_of(*reg.find("owned")), 3);
+  EXPECT_EQ(reg.value_of(*reg.find("exposed")), 9);
+  EXPECT_EQ(reg.value_of(*reg.find("gauge")), 4);
+  EXPECT_EQ(reg.value_of(*reg.find("hist")), 2);  // histograms report count
+}
+
+struct FakeComponent : Resettable {
+  std::uint64_t pkts = 0;
+  void reset_counters() override { pkts = 0; }
+};
+
+TEST(Registry, ResetAllZeroesOwnedMetricsAndResettables) {
+  Registry reg;
+  Counter c = reg.counter("owned");
+  c.inc(7);
+  Histogram* h = reg.histogram("lat");
+  h->record(100);
+  FakeComponent comp;
+  comp.pkts = 55;
+  reg.expose_counter("comp.pkts", {}, &comp.pkts);
+  reg.add_resettable(&comp);
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(comp.pkts, 0u);  // via the Resettable hook, not the registry
+}
+
+TEST(Registry, ResettablesWorkEvenWhenDisabled) {
+  // Phase-split resets are experiment mechanics, not observation: a dark
+  // registry still drives them so warmup/measure benches behave identically.
+  Registry reg(/*enabled=*/false);
+  FakeComponent comp;
+  comp.pkts = 12;
+  reg.add_resettable(&comp);
+  reg.reset_all();
+  EXPECT_EQ(comp.pkts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, DisabledTracerHandsOutIdZero) {
+  Tracer t(/*enabled=*/false, 16);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.begin(), 0u);
+  EXPECT_EQ(t.span("x", 0, 0, 1, 0), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, RecordsSpanFieldsAndNesting) {
+  Tracer t(/*enabled=*/true, 64);
+  const std::uint64_t root = t.span("io.write", 0, 10, 500, 3, 0, "bytes", 4096);
+  const std::uint64_t child = t.span("rpc.write", root, 20, 400, 3, 1);
+  const SpanRecord* r = t.find(child);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->parent, root);
+  EXPECT_STREQ(r->name, "rpc.write");
+  EXPECT_EQ(r->t0, 20);
+  EXPECT_EQ(r->t1, 400);
+  EXPECT_EQ(r->pid, 3u);
+  EXPECT_EQ(r->tid, 1u);
+  const SpanRecord* rr = t.find(root);
+  ASSERT_NE(rr, nullptr);
+  EXPECT_EQ(rr->parent, 0u);
+  EXPECT_STREQ(rr->arg_name, "bytes");
+  EXPECT_EQ(rr->arg, 4096u);
+}
+
+TEST(Tracer, BeginReservesIdClosedLater) {
+  // The begin()/span_with_id() split lets a span's id travel with a packet
+  // before its end time is known.
+  Tracer t(/*enabled=*/true, 64);
+  const std::uint64_t id = t.begin();
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);  // reserved, not yet recorded
+  t.span_with_id(id, "blk.net", 0, 5, 95, 1);
+  const SpanRecord* r = t.find(id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->t1, 95);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer t(/*enabled=*/true, 4);
+  for (int i = 0; i < 10; ++i) {
+    t.span("s", 0, i, i + 1, 0);
+  }
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Retained records are the newest four, visited oldest-first.
+  std::vector<std::uint64_t> ids;
+  t.for_each([&](const SpanRecord& r) { ids.push_back(r.id); });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{7, 8, 9, 10}));
+  EXPECT_EQ(t.find(1), nullptr);  // overwritten
+  EXPECT_NE(t.find(10), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler: rides the engine probe hook, never adds events.
+
+TEST(Sampler, SamplesAtIntervalWithoutPerturbingTheEngine) {
+  auto run = [](Obs* obs) {
+    sim::Engine eng;
+    std::int64_t depth = 0;
+    if (obs != nullptr) {
+      obs->registry().expose_gauge("queue.depth", {}, [&] { return depth; });
+      obs->attach(eng);
+    }
+    for (int i = 0; i < 50; ++i) {
+      eng.at(us(i * 7), [&depth] { ++depth; });
+    }
+    eng.run();
+    return std::pair<std::uint64_t, TimeNs>{eng.executed(), eng.now()};
+  };
+
+  const auto dark = run(nullptr);
+
+  ObsConfig cfg;
+  cfg.sample_interval = us(10);
+  Obs obs(cfg);
+  const auto lit = run(&obs);
+
+  EXPECT_EQ(dark, lit);  // probes are not events
+  EXPECT_GT(obs.sampler().samples_taken(), 0u);
+  ASSERT_EQ(obs.sampler().series().size(), 1u);
+  const Sampler::Series& s = obs.sampler().series()[0];
+  EXPECT_EQ(s.size(), obs.sampler().samples_taken());
+  // Points are monotonically increasing in both t and (here) value.
+  TimeNs prev_t = -1;
+  std::int64_t prev_v = -1;
+  s.for_each([&](const SeriesPoint& p) {
+    EXPECT_GT(p.t, prev_t);
+    EXPECT_GE(p.v, prev_v);
+    prev_t = p.t;
+    prev_v = p.v;
+  });
+}
+
+TEST(Sampler, RingDropsOldestPoints) {
+  ObsConfig cfg;
+  cfg.sample_interval = us(1);
+  cfg.series_capacity = 8;
+  Obs obs(cfg);
+  sim::Engine eng;
+  obs.registry().expose_gauge("g", {}, [&eng] {
+    return static_cast<std::int64_t>(eng.now());
+  });
+  obs.attach(eng);
+  eng.at(us(100), [] {});
+  eng.run();
+  ASSERT_EQ(obs.sampler().series().size(), 1u);
+  const Sampler::Series& s = obs.sampler().series()[0];
+  EXPECT_GT(s.total, 8u);
+  EXPECT_EQ(s.size(), 8u);  // only the newest ring-capacity points retained
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export: a minimal JSON parser checks the output is
+// syntactically valid and carries the fields Perfetto needs.
+
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, ExportIsValidJsonWithRequiredFields) {
+  Tracer t(/*enabled=*/true, 64);
+  t.set_process_name(1, "compute-0 \"nic\"");  // quote must be escaped
+  t.set_thread_name(1, 2, "port2");
+  const std::uint64_t root = t.span("io.write", 0, 1000, 250000, 1, 0,
+                                    "bytes", 4096, "vd", 7);
+  t.span("fabric.hop", root, 1500, 2500, 42, 3);
+
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  const std::string text = os.str();
+
+  EXPECT_TRUE(MiniJson(text).parse()) << text;
+  // Top-level object with the trace-event envelope Perfetto expects.
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  // "M" metadata + "X" complete events; ts/dur are microseconds with the
+  // nanosecond remainder as three decimals (1000ns -> 1.000).
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"io.write\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":249.000"), std::string::npos);
+  // The causal tree is recoverable: parent ids ride in args.
+  EXPECT_NE(text.find("\"parent\":" + std::to_string(root)),
+            std::string::npos);
+  // The embedded quote in the process name did not break the JSON.
+  EXPECT_NE(text.find("compute-0 \\\"nic\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MetricsAndSeriesExportsAreValidJson) {
+  ObsConfig cfg;
+  cfg.sample_interval = us(5);
+  Obs obs(cfg);
+  obs.registry().counter("pkts", label("node", "c0")).inc(3);
+  obs.registry().histogram("lat")->record(1000);
+  std::int64_t depth = 2;
+  obs.registry().expose_gauge("depth", {}, [&] { return depth; });
+  sim::Engine eng;
+  obs.attach(eng);
+  eng.at(us(40), [] {});
+  eng.run();
+
+  std::ostringstream metrics;
+  write_metrics_json(metrics, obs.registry());
+  EXPECT_TRUE(MiniJson(metrics.str()).parse()) << metrics.str();
+
+  std::ostringstream series;
+  write_series_json(series, obs.registry(), obs.sampler());
+  EXPECT_TRUE(MiniJson(series.str()).parse()) << series.str();
+
+  std::ostringstream csv;
+  write_series_csv(csv, obs.registry(), obs.sampler());
+  EXPECT_NE(csv.str().find("metric,labels,t_ns,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end span tree: one instrumented 4KB write + read through a small
+// SOLAR cluster must produce the full guest -> SA -> fabric -> block server
+// -> SSD tree with intact parent links.
+
+TEST(SpanTree, SolarWriteAndReadProduceFullCausalTree) {
+  ObsConfig cfg;
+  cfg.trace_capacity = 1 << 14;
+  Obs obs(cfg);
+
+  sim::Engine eng;
+  ebs::ClusterParams params;
+  params.topo.compute_servers = 2;
+  params.topo.storage_servers = 4;
+  params.topo.servers_per_rack = 4;
+  params.stack = ebs::StackKind::kSolar;
+  params.seed = 7;
+  params.obs = &obs;
+  ebs::Cluster cluster(eng, params);
+  obs.attach(eng);
+  const std::uint64_t vd = cluster.create_vd(1ull << 30);
+
+  for (auto op : {transport::OpType::kWrite, transport::OpType::kRead}) {
+    transport::IoRequest io;
+    io.vd_id = vd;
+    io.op = op;
+    io.offset = 0;
+    io.len = 4096;
+    if (op == transport::OpType::kWrite) {
+      io.payload = transport::make_placeholder_blocks(0, 4096, 4096);
+    }
+    bool finished = false;
+    eng.at(eng.now(), [&] {
+      cluster.compute(0).submit_io(std::move(io),
+                                   [&](transport::IoResult) { finished = true; });
+    });
+    while (!finished && eng.step()) {
+    }
+    ASSERT_TRUE(finished);
+  }
+  eng.run_until(eng.now() + ms(1));
+
+  EXPECT_EQ(obs.tracer().dropped(), 0u);
+  std::map<std::uint64_t, SpanRecord> by_id;
+  std::multiset<std::string> names;
+  obs.tracer().for_each([&](const SpanRecord& r) {
+    by_id[r.id] = r;
+    names.insert(r.name);
+  });
+
+  // Every stage of the paper's data path shows up, for both directions.
+  for (const char* required :
+       {"io.write", "io.read", "rpc.write", "rpc.read", "blk.net",
+        "fabric.hop", "bs.write", "bs.read", "ssd.write", "ssd.read",
+        "server.cpu"}) {
+    EXPECT_GT(names.count(required), 0u) << "missing span: " << required;
+  }
+
+  // Parent links: every non-root span's parent is a retained record, and
+  // walking up from any SSD span reaches an io.* root with parent 0.
+  auto root_of = [&](const SpanRecord& leaf) {
+    SpanRecord cur = leaf;
+    int hops = 0;
+    while (cur.parent != 0 && hops++ < 16) {
+      auto it = by_id.find(cur.parent);
+      if (it == by_id.end()) return std::string("<broken>");
+      cur = it->second;
+    }
+    return std::string(cur.name);
+  };
+  int ssd_spans = 0;
+  for (const auto& [id, r] : by_id) {
+    const std::string name = r.name;
+    if (name == "ssd.write" || name == "ssd.read") {
+      ++ssd_spans;
+      const std::string root = root_of(r);
+      EXPECT_TRUE(root == "io.write" || root == "io.read")
+          << name << " chains to " << root;
+    }
+    EXPECT_LE(r.t0, r.t1) << name;
+  }
+  EXPECT_GE(ssd_spans, 2);  // at least one write and one read leaf
+
+  // fabric.hop spans fold the INT trail: parents must be blk.net spans.
+  int hops_checked = 0;
+  for (const auto& [id, r] : by_id) {
+    if (std::string(r.name) != "fabric.hop" || r.parent == 0) continue;
+    auto it = by_id.find(r.parent);
+    if (it == by_id.end()) continue;  // parent may predate the hop's record
+    EXPECT_STREQ(it->second.name, "blk.net");
+    ++hops_checked;
+  }
+  EXPECT_GT(hops_checked, 0);
+}
+
+}  // namespace
+}  // namespace repro::obs
