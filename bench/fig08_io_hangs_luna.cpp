@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
 
 using namespace repro;
 using ebs::StackKind;
@@ -41,17 +43,25 @@ double measure_hang_fraction(const char* tier) {
   for (auto& j : jobs) j->metrics().clear();
 
   const std::string t = tier;
-  net::Device* victim = nullptr;
-  if (t == "ToR") victim = c.cluster->clos().compute_tors[0];
-  if (t == "Spine") victim = c.cluster->clos().compute_spines[0];
-  if (t == "Core" || t == "DC router") victim = c.cluster->clos().cores[0];
+  chaos::FaultTarget target{chaos::TargetKind::kComputeTor, 0, -1};
+  if (t == "Spine") target.kind = chaos::TargetKind::kComputeSpine;
+  if (t == "Core" || t == "DC router") target.kind = chaos::TargetKind::kCore;
   // Production blackholes hit a subset of flows; deeper tiers carry more
-  // flows through the broken element.
-  c.cluster->network().set_blackhole(*victim, t == "ToR" ? 0.5 : 0.35);
+  // flows through the broken element. Declarative plan, held until
+  // repair_all (the incident's mitigation).
+  chaos::FaultPlan plan;
+  plan.name = std::string("fig08-") + tier;
+  chaos::FaultEvent e;
+  e.kind = chaos::FaultKind::kBlackhole;
+  e.target = target;
+  e.magnitude = t == "ToR" ? 0.5 : 0.35;
+  plan.events.push_back(e);
+  chaos::Injector injector(*c.cluster);
+  injector.arm(plan);
 
   eng.run_until(eng.now() + seconds(2));
   for (auto& j : jobs) j->stop();
-  c.cluster->network().set_blackhole(*victim, 0.0);
+  injector.repair_all();
   eng.run_until(eng.now() + seconds(15));
 
   int impacted = 0;

@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
 #include "common/crc32.h"
 
 using namespace repro;
@@ -25,16 +27,31 @@ struct CampaignResult {
 
 /// Runs `rounds` write+read cycles with the given fault configuration and
 /// returns how many corruption events were caught by software checks.
+/// Faults arrive as a chaos::FaultPlan held for the whole campaign — the
+/// same three FPGA fault families the fuzzer draws from.
 CampaignResult run_fpga_campaign(double pre_crc, double post_crc,
                                  double crc_engine, int rounds) {
   auto params = bench::default_params(StackKind::kSolar, 1, 2, 9001);
   params.block_server.store_payload = true;
-  params.dpu.fpga.faults.pre_crc_bitflip_rate = pre_crc;
-  params.dpu.fpga.faults.data_bitflip_rate = post_crc;
-  params.dpu.fpga.faults.crc_engine_error_rate = crc_engine;
   auto c = bench::make_cluster(params, 64ull << 20);
   auto& eng = *c.engine;
   Rng rng(5);
+
+  chaos::FaultPlan plan;
+  plan.name = "fig11-fpga";
+  auto add = [&plan](chaos::FaultKind kind, double rate) {
+    if (rate <= 0.0) return;
+    chaos::FaultEvent e;
+    e.kind = kind;
+    e.target = {chaos::TargetKind::kComputeFpga, 0, -1};
+    e.magnitude = rate;
+    plan.events.push_back(e);
+  };
+  add(chaos::FaultKind::kFpgaPreCrcFlip, pre_crc);
+  add(chaos::FaultKind::kFpgaPostCrcFlip, post_crc);
+  add(chaos::FaultKind::kFpgaCrcEngine, crc_engine);
+  chaos::Injector injector(*c.cluster);
+  injector.arm(plan);
 
   CampaignResult res;
   for (int i = 0; i < rounds; ++i) {

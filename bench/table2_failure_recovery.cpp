@@ -12,10 +12,17 @@
 // fail-stop failures recover via carrier detection for both stacks, silent
 // failures hang LUNA (pinned 5-tuples) and never SOLAR (multi-path
 // consecutive-timeout failover).
+//
+// Each scenario is a declarative chaos::FaultPlan applied by the
+// chaos::Injector (events with duration 0 hold until repair_all at
+// scenario end, standing in for the ops team's much-later fix). The same
+// plans replay under the oracle harness in tests/chaos_table2_test.cpp.
 #include <cstdio>
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "chaos/fault_plan.h"
+#include "chaos/injector.h"
 
 using namespace repro;
 using ebs::StackKind;
@@ -27,9 +34,67 @@ constexpr TimeNs kDrain = seconds(20);
 
 struct Scenario {
   const char* name;
-  // Applies the failure; returns a repair function run at scenario end.
-  std::function<std::function<void()>(ebs::Cluster&)> inject;
+  chaos::FaultPlan plan;
 };
+
+chaos::FaultEvent event(chaos::FaultKind kind, chaos::FaultTarget target,
+                        TimeNs at = 0, TimeNs duration = 0,
+                        double magnitude = 0.0) {
+  chaos::FaultEvent e;
+  e.at = at;
+  e.duration = duration;
+  e.kind = kind;
+  e.target = target;
+  e.magnitude = magnitude;
+  return e;
+}
+
+std::vector<Scenario> make_scenarios() {
+  using chaos::FaultKind;
+  using chaos::TargetKind;
+  std::vector<Scenario> scenarios;
+  // One compute server's uplink 0 dies (carrier loss -> detected).
+  scenarios.push_back(
+      {"ToR switch port failure",
+       {"tor-port", {event(FaultKind::kLinkFail, {TargetKind::kComputeNic, 0, 0})}}});
+  // Hung ToR: forwarding dead, carrier up. Ops repair much later.
+  scenarios.push_back(
+      {"ToR switch failure (silent)",
+       {"tor-silent",
+        {event(FaultKind::kDeviceSilent, {TargetKind::kComputeTor, 0, -1})}}});
+  scenarios.push_back(
+      {"Spine switch failure (fail-stop)",
+       {"spine-stop",
+        {event(FaultKind::kDeviceStop, {TargetKind::kComputeSpine, 0, -1})}}});
+  scenarios.push_back(
+      {"Packet drop rate = 75% (one ToR)",
+       {"tor-loss",
+        {event(FaultKind::kLoss, {TargetKind::kComputeTor, 0, -1}, 0, 0,
+               0.75)}}});
+  // Reboot: links drop (detected), then come back with the FIB still
+  // unprogrammed — a silent blackhole window (classic). Kind-specific
+  // reverts let the fail-stop repair coincide with the silent onset.
+  scenarios.push_back(
+      {"ToR switch reboot/isolation",
+       {"tor-reboot",
+        {event(FaultKind::kDeviceStop, {TargetKind::kComputeTor, 0, -1}, 0,
+               seconds(1)),
+         event(FaultKind::kDeviceSilent, {TargetKind::kComputeTor, 0, -1},
+               seconds(1))}}});
+  // Half the flows through the element silently vanish (bad ECMP member /
+  // corrupted TCAM).
+  scenarios.push_back(
+      {"Blackhole in a ToR switch",
+       {"tor-blackhole",
+        {event(FaultKind::kBlackhole, {TargetKind::kComputeTor, 1, -1}, 0, 0,
+               0.5)}}});
+  scenarios.push_back(
+      {"Blackhole in a Spine switch",
+       {"spine-blackhole",
+        {event(FaultKind::kBlackhole, {TargetKind::kComputeSpine, 1, -1}, 0, 0,
+               0.5)}}});
+  return scenarios;
+}
 
 std::uint64_t run_scenario(StackKind stack, const Scenario& scenario) {
   auto params = bench::default_params(stack, /*compute=*/4, /*storage=*/4,
@@ -58,10 +123,11 @@ std::uint64_t run_scenario(StackKind stack, const Scenario& scenario) {
   eng.run_until(ms(50));  // healthy warmup
   for (auto& j : jobs) j->metrics().clear();
 
-  auto repair = scenario.inject(*c.cluster);
+  chaos::Injector injector(*c.cluster);
+  injector.arm(scenario.plan);
   eng.run_until(eng.now() + kScenario);
   for (auto& j : jobs) j->stop();
-  if (repair) repair();
+  injector.repair_all();
   // Let hung I/Os drain so they get counted (LUNA retries until repair).
   eng.run_until(eng.now() + kDrain);
 
@@ -77,74 +143,11 @@ int main() {
       "Table 2: I/Os unanswered for >=1s under failures (scaled cluster)",
       "Table 2 (LUNA hangs on silent failures; SOLAR all zeros)");
 
-  const std::vector<Scenario> scenarios = {
-      {"ToR switch port failure",
-       [](ebs::Cluster& c) {
-         // One compute server's uplink 0 dies (carrier loss -> detected).
-         c.network().fail_link(c.compute(0).nic(), 0);
-         return std::function<void()>(
-             [&c] { c.network().repair_link(c.compute(0).nic(), 0); });
-       }},
-      {"ToR switch failure (silent)",
-       [](ebs::Cluster& c) {
-         // Hung ToR: forwarding dead, carrier up. Ops repair much later.
-         auto* tor = c.clos().compute_tors[0];
-         c.network().fail_device_silent(*tor);
-         return std::function<void()>(
-             [&c, tor] { c.network().repair_device(*tor); });
-       }},
-      {"Spine switch failure (fail-stop)",
-       [](ebs::Cluster& c) {
-         auto* spine = c.clos().compute_spines[0];
-         c.network().fail_device_stop(*spine);
-         return std::function<void()>(
-             [&c, spine] { c.network().repair_device(*spine); });
-       }},
-      {"Packet drop rate = 75% (one ToR)",
-       [](ebs::Cluster& c) {
-         auto* tor = c.clos().compute_tors[0];
-         c.network().set_loss_rate(*tor, 0.75);
-         return std::function<void()>(
-             [&c, tor] { c.network().set_loss_rate(*tor, 0.0); });
-       }},
-      {"ToR switch reboot/isolation",
-       [](ebs::Cluster& c) {
-         // Reboot: links drop (detected), then come back with the FIB
-         // still unprogrammed — a silent blackhole window (classic).
-         auto* tor = c.clos().compute_tors[0];
-         c.network().fail_device_stop(*tor);
-         c.engine().after(seconds(1), [&c, tor] {
-           c.network().fail_device_silent(*tor);  // up but not forwarding
-           for (int i = 0; i < tor->num_ports(); ++i) {
-             if (tor->port(i).connected()) c.network().repair_link(*tor, i);
-           }
-         });
-         return std::function<void()>(
-             [&c, tor] { c.network().repair_device(*tor); });
-       }},
-      {"Blackhole in a ToR switch",
-       [](ebs::Cluster& c) {
-         // Half the flows through the ToR silently vanish (bad ECMP
-         // member / corrupted TCAM).
-         auto* tor = c.clos().compute_tors[1];
-         c.network().set_blackhole(*tor, 0.5);
-         return std::function<void()>(
-             [&c, tor] { c.network().set_blackhole(*tor, 0.0); });
-       }},
-      {"Blackhole in a Spine switch",
-       [](ebs::Cluster& c) {
-         auto* spine = c.clos().compute_spines[1];
-         c.network().set_blackhole(*spine, 0.5);
-         return std::function<void()>(
-             [&c, spine] { c.network().set_blackhole(*spine, 0.0); });
-       }},
-  };
-
   TextTable t({"Failure scenario", "LUNA", "SOLAR"});
   bench::RunSummary summary(
       "table2", "Table 2 (I/Os unanswered >=1s under failures)");
   bool solar_all_zero = true;
-  for (const auto& s : scenarios) {
+  for (const auto& s : make_scenarios()) {
     std::fprintf(stderr, "[table2] %s ...\n", s.name);
     const std::uint64_t luna = run_scenario(StackKind::kLuna, s);
     const std::uint64_t solar = run_scenario(StackKind::kSolar, s);

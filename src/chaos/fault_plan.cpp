@@ -1,0 +1,557 @@
+#include "chaos/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace repro::chaos {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {FaultKind::kLinkFail, "link_fail"},
+    {FaultKind::kDeviceStop, "device_stop"},
+    {FaultKind::kDeviceSilent, "device_silent"},
+    {FaultKind::kBlackhole, "blackhole"},
+    {FaultKind::kLoss, "loss"},
+    {FaultKind::kCorrupt, "corrupt"},
+    {FaultKind::kDuplicate, "duplicate"},
+    {FaultKind::kReorder, "reorder"},
+    {FaultKind::kSsdLatency, "ssd_latency"},
+    {FaultKind::kSsdStall, "ssd_stall"},
+    {FaultKind::kCpuStall, "cpu_stall"},
+    {FaultKind::kPcieDegrade, "pcie_degrade"},
+    {FaultKind::kFpgaPreCrcFlip, "fpga_pre_crc_flip"},
+    {FaultKind::kFpgaPostCrcFlip, "fpga_post_crc_flip"},
+    {FaultKind::kFpgaCrcEngine, "fpga_crc_engine"},
+};
+
+struct TargetName {
+  TargetKind kind;
+  const char* name;
+};
+constexpr TargetName kTargetNames[] = {
+    {TargetKind::kComputeNic, "compute_nic"},
+    {TargetKind::kStorageNic, "storage_nic"},
+    {TargetKind::kComputeTor, "compute_tor"},
+    {TargetKind::kStorageTor, "storage_tor"},
+    {TargetKind::kComputeSpine, "compute_spine"},
+    {TargetKind::kStorageSpine, "storage_spine"},
+    {TargetKind::kCore, "core"},
+    {TargetKind::kStorageSsd, "storage_ssd"},
+    {TargetKind::kComputeCpu, "compute_cpu"},
+    {TargetKind::kStorageCpu, "storage_cpu"},
+    {TargetKind::kComputePcie, "compute_pcie"},
+    {TargetKind::kComputeFpga, "compute_fpga"},
+};
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  for (const auto& e : kKindNames) {
+    if (e.kind == k) return e.name;
+  }
+  return "?";
+}
+
+const char* to_string(TargetKind k) {
+  for (const auto& e : kTargetNames) {
+    if (e.kind == k) return e.name;
+  }
+  return "?";
+}
+
+bool parse_fault_kind(const std::string& s, FaultKind* out) {
+  for (const auto& e : kKindNames) {
+    if (s == e.name) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_target_kind(const std::string& s, TargetKind* out) {
+  for (const auto& e : kTargetNames) {
+    if (s == e.name) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("events").begin_array();
+  for (const FaultEvent& e : events) {
+    w.begin_object();
+    w.key("at_ns").value(static_cast<std::int64_t>(e.at));
+    w.key("duration_ns").value(static_cast<std::int64_t>(e.duration));
+    w.key("kind").value(to_string(e.kind));
+    w.key("target").begin_object();
+    w.key("kind").value(to_string(e.target.kind));
+    w.key("index").value(e.target.index);
+    w.key("sub").value(e.target.sub);
+    w.end_object();
+    w.key("magnitude").value(e.magnitude);
+    w.key("param_ns").value(static_cast<std::int64_t>(e.param));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Replay parser. The obs layer only *writes* JSON, so plans carry their own
+// minimal recursive-descent reader: objects, arrays, strings (with the
+// escapes the writer emits), numbers, bools. Enough for any file
+// `to_json` produced — and for hand-edited repros.
+
+namespace {
+
+struct JsonValue;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;     // kArray
+  std::unique_ptr<JsonMembers> obj; // kObject
+
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : *obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& s) : s_(s) {}
+
+  bool parse(JsonValue* out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::string error() const { return err_; }
+
+ private:
+  bool fail(const std::string& why) {
+    if (err_.empty()) {
+      err_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return string(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return number(out);
+  }
+
+  bool object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    out->obj = std::make_unique<JsonMembers>();
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->obj->emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            // The writer only emits \u00XX for control bytes.
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            out->push_back(static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
+            pos_ += 4;
+            break;
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    out->type = JsonValue::Type::kNumber;
+    out->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+bool get_number(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return false;
+  *out = v->num;
+  return true;
+}
+
+}  // namespace
+
+bool plan_from_json(const std::string& text, FaultPlan* out,
+                    std::string* err) {
+  auto set_err = [err](const std::string& e) {
+    if (err != nullptr) *err = e;
+    return false;
+  };
+  JsonValue root;
+  JsonReader reader(text);
+  if (!reader.parse(&root)) return set_err(reader.error());
+  if (root.type != JsonValue::Type::kObject) return set_err("root not object");
+
+  FaultPlan plan;
+  if (const JsonValue* n = root.find("name");
+      n != nullptr && n->type == JsonValue::Type::kString) {
+    plan.name = n->str;
+  }
+  const JsonValue* events = root.find("events");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return set_err("missing events array");
+  }
+  for (const JsonValue& ev : events->items) {
+    if (ev.type != JsonValue::Type::kObject) return set_err("event not object");
+    FaultEvent e;
+    double num = 0.0;
+    if (!get_number(ev, "at_ns", &num)) return set_err("event missing at_ns");
+    e.at = static_cast<TimeNs>(num);
+    if (get_number(ev, "duration_ns", &num)) e.duration = static_cast<TimeNs>(num);
+    if (get_number(ev, "magnitude", &num)) e.magnitude = num;
+    if (get_number(ev, "param_ns", &num)) e.param = static_cast<TimeNs>(num);
+    const JsonValue* kind = ev.find("kind");
+    if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+        !parse_fault_kind(kind->str, &e.kind)) {
+      return set_err("bad fault kind");
+    }
+    const JsonValue* target = ev.find("target");
+    if (target == nullptr || target->type != JsonValue::Type::kObject) {
+      return set_err("event missing target");
+    }
+    const JsonValue* tkind = target->find("kind");
+    if (tkind == nullptr || tkind->type != JsonValue::Type::kString ||
+        !parse_target_kind(tkind->str, &e.target.kind)) {
+      return set_err("bad target kind");
+    }
+    if (get_number(*target, "index", &num)) e.target.index = static_cast<int>(num);
+    if (get_number(*target, "sub", &num)) e.target.sub = static_cast<int>(num);
+    plan.events.push_back(e);
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generator.
+
+namespace {
+
+/// Switch-role targets with at least one instance in `shape`.
+std::vector<TargetKind> switch_roles(const TopologyShape& shape) {
+  std::vector<TargetKind> roles;
+  if (shape.compute_tors > 0) roles.push_back(TargetKind::kComputeTor);
+  if (shape.storage_tors > 0) roles.push_back(TargetKind::kStorageTor);
+  if (shape.compute_spines > 0) roles.push_back(TargetKind::kComputeSpine);
+  if (shape.storage_spines > 0) roles.push_back(TargetKind::kStorageSpine);
+  if (shape.cores > 0) roles.push_back(TargetKind::kCore);
+  return roles;
+}
+
+int role_count(const TopologyShape& shape, TargetKind k) {
+  switch (k) {
+    case TargetKind::kComputeNic: return shape.compute_nodes;
+    case TargetKind::kStorageNic: return shape.storage_nodes;
+    case TargetKind::kComputeTor: return shape.compute_tors;
+    case TargetKind::kStorageTor: return shape.storage_tors;
+    case TargetKind::kComputeSpine: return shape.compute_spines;
+    case TargetKind::kStorageSpine: return shape.storage_spines;
+    case TargetKind::kCore: return shape.cores;
+    case TargetKind::kStorageSsd: return shape.storage_nodes;
+    case TargetKind::kComputeCpu: return shape.compute_nodes;
+    case TargetKind::kStorageCpu: return shape.storage_nodes;
+    case TargetKind::kComputePcie: return shape.compute_nodes;
+    case TargetKind::kComputeFpga: return shape.compute_nodes;
+  }
+  return 0;
+}
+
+}  // namespace
+
+FaultPlan generate_plan(Rng& rng, const GeneratorConfig& cfg,
+                        const TopologyShape& shape) {
+  FaultPlan plan;
+  const std::vector<TargetKind> switches = switch_roles(shape);
+  const int span = cfg.max_events - cfg.min_events;
+  const int n = cfg.min_events +
+                (span > 0 ? static_cast<int>(rng.next_below(
+                                static_cast<std::uint64_t>(span + 1)))
+                          : 0);
+  for (int i = 0; i < n; ++i) {
+    FaultEvent e;
+    e.at = static_cast<TimeNs>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.window)));
+    e.duration = cfg.min_duration +
+                 static_cast<TimeNs>(rng.next_below(static_cast<std::uint64_t>(
+                     cfg.max_duration - cfg.min_duration + 1)));
+
+    // Draw a kind. FPGA faults only where an FPGA data path exists.
+    static constexpr FaultKind kNetKinds[] = {
+        FaultKind::kLinkFail,  FaultKind::kDeviceSilent,
+        FaultKind::kBlackhole, FaultKind::kLoss,
+        FaultKind::kCorrupt,   FaultKind::kDuplicate,
+        FaultKind::kReorder,   FaultKind::kDeviceStop,
+    };
+    static constexpr FaultKind kHostKinds[] = {
+        FaultKind::kSsdLatency, FaultKind::kSsdStall,
+        FaultKind::kCpuStall,   FaultKind::kPcieDegrade,
+    };
+    const bool host_side = rng.next_below(4) == 0;  // 25% host, 75% fabric
+    if (host_side) {
+      static constexpr FaultKind kFpgaKinds[] = {
+          FaultKind::kFpgaPreCrcFlip,
+          FaultKind::kFpgaPostCrcFlip,
+          FaultKind::kFpgaCrcEngine,
+      };
+      const auto pick = rng.next_below(shape.has_fpga ? 7 : 4);
+      e.kind = pick < 4 ? kHostKinds[pick] : kFpgaKinds[pick - 4];
+    } else {
+      e.kind = kNetKinds[rng.next_below(std::size(kNetKinds))];
+    }
+
+    // Pick the target by kind (hang-safe plans keep misbehaviour off the
+    // NICs: a NIC has no sibling to fail over to).
+    switch (e.kind) {
+      case FaultKind::kLinkFail: {
+        if (cfg.hang_safe || switches.empty()) {
+          // Only uplink 0 of a host: the second ToR of the pair survives.
+          e.target.kind = rng.next_below(2) == 0 ? TargetKind::kComputeNic
+                                                 : TargetKind::kStorageNic;
+          e.target.sub = 0;
+        } else {
+          e.target.kind = switches[rng.next_below(switches.size())];
+          e.target.sub = 0;
+        }
+        break;
+      }
+      case FaultKind::kDeviceStop:
+      case FaultKind::kDeviceSilent:
+      case FaultKind::kBlackhole:
+      case FaultKind::kLoss:
+      case FaultKind::kCorrupt:
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder: {
+        if (!switches.empty()) {
+          e.target.kind = switches[rng.next_below(switches.size())];
+        } else {
+          e.target.kind = TargetKind::kStorageNic;
+        }
+        break;
+      }
+      case FaultKind::kSsdLatency:
+      case FaultKind::kSsdStall:
+        e.target.kind = TargetKind::kStorageSsd;
+        e.target.sub = -1;
+        break;
+      case FaultKind::kCpuStall:
+        e.target.kind = rng.next_below(2) == 0 ? TargetKind::kComputeCpu
+                                               : TargetKind::kStorageCpu;
+        break;
+      case FaultKind::kPcieDegrade:
+        e.target.kind = TargetKind::kComputePcie;
+        break;
+      case FaultKind::kFpgaPreCrcFlip:
+      case FaultKind::kFpgaPostCrcFlip:
+      case FaultKind::kFpgaCrcEngine:
+        e.target.kind = TargetKind::kComputeFpga;
+        break;
+    }
+    const int count = role_count(shape, e.target.kind);
+    e.target.index =
+        count > 0
+            ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(count)))
+            : 0;
+
+    // Magnitude per kind.
+    switch (e.kind) {
+      case FaultKind::kBlackhole:
+        e.magnitude = 0.25 + 0.5 * rng.uniform01();
+        break;
+      case FaultKind::kLoss:
+        e.magnitude = 0.05 + 0.45 * rng.uniform01();
+        break;
+      case FaultKind::kCorrupt:
+      case FaultKind::kDuplicate:
+        e.magnitude = 0.02 + 0.18 * rng.uniform01();
+        break;
+      case FaultKind::kReorder:
+        e.magnitude = 0.05 + 0.25 * rng.uniform01();
+        e.param = us(50) + static_cast<TimeNs>(rng.next_below(
+                               static_cast<std::uint64_t>(us(200))));
+        break;
+      case FaultKind::kSsdLatency:
+        e.magnitude = 2.0 + 18.0 * rng.uniform01();
+        break;
+      case FaultKind::kPcieDegrade:
+        e.magnitude = 2.0 + 6.0 * rng.uniform01();
+        break;
+      case FaultKind::kFpgaPreCrcFlip:
+      case FaultKind::kFpgaPostCrcFlip:
+      case FaultKind::kFpgaCrcEngine:
+        e.magnitude = 1e-4 + 1e-3 * rng.uniform01();
+        break;
+      default:
+        break;
+    }
+
+    if (cfg.hang_safe) {
+      // Latency-heavy faults briefly: an SSD stall or CPU stall feeds
+      // straight into honest end-to-end latency, and the hang oracle must
+      // only ever fire on *stuck* I/O, not on slow-but-moving I/O.
+      if (e.kind == FaultKind::kSsdStall || e.kind == FaultKind::kCpuStall ||
+          e.kind == FaultKind::kSsdLatency) {
+        if (e.duration > ms(300)) e.duration = ms(300);
+      }
+    }
+    if (cfg.stretch_duration > 0 && e.duration < cfg.stretch_duration &&
+        e.kind != FaultKind::kSsdStall && e.kind != FaultKind::kCpuStall &&
+        e.kind != FaultKind::kSsdLatency) {
+      e.duration = cfg.stretch_duration;
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+}  // namespace repro::chaos

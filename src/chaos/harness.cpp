@@ -1,0 +1,199 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "chaos/injector.h"
+#include "obs/obs.h"
+#include "workload/fio.h"
+
+namespace repro::chaos {
+
+using transport::IoCompleteFn;
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+
+std::string RunReport::signature() const {
+  std::ostringstream os;
+  os << "executed=" << executed << ",end=" << end_time
+     << ",done=" << ios_completed << ",err=" << errors << ",hang=" << hangs
+     << ",crc=" << crc_checks << ",viol=" << violations.size();
+  return os.str();
+}
+
+bool hang_oracle_applicable(ebs::StackKind stack, const FaultPlan& plan) {
+  if (stack != ebs::StackKind::kSolar && stack != ebs::StackKind::kSolarStar) {
+    return false;  // on software stacks hangs are the Table 2 *signal*
+  }
+  auto is_switch = [](TargetKind k) {
+    switch (k) {
+      case TargetKind::kComputeTor:
+      case TargetKind::kStorageTor:
+      case TargetKind::kComputeSpine:
+      case TargetKind::kStorageSpine:
+      case TargetKind::kCore:
+        return true;
+      default:
+        return false;
+    }
+  };
+  int outage_events = 0;  // faults that can dead-end a whole ECMP tier
+  for (const FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case FaultKind::kDeviceStop:
+      case FaultKind::kDeviceSilent:
+        // Even SOLAR cannot route around *every* device of a tier being
+        // dead at once; allow at most one such event, on a switch, bounded.
+        if (!is_switch(e.target.kind)) return false;
+        if (e.duration <= 0 || e.duration > ms(700)) return false;
+        if (++outage_events > 1) return false;
+        break;
+      case FaultKind::kBlackhole:
+      case FaultKind::kLoss:
+      case FaultKind::kCorrupt:
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder:
+        // Probabilistic faults must sit where path diversity can dodge
+        // them; a NIC has no sibling.
+        if (!is_switch(e.target.kind)) return false;
+        break;
+      case FaultKind::kLinkFail:
+        if (e.target.sub != 0) return false;  // keep the pair's second leg
+        break;
+      case FaultKind::kSsdLatency:
+      case FaultKind::kSsdStall:
+      case FaultKind::kCpuStall:
+        // These feed straight into honest latency: bound them so slow
+        // never masquerades as stuck.
+        if (e.duration <= 0 || e.duration > ms(400)) return false;
+        break;
+      case FaultKind::kPcieDegrade:
+      case FaultKind::kFpgaPreCrcFlip:
+      case FaultKind::kFpgaPostCrcFlip:
+      case FaultKind::kFpgaCrcEngine:
+        break;
+    }
+  }
+  return true;
+}
+
+RunReport run_chaos(const HarnessConfig& cfg) {
+  sim::Engine eng;
+  ebs::ClusterParams params;
+  params.topo.compute_servers = cfg.compute_nodes;
+  params.topo.storage_servers = cfg.storage_nodes;
+  params.topo.servers_per_rack = cfg.servers_per_rack;
+  params.stack = cfg.stack;
+  params.seed = cfg.seed;
+  params.block_server.store_payload = true;  // durability oracle needs bytes
+  params.obs = cfg.obs;
+  if (cfg.disable_solar_failover) {
+    params.solar.path.fail_threshold = 1 << 30;  // the planted bug
+  }
+  ebs::Cluster cluster(eng, params);
+  if (cfg.obs != nullptr) cfg.obs->attach(eng);
+
+  OracleBoard oracle(cfg.oracle);
+  Injector injector(cluster);
+  Rng rng(cfg.seed ^ 0xC4A05F'44D2ull);
+
+  std::vector<std::uint64_t> vds;
+  for (int i = 0; i < cluster.num_compute(); ++i) {
+    vds.push_back(cluster.create_vd(1ull << 30));
+  }
+
+  auto wrapped_submit = [&cluster, &oracle, &eng](int node) {
+    return [&cluster, &oracle, &eng, node](IoRequest io, IoCompleteFn done) {
+      const std::uint64_t id = oracle.on_submit(io, eng.now());
+      cluster.compute(node).submit_io(
+          std::move(io),
+          [&oracle, &eng, id, done = std::move(done)](IoResult res) {
+            oracle.on_complete(id, res, eng.now());
+            done(std::move(res));
+          });
+    };
+  };
+
+  workload::FioConfig fc;
+  fc.vd_id = vds[0];
+  fc.vd_size = 1ull << 30;
+  fc.block_size = cfg.block_size;
+  fc.iodepth = cfg.iodepth;
+  fc.read_fraction = cfg.read_fraction;
+  fc.real_payload = true;
+  fc.max_ios = cfg.fio_max_ios;  // closed loop must not swamp the run
+  workload::FioJob fio(eng, wrapped_submit(0), fc, rng.fork(100));
+
+  std::vector<std::unique_ptr<workload::PoissonLoad>> poissons;
+  for (int i = 0; i < cluster.num_compute(); ++i) {
+    workload::PoissonConfig pc;
+    pc.vd_id = vds[static_cast<std::size_t>(i)];
+    pc.vd_size = 1ull << 30;
+    pc.iops = cfg.poisson_iops;
+    pc.read_fraction = cfg.read_fraction;
+    pc.block_size = cfg.block_size;
+    pc.real_payload = true;
+    poissons.push_back(std::make_unique<workload::PoissonLoad>(
+        eng, wrapped_submit(i), pc,
+        rng.fork(200 + static_cast<std::uint64_t>(i))));
+  }
+
+  eng.at(eng.now(), [&] {
+    fio.start();
+    for (auto& p : poissons) p->start();
+  });
+  eng.run_until(cfg.warmup);
+
+  injector.arm(cfg.plan);
+  eng.run_until(eng.now() + cfg.active);
+
+  fio.stop();
+  for (auto& p : poissons) p->stop();
+  injector.repair_all();
+  oracle.set_repair_time(injector.last_repair_time());
+
+  // Drain to quiesce in slices so we notice the engine going idle early.
+  const TimeNs deadline = eng.now() + cfg.drain_limit;
+  while (eng.pending() > 0 && eng.now() < deadline) {
+    eng.run_until(std::min(deadline, eng.now() + cfg.drain_slice));
+  }
+
+  oracle.check_quiesce(eng, cluster.network(), injector.last_repair_time());
+
+  // Durability read-back: probe a deterministic sample of committed cells
+  // through the full stack (post-repair, so probes themselves are clean).
+  if (oracle.outstanding() == 0 && cfg.oracle.check_crc &&
+      cfg.readback_samples > 0) {
+    const auto cells =
+        oracle.stable_cells(static_cast<std::size_t>(cfg.readback_samples));
+    for (const OracleBoard::StableCell& cell : cells) {
+      IoRequest io;
+      io.vd_id = cell.vd_id;
+      io.op = OpType::kRead;
+      io.offset = cell.lba;
+      io.len = 4096;
+      cluster.compute(0).submit_io(
+          std::move(io), [&oracle, &eng, cell](IoResult res) {
+            oracle.check_readback(cell, res, eng.now());
+          });
+    }
+    eng.run();
+  }
+
+  RunReport report;
+  report.violations = oracle.violations();
+  report.ios_completed = oracle.completed();
+  report.errors = oracle.errors();
+  report.hangs = oracle.hangs();
+  report.crc_checks = oracle.crc_checks();
+  report.faults_applied = static_cast<std::uint64_t>(injector.applied());
+  report.faults_reverted = static_cast<std::uint64_t>(injector.reverted());
+  report.executed = eng.executed();
+  report.end_time = eng.now();
+  return report;
+}
+
+}  // namespace repro::chaos

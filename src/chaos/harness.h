@@ -1,0 +1,88 @@
+// Chaos harness: one (stack, seed, plan, workload) run under full oracle
+// supervision.
+//
+// Lifecycle: build a small cluster with real payloads → closed-loop fio
+// plus an open-loop Poisson stream per compute node, submits wrapped by
+// the OracleBoard → warmup → arm the plan → active fault window →
+// repair_all → drain to quiesce (bounded) → quiesce checks → durability
+// read-back of a deterministic sample of committed cells. The RunReport
+// carries a determinism signature — two runs of the same config must match
+// it bit-for-bit, faults and all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/oracle.h"
+#include "ebs/cluster.h"
+
+namespace repro::obs {
+class Obs;
+}
+
+namespace repro::chaos {
+
+struct HarnessConfig {
+  ebs::StackKind stack = ebs::StackKind::kSolar;
+  std::uint64_t seed = 1;
+  FaultPlan plan;
+
+  // Topology (kept small: fault coverage, not throughput, is the point).
+  int compute_nodes = 2;
+  int storage_nodes = 4;
+  int servers_per_rack = 2;
+
+  // Workload: one open-loop Poisson stream per compute node (rate-bounded,
+  // and open-loop arrivals keep probing a broken path the way guests do)
+  // plus one capped closed-loop fio job for queue-depth backpressure.
+  int iodepth = 4;
+  int fio_max_ios = 400;
+  double poisson_iops = 1500.0;  ///< per compute node
+  std::uint32_t block_size = 8192;
+  double read_fraction = 0.3;
+
+  // Phases.
+  TimeNs warmup = ms(50);
+  TimeNs active = seconds(1);     ///< window the plan plays out in
+  TimeNs drain_slice = ms(100);
+  TimeNs drain_limit = seconds(30);  ///< give up draining after this
+
+  OracleConfig oracle;
+  int readback_samples = 48;
+
+  /// Planted bug for fuzzer validation: SOLAR never declares a path dead,
+  /// so silent failures pin I/O exactly like LUNA — the hang oracle must
+  /// catch it.
+  bool disable_solar_failover = false;
+
+  /// Optional observability (trace export for repro bundles). Must not
+  /// change the run — the determinism sweep asserts it.
+  obs::Obs* obs = nullptr;
+};
+
+struct RunReport {
+  std::vector<Violation> violations;
+  std::uint64_t ios_completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t crc_checks = 0;
+  std::uint64_t faults_applied = 0;
+  std::uint64_t faults_reverted = 0;
+  // Determinism signature.
+  std::uint64_t executed = 0;
+  TimeNs end_time = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Compact fingerprint for bit-reproducibility comparisons.
+  std::string signature() const;
+};
+
+/// Decide whether the hang oracle may be armed for `cfg`: SOLAR-family
+/// stack and a plan within the hang-safe envelope (see GeneratorConfig).
+bool hang_oracle_applicable(ebs::StackKind stack, const FaultPlan& plan);
+
+RunReport run_chaos(const HarnessConfig& cfg);
+
+}  // namespace repro::chaos

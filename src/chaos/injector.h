@@ -1,0 +1,72 @@
+// Injector: applies a FaultPlan to a live cluster through engine timers.
+//
+// Every apply/revert is an ordinary engine event, so a chaos run is exactly
+// as deterministic as a fault-free one: identical (seed, plan) inputs give
+// bit-identical schedules. Reverts are *kind-specific* — repairing a
+// blackhole leaves a concurrently-injected silent death in place — so
+// plans compose faults freely on one device (Table 2's "reboot" is a
+// fail-stop whose repair coincides with a silent-death onset).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "sim/engine.h"
+
+namespace repro::ebs {
+class Cluster;
+}
+namespace repro::net {
+class Device;
+}
+
+namespace repro::chaos {
+
+class Injector {
+ public:
+  explicit Injector(ebs::Cluster& cluster);
+
+  /// Resource counts of the attached cluster (feed to `generate_plan`).
+  TopologyShape shape() const;
+
+  /// Schedules every event of `plan` relative to the engine's current
+  /// time. Events with duration > 0 also schedule their revert. May be
+  /// called once per run.
+  void arm(const FaultPlan& plan);
+
+  /// Immediately reverts every active fault and cancels every not-yet-
+  /// applied event. After this the cluster is back to nominal (modulo
+  /// link-detection / reconvergence delays already in flight).
+  void repair_all();
+
+  /// Engine time of the most recent revert (applied or via repair_all);
+  /// 0 if nothing has been reverted yet. The recovery-SLO oracle measures
+  /// from here.
+  TimeNs last_repair_time() const { return last_repair_; }
+
+  int applied() const { return applied_; }
+  int reverted() const { return reverted_; }
+
+ private:
+  struct Armed {
+    FaultEvent event;
+    sim::TimerId apply_timer = 0;
+    sim::TimerId revert_timer = 0;
+    bool applied = false;
+    bool reverted = false;
+    double saved_magnitude = 0.0;  ///< pre-fault knob value for restore
+  };
+
+  void apply(Armed& a);
+  void revert(Armed& a);
+  net::Device* resolve_device(const FaultTarget& t) const;
+
+  ebs::Cluster& cluster_;
+  std::vector<Armed> armed_;
+  TimeNs last_repair_ = 0;
+  int applied_ = 0;
+  int reverted_ = 0;
+};
+
+}  // namespace repro::chaos

@@ -1,0 +1,49 @@
+#include "chaos/minimize.h"
+
+namespace repro::chaos {
+
+MinimizeResult minimize_plan(
+    const FaultPlan& plan,
+    const std::function<bool(const FaultPlan&)>& still_fails,
+    int max_probes) {
+  MinimizeResult res;
+  res.plan = plan;
+  res.plan.name = plan.name + ".min";
+
+  auto probe = [&](const FaultPlan& candidate) {
+    ++res.probes;
+    return still_fails(candidate);
+  };
+
+  // Phase 1: drop events one at a time until a full pass removes nothing.
+  bool changed = true;
+  while (changed && res.probes < max_probes) {
+    changed = false;
+    for (std::size_t i = res.plan.events.size(); i-- > 0;) {
+      if (res.plan.events.size() <= 1) break;
+      if (res.probes >= max_probes) break;
+      FaultPlan candidate = res.plan;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (probe(candidate)) {
+        res.plan = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+
+  // Phase 2: shrink surviving events' durations (halving descent).
+  for (std::size_t i = 0; i < res.plan.events.size(); ++i) {
+    while (res.probes < max_probes && res.plan.events[i].duration > ms(100)) {
+      FaultPlan candidate = res.plan;
+      candidate.events[i].duration /= 2;
+      if (!probe(candidate)) break;
+      res.plan = std::move(candidate);
+    }
+  }
+
+  res.converged = res.probes < max_probes;
+  return res;
+}
+
+}  // namespace repro::chaos

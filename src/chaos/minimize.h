@@ -1,0 +1,29 @@
+// Greedy fault-schedule minimization (delta debugging, one-at-a-time).
+//
+// Given a failing plan and an "does it still fail?" predicate (one full
+// deterministic re-run per probe), repeatedly drop events and shrink
+// durations while the violation persists. The result is the smallest plan
+// this greedy descent reaches — typically one or two events — which ships
+// as the replayable JSON repro.
+#pragma once
+
+#include <functional>
+
+#include "chaos/fault_plan.h"
+
+namespace repro::chaos {
+
+struct MinimizeResult {
+  FaultPlan plan;
+  int probes = 0;     ///< predicate invocations spent
+  bool converged = false;  ///< false if the probe budget ran out first
+};
+
+/// `still_fails` must be deterministic for a fixed plan (the harness
+/// guarantees this per (seed, plan)). `max_probes` bounds total re-runs.
+MinimizeResult minimize_plan(
+    const FaultPlan& plan,
+    const std::function<bool(const FaultPlan&)>& still_fails,
+    int max_probes = 48);
+
+}  // namespace repro::chaos

@@ -99,6 +99,7 @@ class StorageNode {
 
   storage::BlockServer& block_server() { return *block_server_; }
   net::Nic& nic() { return *nic_; }
+  sim::CpuPool& cpu() { return *cpu_; }
 
   /// Registers this node's metrics, gauges and trace names on `obs`.
   void register_observables(obs::Obs& obs);

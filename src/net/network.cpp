@@ -149,6 +149,38 @@ void Device::handle_arrival(PacketPtr pkt, int in_port) {
       return;
     }
   }
+  if (faults_.corrupt_rate > 0.0 && !pkt->wire_corrupted &&
+      net_->rng().bernoulli(faults_.corrupt_rate)) {
+    pkt->wire_corrupted = true;  // dropped by the receiving NIC's FCS check
+    ++net_->wire_faults().corrupted;
+  }
+  if (faults_.dup_rate > 0.0 && net_->rng().bernoulli(faults_.dup_rate)) {
+    PacketPtr copy = net_->make_packet();
+    copy->flow = pkt->flow;
+    copy->size_bytes = pkt->size_bytes;
+    copy->priority = pkt->priority;
+    copy->request_int = pkt->request_int;
+    copy->int_records = pkt->int_records;
+    copy->id = pkt->id;
+    copy->sent_at = pkt->sent_at;
+    copy->span = pkt->span;
+    copy->wire_corrupted = pkt->wire_corrupted;
+    if (pkt->app != nullptr) {
+      payload_ref(pkt->app);
+      copy->app = pkt->app;
+    }
+    ++net_->wire_faults().duplicated;
+    receive(std::move(copy), in_port);
+  }
+  if (faults_.reorder_rate > 0.0 && faults_.reorder_delay > 0 &&
+      net_->rng().bernoulli(faults_.reorder_rate)) {
+    ++net_->wire_faults().reordered;
+    net_->engine().after(faults_.reorder_delay,
+                         [this, in_port, pkt = std::move(pkt)]() mutable {
+                           receive(std::move(pkt), in_port);
+                         });
+    return;
+  }
   receive(std::move(pkt), in_port);
 }
 
@@ -234,10 +266,17 @@ void Network::fail_device_silent(Device& dev) {
   dev.faults_.silent_dead = true;
 }
 
+void Network::set_silent(Device& dev, bool dead) {
+  dev.faults_.silent_dead = dead;
+}
+
 void Network::repair_device(Device& dev) {
   dev.faults_.silent_dead = false;
   dev.faults_.loss_rate = 0.0;
   dev.faults_.blackhole_fraction = 0.0;
+  dev.faults_.corrupt_rate = 0.0;
+  dev.faults_.dup_rate = 0.0;
+  dev.faults_.reorder_rate = 0.0;
   for (int i = 0; i < dev.num_ports(); ++i) {
     if (dev.port(i).connected()) set_link_alive(dev, i, true);
   }
@@ -250,6 +289,19 @@ void Network::set_loss_rate(Device& dev, double p) {
 void Network::set_blackhole(Device& dev, double fraction) {
   dev.faults_.blackhole_fraction = fraction;
   dev.faults_.blackhole_salt = rng_.next();
+}
+
+void Network::set_corrupt_rate(Device& dev, double p) {
+  dev.faults_.corrupt_rate = p;
+}
+
+void Network::set_dup_rate(Device& dev, double p) {
+  dev.faults_.dup_rate = p;
+}
+
+void Network::set_reorder(Device& dev, double p, TimeNs delay) {
+  dev.faults_.reorder_rate = p;
+  dev.faults_.reorder_delay = delay;
 }
 
 void Network::compute_routes() {

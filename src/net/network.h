@@ -105,6 +105,11 @@ struct DeviceFaults {
   double loss_rate = 0.0;       ///< iid drop probability on receive
   double blackhole_fraction = 0.0;  ///< fraction of flows silently dropped
   std::uint64_t blackhole_salt = 0;
+  // Wire-level misbehaviour (chaos): applied to arrivals at this device.
+  double corrupt_rate = 0.0;    ///< iid bit-error probability (FCS-caught)
+  double dup_rate = 0.0;        ///< iid duplicate-delivery probability
+  double reorder_rate = 0.0;    ///< iid probability of delaying a packet
+  TimeNs reorder_delay = 0;     ///< extra delivery delay for reordered pkts
 };
 
 class Device {
@@ -168,10 +173,18 @@ class Network {
     std::uint64_t blackhole = 0;
     std::uint64_t random_loss = 0;
     std::uint64_t no_route = 0;
+    std::uint64_t corrupt_fcs = 0;  ///< corrupted packets dropped by NIC FCS
     std::uint64_t total() const {
       return queue_full + link_down + device_dead + blackhole + random_loss +
-             no_route;
+             no_route + corrupt_fcs;
     }
+  };
+
+  /// Wire-fault event counters (chaos corrupt/dup/reorder injection).
+  struct WireFaultStats {
+    std::uint64_t corrupted = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
   };
 
   Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed);
@@ -211,9 +224,20 @@ class Network {
   void fail_device_stop(Device& dev);
   /// Silent death: forwards nothing, carrier stays up (undetectable).
   void fail_device_silent(Device& dev);
+  /// Kind-specific toggle for silent death: unlike `repair_device` it does
+  /// not touch any other fault knob or link, so composed fault schedules
+  /// (chaos plans stacking faults on one device) revert independently.
+  void set_silent(Device& dev, bool dead);
   void repair_device(Device& dev);
   void set_loss_rate(Device& dev, double p);
   void set_blackhole(Device& dev, double fraction);
+  /// Wire-level misbehaviour at a device (NIC or switch): mark arrivals
+  /// corrupted (dropped by the receiving NIC's FCS check), deliver them
+  /// twice, or delay a random subset by `delay` (reordering them past
+  /// later arrivals). All repaired by `repair_device` or a rate of 0.
+  void set_corrupt_rate(Device& dev, double p);
+  void set_dup_rate(Device& dev, double p);
+  void set_reorder(Device& dev, double p, TimeNs delay);
 
   /// Non-owning observability hook shared by everything fabric-adjacent.
   /// Null (the default) means fully dark; set it before building devices so
@@ -227,6 +251,8 @@ class Network {
   const NetworkParams& params() const { return params_; }
   DropStats& drops() { return drops_; }
   const DropStats& drops() const { return drops_; }
+  WireFaultStats& wire_faults() { return wire_faults_; }
+  const WireFaultStats& wire_faults() const { return wire_faults_; }
   std::uint64_t next_packet_id() { return next_packet_id_++; }
 
   const std::vector<std::unique_ptr<Device>>& devices() const {
@@ -250,6 +276,7 @@ class Network {
   DeviceId next_device_id_ = 1;
   std::uint64_t next_packet_id_ = 1;
   DropStats drops_;
+  WireFaultStats wire_faults_;
   bool reconvergence_pending_ = false;
   // routes_[device id][dst ip] -> egress ports on shortest paths.
   std::unordered_map<DeviceId, std::unordered_map<IpAddr, std::vector<int>>>

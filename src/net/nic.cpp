@@ -35,6 +35,13 @@ void Nic::receive(PacketPtr pkt, int in_port) {
   (void)in_port;
   ++rx_packets_;
   rx_bytes_ += pkt->size_bytes;
+  if (pkt->wire_corrupted) {
+    // FCS check fails: the frame never reaches the host stack, so
+    // wire corruption manifests to transports as loss.
+    ++fcs_drops_;
+    ++network().drops().corrupt_fcs;
+    return;
+  }
   // Fold the INT trail of a traced packet into per-hop fabric spans: each
   // switch stamp opens a hop that closes at the next stamp (arrival here
   // for the last one). pid = the switch, parented on the sender's span.

@@ -54,8 +54,9 @@ class Nic : public Device, public obs::Resettable {
   std::uint64_t rx_packets() const { return rx_packets_; }
   std::uint64_t tx_bytes() const { return tx_bytes_; }
   std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t fcs_drops() const { return fcs_drops_; }
   void reset_counters() override {
-    tx_packets_ = rx_packets_ = tx_bytes_ = rx_bytes_ = 0;
+    tx_packets_ = rx_packets_ = tx_bytes_ = rx_bytes_ = fcs_drops_ = 0;
   }
 
   /// Publishes tx/rx counters and registers for reset (labels: node=<name>).
@@ -74,6 +75,7 @@ class Nic : public Device, public obs::Resettable {
   std::uint64_t rx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_bytes_ = 0;
+  std::uint64_t fcs_drops_ = 0;
 };
 
 }  // namespace repro::net

@@ -233,6 +233,9 @@ struct Packet {
   /// parent their spans on it and copy it onto response packets so the
   /// return path folds into the same causal tree.
   std::uint64_t span = 0;
+  /// Wire-level bit error (chaos corrupt fault). The receiving NIC's FCS
+  /// check drops such packets, so transports see it as loss.
+  bool wire_corrupted = false;
 
   Packet() = default;
   ~Packet() { payload_unref(app); }
@@ -250,7 +253,8 @@ struct Packet {
         app(std::exchange(o.app, nullptr)),
         id(o.id),
         sent_at(o.sent_at),
-        span(o.span) {}
+        span(o.span),
+        wire_corrupted(o.wire_corrupted) {}
   Packet& operator=(Packet&& o) noexcept {
     if (this != &o) {
       flow = o.flow;
@@ -263,6 +267,7 @@ struct Packet {
       id = o.id;
       sent_at = o.sent_at;
       span = o.span;
+      wire_corrupted = o.wire_corrupted;
     }
     return *this;
   }
@@ -311,6 +316,7 @@ class PacketPool {
     p->id = 0;
     p->sent_at = 0;
     p->span = 0;
+    p->wire_corrupted = false;
     p->next_ = free_head_;
     free_head_ = p;
     if (--outstanding_ == 0 && retired_) delete this;

@@ -44,6 +44,14 @@ class CpuCore {
   /// Total busy time accumulated so far (including scheduled future work).
   TimeNs busy_ns() const { return busy_ns_; }
 
+  /// Chaos hook: occupies the core for `dur` without counting as busy work
+  /// (interrupt storm / SMI / scheduler stall). Queued items slip by `dur`.
+  void stall_for(TimeNs dur) {
+    if (dur <= 0) return;
+    const TimeNs start = engine_.now() > free_at_ ? engine_.now() : free_at_;
+    free_at_ = start + dur;
+  }
+
   /// Mean utilization over [0, now] (can exceed 1 transiently because
   /// scheduled-but-unfinished work counts as busy).
   double utilization() const;
@@ -77,6 +85,12 @@ class CpuPool : public obs::Resettable {
     return over > 0 ? static_cast<double>(total_busy_ns()) /
                           static_cast<double>(over)
                     : 0.0;
+  }
+
+  /// Chaos hook: stalls every core in the pool for `dur` (see
+  /// CpuCore::stall_for).
+  void stall_all(TimeNs dur) {
+    for (auto& c : cores_) c->stall_for(dur);
   }
 
   /// Resets busy accounting (used between warmup and measurement phases).

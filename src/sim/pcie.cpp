@@ -9,7 +9,9 @@ TimeNs PcieChannel::transfer(std::uint64_t bytes, Callback done) {
   // time only; the fixed doorbell/completion latency delays the completion
   // without blocking the next transfer.
   const TimeNs start = std::max(engine_.now(), free_at_);
-  free_at_ = start + serialization_delay(bytes, bandwidth_);
+  const auto rate =
+      static_cast<BitsPerSec>(static_cast<double>(bandwidth_) / degrade_);
+  free_at_ = start + serialization_delay(bytes, rate);
   bytes_transferred_ += bytes;
   const TimeNs completion = free_at_ + per_transfer_latency_;
   engine_.at(completion, done ? std::move(done) : Callback([] {}));

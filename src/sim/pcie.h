@@ -32,6 +32,11 @@ class PcieChannel : public obs::Resettable {
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   BitsPerSec bandwidth() const { return bandwidth_; }
 
+  /// Chaos hook: scales effective bandwidth by 1/factor (link retraining /
+  /// lane degradation). 1.0 = healthy; e.g. 4.0 quarters the bandwidth.
+  void set_degrade(double factor) { degrade_ = factor < 1.0 ? 1.0 : factor; }
+  double degrade() const { return degrade_; }
+
   /// Achieved goodput over [0, now].
   BitsPerSec goodput() const {
     return throughput_bps(bytes_transferred_, engine_.now());
@@ -52,6 +57,7 @@ class PcieChannel : public obs::Resettable {
   std::string name_;
   BitsPerSec bandwidth_;
   TimeNs per_transfer_latency_;
+  double degrade_ = 1.0;
   TimeNs free_at_ = 0;
   std::uint64_t bytes_transferred_ = 0;
 };

@@ -74,6 +74,14 @@ class BlockServer {
     return total;
   }
 
+  /// Replica SSD access for fault injection (latency spikes, stalls).
+  int num_replica_ssds() const {
+    return static_cast<int>(replica_ssds_.size());
+  }
+  SsdModel& replica_ssd(int i) {
+    return *replica_ssds_[static_cast<std::size_t>(i)];
+  }
+
  private:
   void handle_write(transport::StorageRequest request,
                     std::function<void(transport::StorageResponse)> reply);

@@ -15,16 +15,37 @@ SsdModel::SsdModel(sim::Engine& engine, SsdParams params, Rng rng)
 
 TimeNs SsdModel::submit(std::uint32_t bytes, TimeNs median, double sigma,
                         sim::Callback done) {
+  if (stalled_) {
+    stalled_ops_.push_back({bytes, median, sigma, std::move(done)});
+    return engine_.now();
+  }
+  return dispatch(bytes, median, sigma, std::move(done));
+}
+
+TimeNs SsdModel::dispatch(std::uint32_t bytes, TimeNs median, double sigma,
+                          sim::Callback done) {
   // Least-loaded channel, like an FTL spreading across dies.
   sim::CpuCore* ch = channels_.front().get();
   for (auto& c : channels_) {
     if (c->free_at() < ch->free_at()) ch = c.get();
   }
   const auto base = static_cast<TimeNs>(
+      latency_mult_ *
       rng_.lognormal_median(static_cast<double>(median), sigma));
   const TimeNs xfer =
       serialization_delay(bytes, params_.internal_bandwidth_gbps * 1e9);
   return ch->run(base + xfer, std::move(done));
+}
+
+void SsdModel::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (stalled_) return;
+  std::vector<PendingOp> flush;
+  flush.swap(stalled_ops_);
+  for (auto& op : flush) {
+    dispatch(op.bytes, op.median, op.sigma, std::move(op.done));
+  }
 }
 
 TimeNs SsdModel::write(std::uint32_t bytes, sim::Callback done) {

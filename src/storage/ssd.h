@@ -39,6 +39,15 @@ class SsdModel {
   std::uint64_t writes() const { return writes_; }
   std::uint64_t reads() const { return reads_; }
 
+  // --- chaos fault hooks -------------------------------------------------
+  /// Scales per-op service medians (latency spike). 1.0 = healthy.
+  void set_latency_multiplier(double m) { latency_mult_ = m; }
+  double latency_multiplier() const { return latency_mult_; }
+  /// While stalled the device accepts ops but serves none; pending ops
+  /// flush in FIFO order on unstall (firmware hiccup / GC pause model).
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
   /// Total queued-but-unserved work across channels (the sampler's "SSD
   /// queue length" gauge).
   TimeNs queue_backlog() const {
@@ -48,8 +57,17 @@ class SsdModel {
   }
 
  private:
+  struct PendingOp {
+    std::uint32_t bytes;
+    TimeNs median;
+    double sigma;
+    sim::Callback done;
+  };
+
   TimeNs submit(std::uint32_t bytes, TimeNs median, double sigma,
                 sim::Callback done);
+  TimeNs dispatch(std::uint32_t bytes, TimeNs median, double sigma,
+                  sim::Callback done);
 
   sim::Engine& engine_;
   SsdParams params_;
@@ -57,6 +75,9 @@ class SsdModel {
   std::vector<std::unique_ptr<sim::CpuCore>> channels_;  // serial resources
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
+  double latency_mult_ = 1.0;
+  bool stalled_ = false;
+  std::vector<PendingOp> stalled_ops_;  // FIFO, flushed on unstall
 };
 
 }  // namespace repro::storage

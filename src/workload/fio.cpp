@@ -87,6 +87,12 @@ void PoissonLoad::schedule_next() {
     io.offset = rng_.next_below(config_.vd_size / bs) * bs;
     if (io.op == OpType::kWrite) {
       io.payload = transport::make_placeholder_blocks(io.offset, bs, 4096);
+      if (config_.real_payload) {
+        for (auto& blk : io.payload) {
+          blk.data.resize(blk.len);
+          for (auto& b : blk.data) b = static_cast<std::uint8_t>(rng_.next());
+        }
+      }
     }
     io.issued_at = engine_.now();
     const TimeNs issued_at = engine_.now();

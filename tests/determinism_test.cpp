@@ -9,6 +9,8 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/fault_plan.h"
+#include "chaos/harness.h"
 #include "ebs/cluster.h"
 #include "obs/obs.h"
 #include "sim/engine.h"
@@ -158,6 +160,62 @@ TEST(Determinism, DifferentSeedsProduceDifferentSchedules) {
   const RunSig b = run_mixed(2);
   // Sanity that the signature is sensitive enough to catch divergence.
   EXPECT_NE(a.executed, b.executed);
+}
+
+// 16-seed chaos sweep: for each seed, generate a fault plan, run the full
+// chaos harness instrumented (registry + tracer + sampler attached) and
+// dark, and demand bit-identical signatures. This extends the
+// observability invariant to runs with active fault injection — the
+// injector's apply/revert timers, the NIC FCS drops, duplicated and
+// reordered packets, SSD stalls, all of it must stay on the deterministic
+// schedule whether or not anyone is watching.
+TEST(Determinism, ChaosSweepInstrumentedVsDarkAcrossSixteenSeeds) {
+  const ebs::StackKind stacks[] = {
+      ebs::StackKind::kKernelTcp,
+      ebs::StackKind::kLuna,
+      ebs::StackKind::kSolarStar,
+      ebs::StackKind::kSolar,
+  };
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    chaos::HarnessConfig cfg;
+    cfg.stack = stacks[seed % 4];
+    cfg.seed = seed * 7919;
+    cfg.active = ms(250);
+    cfg.poisson_iops = 900.0;
+    cfg.readback_samples = 12;
+
+    Rng plan_rng(seed);
+    chaos::GeneratorConfig gc;
+    gc.window = ms(200);
+    chaos::TopologyShape shape;
+    shape.compute_nodes = cfg.compute_nodes;
+    shape.storage_nodes = cfg.storage_nodes;
+    shape.compute_tors = 2;
+    shape.storage_tors = 4;
+    shape.compute_spines = 2;
+    shape.storage_spines = 2;
+    shape.cores = 2;
+    shape.replica_ssds = 3;
+    shape.has_fpga = cfg.stack == ebs::StackKind::kSolar;
+    cfg.plan = chaos::generate_plan(plan_rng, gc, shape);
+
+    const chaos::RunReport dark = chaos::run_chaos(cfg);
+
+    obs::ObsConfig oc;
+    oc.sample_interval = us(20);
+    obs::Obs obs(oc);
+    chaos::HarnessConfig lit_cfg = cfg;
+    lit_cfg.obs = &obs;
+    const chaos::RunReport lit = chaos::run_chaos(lit_cfg);
+
+    EXPECT_EQ(dark.signature(), lit.signature()) << "seed " << seed;
+    EXPECT_GT(obs.sampler().samples_taken(), 0u) << "seed " << seed;
+    total_faults += dark.faults_applied;
+  }
+  // The sweep must actually have injected faults, or the equality above
+  // says nothing about chaos determinism.
+  EXPECT_GT(total_faults, 0u);
 }
 
 }  // namespace
