@@ -15,6 +15,7 @@
 #include "common/table.h"
 #include "ebs/cluster.h"
 #include "ebs/metrics.h"
+#include "ebs/scenario.h"
 #include "workload/fio.h"
 
 namespace repro::bench {
@@ -25,21 +26,25 @@ struct ClusterUnderTest {
   std::vector<std::uint64_t> vds;  ///< one per compute node
 };
 
+/// The benches' canonical scenario: small fabric, one VD per compute node,
+/// placeholder payloads (byte-level work is covered by the unit/property
+/// tests and the fig11 campaign).
+inline ebs::ScenarioSpec default_scenario(ebs::StackKind stack,
+                                          int compute = 2, int storage = 8,
+                                          std::uint64_t seed = 42) {
+  ebs::ScenarioSpec spec;
+  spec.name = "bench";
+  spec.compute_nodes = compute;
+  spec.storage_nodes = storage;
+  spec.stack = stack;
+  spec.seed = seed;
+  return spec;
+}
+
 inline ebs::ClusterParams default_params(ebs::StackKind stack,
                                          int compute = 2, int storage = 8,
                                          std::uint64_t seed = 42) {
-  ebs::ClusterParams p;
-  p.topo.compute_servers = compute;
-  p.topo.storage_servers = storage;
-  p.topo.servers_per_rack = 8;
-  p.topo.spines_per_pod = 2;
-  p.topo.core_switches = 2;
-  p.stack = stack;
-  p.seed = seed;
-  // Benches run placeholder payloads: byte-level work is covered by the
-  // unit/property tests and the fig11 campaign.
-  p.block_server.store_payload = false;
-  return p;
+  return ebs::params_from(default_scenario(stack, compute, storage, seed));
 }
 
 inline ClusterUnderTest make_cluster(ebs::ClusterParams params,
@@ -51,6 +56,14 @@ inline ClusterUnderTest make_cluster(ebs::ClusterParams params,
     c.vds.push_back(c.cluster->create_vd(vd_size));
   }
   return c;
+}
+
+/// Builds a cluster straight from a declarative scenario.
+inline ClusterUnderTest make_cluster(const ebs::ScenarioSpec& spec,
+                                     obs::Obs* obs = nullptr) {
+  ebs::Scenario s = ebs::build_scenario(spec, obs);
+  return ClusterUnderTest{std::move(s.engine), std::move(s.cluster),
+                          std::move(s.vds)};
 }
 
 inline workload::SubmitFn submit_via(ebs::Cluster& cluster, int node) {
@@ -78,7 +91,7 @@ inline FioRunResult run_fio(ClusterUnderTest& c, workload::FioConfig cfg,
   eng.at(eng.now(), [&] { job.start(); });
   eng.run_until(eng.now() + warmup);
   job.metrics().clear();
-  c.cluster->compute(node).reset_accounting();
+  c.cluster->reset_warmup();
   const TimeNs t0 = eng.now();
   eng.run_until(t0 + measure);
   job.stop();

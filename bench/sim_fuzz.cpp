@@ -56,38 +56,15 @@ constexpr StackKind kStacks[] = {
     StackKind::kSolar,
 };
 
-const char* stack_name(StackKind s) {
-  switch (s) {
-    case StackKind::kKernelTcp: return "kernel_tcp";
-    case StackKind::kLuna: return "luna";
-    case StackKind::kRdma: return "rdma";
-    case StackKind::kSolarStar: return "solar_star";
-    case StackKind::kSolar: return "solar";
-  }
-  return "?";
-}
-
-bool parse_stack(const std::string& name, StackKind* out) {
-  for (StackKind s : kStacks) {
-    if (name == stack_name(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
-}
+std::string stack_name(StackKind s) { return stack::cli_string(s); }
 
 chaos::TopologyShape shape_for(StackKind stack) {
-  // One throwaway cluster per stack tells the generator what exists.
-  sim::Engine eng;
-  ebs::ClusterParams params;
+  // One throwaway cluster per stack tells the generator what exists,
+  // built from the harness's own declarative scenario.
   HarnessConfig defaults;
-  params.topo.compute_servers = defaults.compute_nodes;
-  params.topo.storage_servers = defaults.storage_nodes;
-  params.topo.servers_per_rack = defaults.servers_per_rack;
-  params.stack = stack;
-  params.seed = 1;
-  ebs::Cluster cluster(eng, params);
+  defaults.stack = stack;
+  sim::Engine eng;
+  ebs::Cluster cluster(eng, ebs::params_from(defaults.scenario()));
   return chaos::Injector(cluster).shape();
 }
 
@@ -125,7 +102,7 @@ void dump_repro(const FuzzOptions& opt, const HarnessConfig& cfg,
   std::printf("  trace      : %s (violations in traced run: %zu)\n",
               trace_path.c_str(), r.violations.size());
   std::printf("  replay with: sim_fuzz --replay %s --stack %s --seed %llu%s%s\n",
-              plan_path.c_str(), stack_name(cfg.stack),
+              plan_path.c_str(), stack_name(cfg.stack).c_str(),
               static_cast<unsigned long long>(cfg.seed),
               cfg.oracle.hang_oracle ? " --hang-oracle" : "",
               cfg.disable_solar_failover ? " --planted-bug" : "");
@@ -205,7 +182,7 @@ int run_sweep(const FuzzOptions& opt) {
     if (!r.ok() || !deterministic) {
       ++failures;
       std::printf("[sim_fuzz] FAIL run %d: stack=%s seed=%llu plan=%zu events%s\n",
-                  i, stack_name(stack),
+                  i, stack_name(stack).c_str(),
                   static_cast<unsigned long long>(seed), plan.events.size(),
                   deterministic ? "" : " (NON-DETERMINISTIC)");
       print_violations(r);
@@ -219,7 +196,7 @@ int run_sweep(const FuzzOptions& opt) {
         std::printf("  minimized: %zu -> %zu events (%d probes)\n",
                     plan.events.size(), min.plan.events.size(), min.probes);
         char tag[64];
-        std::snprintf(tag, sizeof tag, "%s_seed%llu", stack_name(stack),
+        std::snprintf(tag, sizeof tag, "%s_seed%llu", stack_name(stack).c_str(),
                       static_cast<unsigned long long>(seed));
         dump_repro(opt, cfg, min.plan, tag);
       }
@@ -246,7 +223,6 @@ int run_sweep(const FuzzOptions& opt) {
 /// hang-safe for a *healthy* SOLAR, that is Table 2's claim) must fire,
 /// and the minimized repro must fail deterministically.
 int run_plant_bug(const FuzzOptions& opt) {
-  const chaos::TopologyShape shape = shape_for(StackKind::kSolar);
   for (int attempt = 0; attempt < 16; ++attempt) {
     const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(attempt);
     Rng rng(seed * 0x2545F4914F6CDD1Dull + 1);
@@ -350,7 +326,7 @@ int run_replay(const std::string& file, StackKind stack, std::uint64_t seed,
   cfg.disable_solar_failover = planted_bug;
   const RunReport r = chaos::run_chaos(cfg);
   std::printf("[sim_fuzz] replay %s: stack=%s seed=%llu -> %s (%s)\n",
-              file.c_str(), stack_name(stack),
+              file.c_str(), stack_name(stack).c_str(),
               static_cast<unsigned long long>(seed),
               r.ok() ? "CLEAN" : "VIOLATIONS", r.signature().c_str());
   print_violations(r);
@@ -391,7 +367,7 @@ int main(int argc, char** argv) {
     } else if (a == "--replay") {
       replay_file = next();
     } else if (a == "--stack") {
-      if (!parse_stack(next(), &replay_stack)) {
+      if (!ebs::stack_from_string(next(), &replay_stack)) {
         std::fprintf(stderr, "sim_fuzz: unknown stack\n");
         return 2;
       }

@@ -1,13 +1,11 @@
 #include "chaos/fault_plan.h"
 
-#include <cctype>
-#include <cstdlib>
 #include <iterator>
-#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "obs/json.h"
+#include "obs/json_reader.h"
 
 namespace repro::chaos {
 
@@ -116,211 +114,7 @@ std::string FaultPlan::to_json() const {
 }
 
 // ---------------------------------------------------------------------------
-// Replay parser. The obs layer only *writes* JSON, so plans carry their own
-// minimal recursive-descent reader: objects, arrays, strings (with the
-// escapes the writer emits), numbers, bools. Enough for any file
-// `to_json` produced — and for hand-edited repros.
-
-namespace {
-
-struct JsonValue;
-using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> items;     // kArray
-  std::unique_ptr<JsonMembers> obj; // kObject
-
-  const JsonValue* find(const std::string& key) const {
-    if (type != Type::kObject) return nullptr;
-    for (const auto& [k, v] : *obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& s) : s_(s) {}
-
-  bool parse(JsonValue* out) {
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
-  std::string error() const { return err_; }
-
- private:
-  bool fail(const std::string& why) {
-    if (err_.empty()) {
-      err_ = why + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool value(JsonValue* out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end");
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out->type = JsonValue::Type::kString;
-      return string(&out->str);
-    }
-    if (s_.compare(pos_, 4, "true") == 0) {
-      out->type = JsonValue::Type::kBool;
-      out->b = true;
-      pos_ += 4;
-      return true;
-    }
-    if (s_.compare(pos_, 5, "false") == 0) {
-      out->type = JsonValue::Type::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (s_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    return number(out);
-  }
-
-  bool object(JsonValue* out) {
-    out->type = JsonValue::Type::kObject;
-    out->obj = std::make_unique<JsonMembers>();
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
-      ++pos_;
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->obj->emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return fail("unterminated object");
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool array(JsonValue* out) {
-    out->type = JsonValue::Type::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!value(&v)) return false;
-      out->items.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return fail("unterminated array");
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool string(std::string* out) {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
-    ++pos_;
-    out->clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return fail("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'u':
-            // The writer only emits \u00XX for control bytes.
-            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
-            out->push_back(static_cast<char>(
-                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
-            pos_ += 4;
-            break;
-          default: return fail("unknown escape");
-        }
-        continue;
-      }
-      out->push_back(c);
-    }
-    return fail("unterminated string");
-  }
-
-  bool number(JsonValue* out) {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '-' || s_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected value");
-    out->type = JsonValue::Type::kNumber;
-    out->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  std::string err_;
-};
-
-bool get_number(const JsonValue& obj, const char* key, double* out) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->type != JsonValue::Type::kNumber) return false;
-  *out = v->num;
-  return true;
-}
-
-}  // namespace
+// Replay parser, on the shared obs JSON reader (obs/json_reader.h).
 
 bool plan_from_json(const std::string& text, FaultPlan* out,
                     std::string* err) {
@@ -328,45 +122,57 @@ bool plan_from_json(const std::string& text, FaultPlan* out,
     if (err != nullptr) *err = e;
     return false;
   };
-  JsonValue root;
-  JsonReader reader(text);
+  obs::JsonValue root;
+  obs::JsonReader reader(text);
   if (!reader.parse(&root)) return set_err(reader.error());
-  if (root.type != JsonValue::Type::kObject) return set_err("root not object");
+  if (root.type != obs::JsonValue::Type::kObject) {
+    return set_err("root not object");
+  }
 
   FaultPlan plan;
-  if (const JsonValue* n = root.find("name");
-      n != nullptr && n->type == JsonValue::Type::kString) {
+  if (const obs::JsonValue* n = root.find("name");
+      n != nullptr && n->type == obs::JsonValue::Type::kString) {
     plan.name = n->str;
   }
-  const JsonValue* events = root.find("events");
-  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+  const obs::JsonValue* events = root.find("events");
+  if (events == nullptr || events->type != obs::JsonValue::Type::kArray) {
     return set_err("missing events array");
   }
-  for (const JsonValue& ev : events->items) {
-    if (ev.type != JsonValue::Type::kObject) return set_err("event not object");
+  for (const obs::JsonValue& ev : events->items) {
+    if (ev.type != obs::JsonValue::Type::kObject) {
+      return set_err("event not object");
+    }
     FaultEvent e;
     double num = 0.0;
-    if (!get_number(ev, "at_ns", &num)) return set_err("event missing at_ns");
+    if (!obs::json_number(ev, "at_ns", &num)) {
+      return set_err("event missing at_ns");
+    }
     e.at = static_cast<TimeNs>(num);
-    if (get_number(ev, "duration_ns", &num)) e.duration = static_cast<TimeNs>(num);
-    if (get_number(ev, "magnitude", &num)) e.magnitude = num;
-    if (get_number(ev, "param_ns", &num)) e.param = static_cast<TimeNs>(num);
-    const JsonValue* kind = ev.find("kind");
-    if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+    if (obs::json_number(ev, "duration_ns", &num)) {
+      e.duration = static_cast<TimeNs>(num);
+    }
+    if (obs::json_number(ev, "magnitude", &num)) e.magnitude = num;
+    if (obs::json_number(ev, "param_ns", &num)) e.param = static_cast<TimeNs>(num);
+    const obs::JsonValue* kind = ev.find("kind");
+    if (kind == nullptr || kind->type != obs::JsonValue::Type::kString ||
         !parse_fault_kind(kind->str, &e.kind)) {
       return set_err("bad fault kind");
     }
-    const JsonValue* target = ev.find("target");
-    if (target == nullptr || target->type != JsonValue::Type::kObject) {
+    const obs::JsonValue* target = ev.find("target");
+    if (target == nullptr || target->type != obs::JsonValue::Type::kObject) {
       return set_err("event missing target");
     }
-    const JsonValue* tkind = target->find("kind");
-    if (tkind == nullptr || tkind->type != JsonValue::Type::kString ||
+    const obs::JsonValue* tkind = target->find("kind");
+    if (tkind == nullptr || tkind->type != obs::JsonValue::Type::kString ||
         !parse_target_kind(tkind->str, &e.target.kind)) {
       return set_err("bad target kind");
     }
-    if (get_number(*target, "index", &num)) e.target.index = static_cast<int>(num);
-    if (get_number(*target, "sub", &num)) e.target.sub = static_cast<int>(num);
+    if (obs::json_number(*target, "index", &num)) {
+      e.target.index = static_cast<int>(num);
+    }
+    if (obs::json_number(*target, "sub", &num)) {
+      e.target.sub = static_cast<int>(num);
+    }
     plan.events.push_back(e);
   }
   *out = std::move(plan);

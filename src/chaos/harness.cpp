@@ -25,7 +25,7 @@ std::string RunReport::signature() const {
 }
 
 bool hang_oracle_applicable(ebs::StackKind stack, const FaultPlan& plan) {
-  if (stack != ebs::StackKind::kSolar && stack != ebs::StackKind::kSolarStar) {
+  if (!stack::solar_family(stack)) {
     return false;  // on software stacks hangs are the Table 2 *signal*
   }
   auto is_switch = [](TargetKind k) {
@@ -80,15 +80,30 @@ bool hang_oracle_applicable(ebs::StackKind stack, const FaultPlan& plan) {
   return true;
 }
 
+ebs::ScenarioSpec HarnessConfig::scenario() const {
+  ebs::ScenarioSpec spec;
+  spec.name = "chaos";
+  spec.compute_nodes = compute_nodes;
+  spec.storage_nodes = storage_nodes;
+  spec.servers_per_rack = servers_per_rack;
+  spec.stack = stack;
+  spec.compute_stacks = compute_stacks;
+  spec.seed = seed;
+  spec.store_payload = true;  // durability oracle needs bytes
+  spec.vd_size_bytes = 1ull << 30;
+  spec.workload.block_size = block_size;
+  spec.workload.iodepth = iodepth;
+  spec.workload.read_fraction = read_fraction;
+  spec.workload.real_payload = true;
+  spec.workload.max_ios = static_cast<std::uint64_t>(fio_max_ios);
+  spec.workload.poisson_iops = poisson_iops;
+  return spec;
+}
+
 RunReport run_chaos(const HarnessConfig& cfg) {
   sim::Engine eng;
-  ebs::ClusterParams params;
-  params.topo.compute_servers = cfg.compute_nodes;
-  params.topo.storage_servers = cfg.storage_nodes;
-  params.topo.servers_per_rack = cfg.servers_per_rack;
-  params.stack = cfg.stack;
-  params.seed = cfg.seed;
-  params.block_server.store_payload = true;  // durability oracle needs bytes
+  const ebs::ScenarioSpec spec = cfg.scenario();
+  ebs::ClusterParams params = ebs::params_from(spec);
   params.obs = cfg.obs;
   if (cfg.disable_solar_failover) {
     params.solar.path.fail_threshold = 1 << 30;  // the planted bug
@@ -102,7 +117,7 @@ RunReport run_chaos(const HarnessConfig& cfg) {
 
   std::vector<std::uint64_t> vds;
   for (int i = 0; i < cluster.num_compute(); ++i) {
-    vds.push_back(cluster.create_vd(1ull << 30));
+    vds.push_back(cluster.create_vd(spec.vd_size_bytes));
   }
 
   auto wrapped_submit = [&cluster, &oracle, &eng](int node) {
@@ -119,23 +134,23 @@ RunReport run_chaos(const HarnessConfig& cfg) {
 
   workload::FioConfig fc;
   fc.vd_id = vds[0];
-  fc.vd_size = 1ull << 30;
-  fc.block_size = cfg.block_size;
-  fc.iodepth = cfg.iodepth;
-  fc.read_fraction = cfg.read_fraction;
-  fc.real_payload = true;
-  fc.max_ios = cfg.fio_max_ios;  // closed loop must not swamp the run
+  fc.vd_size = spec.vd_size_bytes;
+  fc.block_size = spec.workload.block_size;
+  fc.iodepth = spec.workload.iodepth;
+  fc.read_fraction = spec.workload.read_fraction;
+  fc.real_payload = spec.workload.real_payload;
+  fc.max_ios = spec.workload.max_ios;  // closed loop must not swamp the run
   workload::FioJob fio(eng, wrapped_submit(0), fc, rng.fork(100));
 
   std::vector<std::unique_ptr<workload::PoissonLoad>> poissons;
   for (int i = 0; i < cluster.num_compute(); ++i) {
     workload::PoissonConfig pc;
     pc.vd_id = vds[static_cast<std::size_t>(i)];
-    pc.vd_size = 1ull << 30;
-    pc.iops = cfg.poisson_iops;
-    pc.read_fraction = cfg.read_fraction;
-    pc.block_size = cfg.block_size;
-    pc.real_payload = true;
+    pc.vd_size = spec.vd_size_bytes;
+    pc.iops = spec.workload.poisson_iops;
+    pc.read_fraction = spec.workload.read_fraction;
+    pc.block_size = spec.workload.block_size;
+    pc.real_payload = spec.workload.real_payload;
     poissons.push_back(std::make_unique<workload::PoissonLoad>(
         eng, wrapped_submit(i), pc,
         rng.fork(200 + static_cast<std::uint64_t>(i))));

@@ -17,6 +17,7 @@
 #include "chaos/fault_plan.h"
 #include "chaos/oracle.h"
 #include "ebs/cluster.h"
+#include "ebs/scenario.h"
 
 namespace repro::obs {
 class Obs;
@@ -26,6 +27,9 @@ namespace repro::chaos {
 
 struct HarnessConfig {
   ebs::StackKind stack = ebs::StackKind::kSolar;
+  /// Per-node stack assignment for heterogeneous fleets (mid-rollout
+  /// chaos); empty = homogeneous `stack`.
+  std::vector<ebs::StackKind> compute_stacks;
   std::uint64_t seed = 1;
   FaultPlan plan;
 
@@ -60,6 +64,10 @@ struct HarnessConfig {
   /// Optional observability (trace export for repro bundles). Must not
   /// change the run — the determinism sweep asserts it.
   obs::Obs* obs = nullptr;
+
+  /// The declarative scenario this config describes (topology, stacks,
+  /// VDs, workload knobs); `run_chaos` builds the cluster from it.
+  ebs::ScenarioSpec scenario() const;
 };
 
 struct RunReport {

@@ -37,8 +37,15 @@ TopologyShape Injector::shape() const {
           ? cluster_.storage(0).block_server().num_replica_ssds()
           : 0;
   // Only the fully-offloaded generation pushes data through the FPGA
-  // pipeline; SOLAR* and the software stacks never touch it.
-  s.has_fpga = cluster_.params().stack == ebs::StackKind::kSolar;
+  // pipeline; SOLAR* and the software stacks never touch it. Heterogeneous
+  // fleets count as FPGA-bearing if any node runs that generation.
+  s.has_fpga = false;
+  for (int i = 0; i < s.compute_nodes; ++i) {
+    if (stack::has_fpga_datapath(cluster_.compute(i).stack_kind())) {
+      s.has_fpga = true;
+      break;
+    }
+  }
   return s;
 }
 
@@ -155,29 +162,23 @@ void Injector::apply(Armed& a) {
             .cpu()
             .stall_all(dur);
       } else {
-        auto& node = cluster_.compute(wrap(e.target.index, cluster_.num_compute()));
-        if (node.dpu() != nullptr) {
-          node.dpu()->cpu().stall_all(dur);
-        } else {
-          node.cpu().stall_all(dur);
-        }
+        cluster_.compute(wrap(e.target.index, cluster_.num_compute()))
+            .stack()
+            .chaos_stall_cores(dur);
       }
       break;
     }
     case FaultKind::kPcieDegrade: {
       auto& node = cluster_.compute(wrap(e.target.index, cluster_.num_compute()));
-      if (node.dpu() != nullptr) {
-        a.saved_magnitude = node.dpu()->internal_pcie().degrade();
-        node.dpu()->internal_pcie().set_degrade(e.magnitude);
-      }
+      a.saved_magnitude = node.stack().chaos_pcie_degrade(e.magnitude);
       break;
     }
     case FaultKind::kFpgaPreCrcFlip:
     case FaultKind::kFpgaPostCrcFlip:
     case FaultKind::kFpgaCrcEngine: {
       auto& node = cluster_.compute(wrap(e.target.index, cluster_.num_compute()));
-      if (node.dpu() != nullptr) {
-        dpu::FpgaFaults& f = node.dpu()->fpga().params().faults;
+      if (dpu::FpgaFaults* faults = node.stack().chaos_fpga_faults()) {
+        dpu::FpgaFaults& f = *faults;
         if (e.kind == FaultKind::kFpgaPreCrcFlip) {
           a.saved_magnitude = f.pre_crc_bitflip_rate;
           f.pre_crc_bitflip_rate = e.magnitude;
@@ -260,19 +261,17 @@ void Injector::revert(Armed& a) {
     case FaultKind::kCpuStall:
       break;  // one-shot; nothing to undo
     case FaultKind::kPcieDegrade: {
-      auto& node = cluster_.compute(wrap(e.target.index, cluster_.num_compute()));
-      if (node.dpu() != nullptr) {
-        node.dpu()->internal_pcie().set_degrade(
-            a.saved_magnitude > 0.0 ? a.saved_magnitude : 1.0);
-      }
+      cluster_.compute(wrap(e.target.index, cluster_.num_compute()))
+          .stack()
+          .chaos_pcie_restore(a.saved_magnitude);
       break;
     }
     case FaultKind::kFpgaPreCrcFlip:
     case FaultKind::kFpgaPostCrcFlip:
     case FaultKind::kFpgaCrcEngine: {
       auto& node = cluster_.compute(wrap(e.target.index, cluster_.num_compute()));
-      if (node.dpu() != nullptr) {
-        dpu::FpgaFaults& f = node.dpu()->fpga().params().faults;
+      if (dpu::FpgaFaults* faults = node.stack().chaos_fpga_faults()) {
+        dpu::FpgaFaults& f = *faults;
         if (e.kind == FaultKind::kFpgaPreCrcFlip) {
           f.pre_crc_bitflip_rate = a.saved_magnitude;
         } else if (e.kind == FaultKind::kFpgaPostCrcFlip) {

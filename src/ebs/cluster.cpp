@@ -1,220 +1,122 @@
 #include "ebs/cluster.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/obs.h"
 
 namespace repro::ebs {
 
-std::string to_string(StackKind kind) {
-  switch (kind) {
-    case StackKind::kKernelTcp: return "kernel-tcp";
-    case StackKind::kLuna: return "luna";
-    case StackKind::kRdma: return "rdma";
-    case StackKind::kSolarStar: return "solar*";
-    case StackKind::kSolar: return "solar";
+namespace {
+
+/// The stack kinds a params block assigns across the fleet (the homogeneous
+/// `stack` when no per-node list is given).
+std::vector<StackKind> fleet_kinds(const ClusterParams& p) {
+  if (p.compute_stacks.empty()) return {p.stack};
+  return p.compute_stacks;
+}
+
+}  // namespace
+
+std::vector<stack::ServerFamily> ClusterParams::server_families() const {
+  const std::vector<StackKind> kinds = fleet_kinds(*this);
+  bool present[3] = {false, false, false};
+  for (StackKind k : kinds) {
+    present[static_cast<int>(stack::server_family(k))] = true;
   }
-  return "?";
+  std::vector<stack::ServerFamily> families;
+  for (int f = 0; f < 3; ++f) {
+    if (present[f]) families.push_back(static_cast<stack::ServerFamily>(f));
+  }
+  return families;
+}
+
+bool ClusterParams::kernel_generation() const {
+  const std::vector<StackKind> kinds = fleet_kinds(*this);
+  return std::all_of(kinds.begin(), kinds.end(), [](StackKind k) {
+    return k == StackKind::kKernelTcp;
+  });
 }
 
 ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
-    : cluster_(cluster), nic_(&nic) {
-  auto& eng = cluster.engine();
-  const auto& p = cluster.params_;
-  Rng rng = cluster.rng_.fork(1000 + static_cast<std::uint64_t>(index));
-
-  switch (p.stack) {
-    case StackKind::kSolar:
-    case StackKind::kSolarStar: {
-      dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
-      solar::SolarParams sp = p.solar;
-      sp.offload = p.stack == StackKind::kSolar;
-      solar_ = std::make_unique<solar::SolarClient>(
-          eng, *dpu_, nic, cluster.segments_, cluster.qos_, sp, rng.fork(2));
-      break;
-    }
-    case StackKind::kKernelTcp:
-    case StackKind::kLuna: {
-      const bool kernel = p.stack == StackKind::kKernelTcp;
-      if (p.on_dpu) {
-        dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
-        pcie_taxed_ = true;
-      }
-      const int cores = p.on_dpu ? p.dpu.cpu_cores : p.host_cpu_cores;
-      // Kernel TCP schedules work across cores with cross-core cost;
-      // LUNA is share-nothing by connection/VD hash (§3.2).
-      cpu_ = std::make_unique<sim::CpuPool>(
-          eng, "host-cpu", cores,
-          kernel ? sim::CpuPool::Dispatch::kLeastLoaded
-                 : sim::CpuPool::Dispatch::kByHash,
-          kernel ? ns(250) : 0);
-      tcp_ = std::make_unique<transport::TcpStack>(
-          eng, nic, *cpu_,
-          kernel ? transport::kernel_tcp_profile() : transport::luna_profile(),
-          rng.fork(3));
-      agent_ = std::make_unique<sa::StorageAgent>(
-          eng, *cpu_, cluster.segments_, cluster.qos_, *tcp_,
-          &cluster.cipher_, p.sa);
-      break;
-    }
-    case StackKind::kRdma: {
-      if (p.on_dpu) {
-        dpu_ = std::make_unique<dpu::AliDpu>(eng, p.dpu, rng.fork(1));
-        pcie_taxed_ = true;
-      }
-      const int cores = p.on_dpu ? p.dpu.cpu_cores : p.host_cpu_cores;
-      cpu_ = std::make_unique<sim::CpuPool>(eng, "host-cpu", cores,
-                                            sim::CpuPool::Dispatch::kByHash);
-      rdma_ = std::make_unique<rdma::RdmaStack>(eng, nic, *cpu_, p.rdma,
-                                                rng.fork(3));
-      agent_ = std::make_unique<sa::StorageAgent>(
-          eng, *cpu_, cluster.segments_, cluster.qos_, *rdma_,
-          &cluster.cipher_, p.sa);
-      break;
-    }
-  }
+    : nic_(&nic) {
+  const ClusterParams& p = cluster.params_;
+  stack::ComputeContext ctx{
+      cluster.engine(),
+      nic,
+      cluster.segments_,
+      cluster.qos_,
+      &cluster.cipher_,
+      p,
+      cluster.rng_.fork(1000 + static_cast<std::uint64_t>(index))};
+  stack_ = stack::StackFactory::instance().make_compute(p.stack_for(index),
+                                                        std::move(ctx));
 }
 
 void ComputeNode::submit_io(transport::IoRequest io,
                             transport::IoCompleteFn done) {
-  if (solar_) {
-    solar_->submit_io(std::move(io), std::move(done));
-    return;
-  }
-  if (!pcie_taxed_) {
-    agent_->submit_io(std::move(io), std::move(done));
-    return;
-  }
-  // Bare-metal hosting with a software stack (Fig. 10 a/b): every payload
-  // byte crosses the DPU's internal PCIe twice in each direction.
-  auto& pcie = dpu_->internal_pcie();
-  const std::uint32_t len = io.len;
-  const bool write = io.op == transport::OpType::kWrite;
-  auto forward = [this, io = std::move(io), done = std::move(done), len,
-                  write]() mutable {
-    agent_->submit_io(
-        std::move(io),
-        [this, done = std::move(done), len, write](transport::IoResult res) {
-          if (write) {
-            done(std::move(res));
-            return;
-          }
-          auto& pcie2 = dpu_->internal_pcie();
-          auto shared = std::make_shared<transport::IoResult>(std::move(res));
-          pcie2.transfer(len, [this, shared, done, len]() mutable {
-            dpu_->internal_pcie().transfer(len, [shared, done] {
-              done(std::move(*shared));
-            });
-          });
-        });
-  };
-  if (write) {
-    pcie.transfer(len, [this, len, forward = std::move(forward)]() mutable {
-      dpu_->internal_pcie().transfer(len, std::move(forward));
-    });
-  } else {
-    forward();
-  }
+  stack_->submit_io(std::move(io), std::move(done));
 }
 
 void ComputeNode::register_observables(obs::Obs& obs) {
-  obs::Registry& reg = obs.registry();
-  const std::uint32_t pid = static_cast<std::uint32_t>(nic_->id());
-  obs.tracer().set_process_name(pid, nic_->name());
-  nic_->register_metrics(reg);
-  const obs::Labels node = obs::label("node", nic_->name());
-  if (cpu_) {
-    reg.expose_gauge("cpu.busy_ns", node,
-                     [c = cpu_.get()]() -> std::int64_t {
-                       return c->total_busy_ns();
-                     });
-    reg.add_resettable(cpu_.get());
-  }
-  if (dpu_) {
-    reg.expose_gauge("dpu.cpu.busy_ns", node,
-                     [c = &dpu_->cpu()]() -> std::int64_t {
-                       return c->total_busy_ns();
-                     });
-    reg.expose_gauge("dpu.pcie.bytes", node,
-                     [p = &dpu_->internal_pcie()]() -> std::int64_t {
-                       return static_cast<std::int64_t>(
-                           p->bytes_transferred());
-                     });
-    reg.expose_gauge("dpu.pcie.backlog_ns", node,
-                     [p = &dpu_->internal_pcie()]() -> std::int64_t {
-                       return p->backlog();
-                     });
-    reg.expose_gauge("dpu.guest_dma.bytes", node,
-                     [p = &dpu_->guest_dma()]() -> std::int64_t {
-                       return static_cast<std::int64_t>(
-                           p->bytes_transferred());
-                     });
-    reg.add_resettable(&dpu_->cpu());
-    reg.add_resettable(&dpu_->internal_pcie());
-    reg.add_resettable(&dpu_->guest_dma());
-  }
-  if (solar_) solar_->register_metrics(reg);
-  if (agent_) {
-    agent_->set_obs(&obs, pid);
-    agent_->register_metrics(reg, nic_->name());
-  }
+  obs.tracer().set_process_name(static_cast<std::uint32_t>(nic_->id()),
+                                nic_->name());
+  nic_->register_metrics(obs.registry());
+  stack_->register_observables(obs, *nic_);
 }
 
 double ComputeNode::consumed_cores(TimeNs over) const {
-  double total = 0.0;
-  if (cpu_) total += cpu_->consumed_cores(over);
-  if (dpu_) total += dpu_->cpu().consumed_cores(over);
-  return total;
+  return stack_->consumed_cores(over);
 }
 
 void ComputeNode::reset_accounting() {
-  if (cpu_) cpu_->reset_accounting();
-  if (dpu_) dpu_->cpu().reset_accounting();
+  stack_->reset_accounting();
   nic_->reset_counters();
 }
 
 StorageNode::StorageNode(Cluster& cluster, int index, net::Nic& nic)
     : nic_(&nic) {
   auto& eng = cluster.engine();
-  const auto& p = cluster.params_;
+  const ClusterParams& p = cluster.params_;
   Rng rng = cluster.rng_.fork(2000 + static_cast<std::uint64_t>(index));
   cpu_ = std::make_unique<sim::CpuPool>(eng, "storage-cpu",
                                         p.server_stack_cores,
                                         sim::CpuPool::Dispatch::kByHash);
   block_server_ = std::make_unique<storage::BlockServer>(eng, p.block_server,
                                                          rng.fork(1));
-  switch (p.stack) {
-    case StackKind::kSolar:
-    case StackKind::kSolarStar:
-      solar_ = std::make_unique<solar::SolarServer>(
-          eng, nic, *cpu_, *block_server_, solar::SolarServerParams{},
-          rng.fork(2));
-      break;
-    case StackKind::kKernelTcp:
-    case StackKind::kLuna: {
-      // Storage servers always run the user-space stack server-side once
-      // LUNA shipped; for the kernel generation they ran kernel TCP too.
-      const bool kernel = p.stack == StackKind::kKernelTcp;
-      tcp_ = std::make_unique<transport::TcpStack>(
-          eng, nic, *cpu_,
-          kernel ? transport::kernel_tcp_profile() : transport::luna_profile(),
-          rng.fork(2));
-      tcp_->set_handler(
-          [this](transport::StorageRequest req,
-                 std::function<void(transport::StorageResponse)> reply) {
-            block_server_->handle(std::move(req), std::move(reply));
-          });
-      break;
+  const std::vector<stack::ServerFamily> families = p.server_families();
+  const bool kernel = p.kernel_generation();
+  // Each family engine installs its NIC deliver hook in its ctor. The first
+  // family draws RNG stream 2 (the pre-refactor single-stack stream, so
+  // homogeneous fleets stay bit-identical); extra families draw 3, 4, …
+  struct Hook {
+    std::uint16_t port;
+    net::Nic::DeliverFn fn;
+  };
+  std::vector<Hook> hooks;
+  std::uint64_t stream = 2;
+  for (stack::ServerFamily family : families) {
+    stack::ServerContext ctx{eng,    nic,    *cpu_, *block_server_,
+                             p,      kernel, rng.fork(stream++)};
+    stacks_.push_back(
+        stack::StackFactory::instance().make_server(family, std::move(ctx)));
+    if (families.size() > 1) {
+      hooks.push_back({stack::server_port(family), nic.deliver()});
     }
-    case StackKind::kRdma:
-      rdma_ = std::make_unique<rdma::RdmaStack>(eng, nic, *cpu_,
-                                                p.rdma, rng.fork(2));
-      rdma_->set_handler(
-          [this](transport::StorageRequest req,
-                 std::function<void(transport::StorageResponse)> reply) {
-            block_server_->handle(std::move(req), std::move(reply));
-          });
-      break;
+  }
+  if (families.size() > 1) {
+    // Heterogeneous node: demux inbound packets to the family that owns the
+    // destination port. Packets addressed to no resident family (none in
+    // practice — every client targets a server port) are dropped like any
+    // host without a listener.
+    nic.set_deliver([hooks = std::move(hooks)](net::Packet& pkt) {
+      for (const Hook& h : hooks) {
+        if (pkt.flow.dst_port == h.port) {
+          h.fn(pkt);
+          return;
+        }
+      }
+    });
   }
 }
 
@@ -256,8 +158,14 @@ Cluster::Cluster(sim::Engine& engine, ClusterParams params)
     compute_nodes_.push_back(
         std::make_unique<ComputeNode>(*this, i, *clos_.compute[static_cast<std::size_t>(i)]));
   }
+  for (auto& n : compute_nodes_) {
+    warmup_registry_.add_resettable(&n->stack());
+    warmup_registry_.add_resettable(&n->nic());
+  }
   if (params_.obs != nullptr) register_observables();
 }
+
+void Cluster::reset_warmup() { warmup_registry_.reset_all(); }
 
 void Cluster::register_observables() {
   obs::Obs& obs = *params_.obs;

@@ -2,12 +2,12 @@
 // chosen stack generation, storage nodes running block servers, and virtual
 // disks striped across them. Every experiment harness goes through this.
 //
-// Stack generations (the paper's timeline):
-//   kKernelTcp — SA in software + kernel TCP        (pre-2019)
-//   kLuna      — SA in software + user-space TCP    (§3)
-//   kRdma      — SA in software + RC RDMA           (the rejected option)
-//   kSolarStar — SOLAR protocol, data path on CPU   (§4.7 ablation)
-//   kSolar     — SOLAR fully offloaded              (§4)
+// The five generations live behind the `stack` layer (src/stack): each
+// compute node owns one `stack::ComputeStack` built by the StackFactory,
+// each storage node one server engine per family present in the fleet.
+// Fleets are heterogeneous by assigning `ClusterParams::compute_stacks`
+// per node (empty = homogeneous `stack`), which is how a rolling upgrade
+// from LUNA to SOLAR shares one fabric mid-rollout.
 //
 // `on_dpu` moves the compute side onto ALI-DPU (bare-metal hosting, §4.3):
 // software stacks then run on six wimpy cores and pay the internal-PCIe
@@ -18,14 +18,10 @@
 #include <string>
 #include <vector>
 
-#include "dpu/dpu.h"
 #include "net/topology.h"
-#include "rdma/rdma.h"
-#include "sa/agent.h"
-#include "solar/client.h"
-#include "solar/server.h"
+#include "obs/registry.h"
+#include "stack/factory.h"
 #include "storage/block_server.h"
-#include "transport/tcp.h"
 
 namespace repro::obs {
 class Obs;
@@ -33,20 +29,17 @@ class Obs;
 
 namespace repro::ebs {
 
-enum class StackKind { kKernelTcp, kLuna, kRdma, kSolarStar, kSolar };
+using StackKind = stack::StackKind;
+using stack::stack_from_string;
+using stack::to_string;
 
-std::string to_string(StackKind kind);
-
-struct ClusterParams {
+struct ClusterParams : stack::StackParams {
   net::ClosConfig topo;
   StackKind stack = StackKind::kLuna;
-  bool on_dpu = false;  ///< compute side hosted on ALI-DPU (bare-metal)
-  int host_cpu_cores = 8;
-  int server_stack_cores = 6;
-  dpu::DpuParams dpu;
-  sa::SaParams sa;
-  solar::SolarParams solar;
-  rdma::RdmaParams rdma;
+  /// Per-compute-node stack assignment (node i runs `compute_stacks[i]`).
+  /// Empty = homogeneous fleet running `stack`. Shorter than the fleet =
+  /// repeats cyclically.
+  std::vector<StackKind> compute_stacks;
   storage::BlockServerParams block_server;
   std::uint64_t seed = 1;
   /// Optional observability hookup: when set, the cluster hands the
@@ -54,6 +47,18 @@ struct ClusterParams {
   /// all component metrics/gauges. Null = dark (the default): no obs code
   /// runs anywhere near the hot path.
   obs::Obs* obs = nullptr;
+
+  /// Stack generation compute node `node` runs.
+  StackKind stack_for(int node) const {
+    if (compute_stacks.empty()) return stack;
+    return compute_stacks[static_cast<std::size_t>(node) %
+                          compute_stacks.size()];
+  }
+  /// Server families present in the fleet, in canonical enum order.
+  std::vector<stack::ServerFamily> server_families() const;
+  /// True when every compute stack in the fleet is kernel TCP — only then
+  /// do storage servers run kernel TCP server-side too.
+  bool kernel_generation() const;
 };
 
 class Cluster;
@@ -71,28 +76,30 @@ class ComputeNode {
   void reset_accounting();
 
   net::Nic& nic() { return *nic_; }
-  sim::CpuPool& cpu() { return *cpu_; }
-  dpu::AliDpu* dpu() { return dpu_.get(); }
-  solar::SolarClient* solar() { return solar_.get(); }
-  sa::StorageAgent* agent() { return agent_.get(); }
-  transport::TcpStack* tcp() { return tcp_.get(); }
+  /// The node's data path. Chaos and experiments drive faults through its
+  /// chaos hooks instead of poking components by generation.
+  stack::ComputeStack& stack() { return *stack_; }
+  StackKind stack_kind() const { return stack_->kind(); }
+
+  // Component accessors, delegating to the stack (null when the generation
+  // lacks the component).
+  sim::CpuPool& cpu() { return *stack_->host_cpu(); }
+  dpu::AliDpu* dpu() { return stack_->dpu(); }
+  solar::SolarClient* solar() { return stack_->solar(); }
+  sa::StorageAgent* agent() { return stack_->agent(); }
+  transport::TcpStack* tcp() { return stack_->tcp(); }
 
   /// Registers this node's metrics, gauges and trace names on `obs`.
   void register_observables(obs::Obs& obs);
 
  private:
-  Cluster& cluster_;
   net::Nic* nic_;
-  std::unique_ptr<sim::CpuPool> cpu_;
-  std::unique_ptr<dpu::AliDpu> dpu_;
-  std::unique_ptr<transport::TcpStack> tcp_;
-  std::unique_ptr<rdma::RdmaStack> rdma_;
-  std::unique_ptr<sa::StorageAgent> agent_;
-  std::unique_ptr<solar::SolarClient> solar_;
-  bool pcie_taxed_ = false;  ///< software stack on DPU: internal PCIe x2
+  std::unique_ptr<stack::ComputeStack> stack_;
 };
 
-/// One storage server: block server + the matching server-side stack.
+/// One storage server: block server + one server-side engine per stack
+/// family present in the fleet. With several families the NIC's deliver
+/// hook demuxes by destination port (each family listens on its own).
 class StorageNode {
  public:
   StorageNode(Cluster& cluster, int index, net::Nic& nic);
@@ -108,9 +115,7 @@ class StorageNode {
   net::Nic* nic_;
   std::unique_ptr<sim::CpuPool> cpu_;
   std::unique_ptr<storage::BlockServer> block_server_;
-  std::unique_ptr<transport::TcpStack> tcp_;
-  std::unique_ptr<rdma::RdmaStack> rdma_;
-  std::unique_ptr<solar::SolarServer> solar_;
+  std::vector<std::unique_ptr<stack::ServerStack>> stacks_;
 };
 
 class Cluster {
@@ -126,6 +131,12 @@ class Cluster {
   StorageNode& storage(int i) { return *storage_nodes_[static_cast<std::size_t>(i)]; }
   int num_compute() const { return static_cast<int>(compute_nodes_.size()); }
   int num_storage() const { return static_cast<int>(storage_nodes_.size()); }
+
+  /// Resets every compute node's core/NIC accounting in one sweep — the
+  /// end-of-warmup hook harnesses call before the measured phase. Routed
+  /// through a private (always-on) resettable collection, so the observable
+  /// registry and its histograms are never disturbed.
+  void reset_warmup();
 
   sim::Engine& engine() { return *engine_; }
   net::Network& network() { return *network_; }
@@ -153,6 +164,10 @@ class Cluster {
   sa::BlockCipher cipher_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  /// Disabled registry used purely as a Resettable collection for
+  /// `reset_warmup` (add_resettable works when disabled; no metric slots
+  /// are ever allocated here).
+  obs::Registry warmup_registry_{/*enabled=*/false};
   std::uint64_t next_vd_ = 1;
 };
 

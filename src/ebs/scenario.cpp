@@ -1,0 +1,236 @@
+#include "ebs/scenario.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/json_reader.h"
+
+namespace repro::ebs {
+
+namespace {
+
+void write_qos(obs::JsonWriter& w, const sa::QosSpec& q) {
+  w.begin_object();
+  w.field("iops_limit", q.iops_limit);
+  w.field("bandwidth_limit", q.bandwidth_limit);
+  w.field("burst_ios", q.burst_ios);
+  w.field("burst_bytes", q.burst_bytes);
+  w.end_object();
+}
+
+bool read_qos(const obs::JsonValue& v, sa::QosSpec* q) {
+  if (v.type != obs::JsonValue::Type::kObject) return false;
+  obs::json_number(v, "iops_limit", &q->iops_limit);
+  obs::json_number(v, "bandwidth_limit", &q->bandwidth_limit);
+  obs::json_number(v, "burst_ios", &q->burst_ios);
+  obs::json_number(v, "burst_bytes", &q->burst_bytes);
+  return true;
+}
+
+bool parse_stack(const obs::JsonValue& v, StackKind* out, std::string* error) {
+  if (v.type != obs::JsonValue::Type::kString ||
+      !stack_from_string(v.str, out)) {
+    *error = "unknown stack name: " +
+             (v.type == obs::JsonValue::Type::kString ? v.str : "<non-string>");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_json() const {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("name", name);
+  w.key("topology");
+  w.begin_object();
+  w.field("compute", compute_nodes);
+  w.field("storage", storage_nodes);
+  w.field("servers_per_rack", servers_per_rack);
+  w.field("spines_per_pod", spines_per_pod);
+  w.field("core_switches", core_switches);
+  w.end_object();
+  w.field("stack", to_string(stack));
+  if (!compute_stacks.empty()) {
+    w.key("compute_stacks");
+    w.begin_array();
+    for (StackKind k : compute_stacks) w.value(to_string(k));
+    w.end_array();
+  }
+  w.field("on_dpu", on_dpu);
+  w.field("seed", seed);
+  w.field("store_payload", store_payload);
+  w.field("vd_size_bytes", vd_size_bytes);
+  if (!vds.empty()) {
+    w.key("vds");
+    w.begin_array();
+    for (const VdSpec& vd : vds) {
+      w.begin_object();
+      w.field("size_bytes", vd.size_bytes);
+      if (vd.has_qos) {
+        w.key("qos");
+        write_qos(w, vd.qos);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("workload");
+  w.begin_object();
+  w.field("block_size", workload.block_size);
+  w.field("iodepth", workload.iodepth);
+  w.field("read_fraction", workload.read_fraction);
+  w.field("sequential", workload.sequential);
+  w.field("real_payload", workload.real_payload);
+  w.field("max_ios", workload.max_ios);
+  w.field("poisson_iops", workload.poisson_iops);
+  w.end_object();
+  if (!fault_plan_file.empty()) w.field("fault_plan_file", fault_plan_file);
+  w.end_object();
+  return os.str();
+}
+
+bool scenario_from_json(const std::string& text, ScenarioSpec* out,
+                        std::string* error) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  obs::JsonValue root;
+  obs::JsonReader reader(text);
+  if (!reader.parse(&root) || root.type != obs::JsonValue::Type::kObject) {
+    *error = "scenario: " +
+             (reader.error().empty() ? "not a JSON object" : reader.error());
+    return false;
+  }
+  ScenarioSpec spec;
+  obs::json_string(root, "name", &spec.name);
+  double num = 0.0;
+  if (const obs::JsonValue* topo = root.find("topology")) {
+    if (topo->type != obs::JsonValue::Type::kObject) {
+      *error = "scenario: topology must be an object";
+      return false;
+    }
+    if (obs::json_number(*topo, "compute", &num)) {
+      spec.compute_nodes = static_cast<int>(num);
+    }
+    if (obs::json_number(*topo, "storage", &num)) {
+      spec.storage_nodes = static_cast<int>(num);
+    }
+    if (obs::json_number(*topo, "servers_per_rack", &num)) {
+      spec.servers_per_rack = static_cast<int>(num);
+    }
+    if (obs::json_number(*topo, "spines_per_pod", &num)) {
+      spec.spines_per_pod = static_cast<int>(num);
+    }
+    if (obs::json_number(*topo, "core_switches", &num)) {
+      spec.core_switches = static_cast<int>(num);
+    }
+  }
+  if (const obs::JsonValue* v = root.find("stack")) {
+    if (!parse_stack(*v, &spec.stack, error)) return false;
+  }
+  if (const obs::JsonValue* v = root.find("compute_stacks")) {
+    if (v->type != obs::JsonValue::Type::kArray) {
+      *error = "scenario: compute_stacks must be an array";
+      return false;
+    }
+    for (const obs::JsonValue& item : v->items) {
+      StackKind k;
+      if (!parse_stack(item, &k, error)) return false;
+      spec.compute_stacks.push_back(k);
+    }
+  }
+  obs::json_bool(root, "on_dpu", &spec.on_dpu);
+  if (obs::json_number(root, "seed", &num)) {
+    spec.seed = static_cast<std::uint64_t>(num);
+  }
+  obs::json_bool(root, "store_payload", &spec.store_payload);
+  if (obs::json_number(root, "vd_size_bytes", &num)) {
+    spec.vd_size_bytes = static_cast<std::uint64_t>(num);
+  }
+  if (const obs::JsonValue* v = root.find("vds")) {
+    if (v->type != obs::JsonValue::Type::kArray) {
+      *error = "scenario: vds must be an array";
+      return false;
+    }
+    for (const obs::JsonValue& item : v->items) {
+      if (item.type != obs::JsonValue::Type::kObject) {
+        *error = "scenario: vds entries must be objects";
+        return false;
+      }
+      VdSpec vd;
+      if (obs::json_number(item, "size_bytes", &num)) {
+        vd.size_bytes = static_cast<std::uint64_t>(num);
+      }
+      if (const obs::JsonValue* q = item.find("qos")) {
+        if (!read_qos(*q, &vd.qos)) {
+          *error = "scenario: qos must be an object";
+          return false;
+        }
+        vd.has_qos = true;
+      }
+      spec.vds.push_back(vd);
+    }
+  }
+  if (const obs::JsonValue* v = root.find("workload")) {
+    if (v->type != obs::JsonValue::Type::kObject) {
+      *error = "scenario: workload must be an object";
+      return false;
+    }
+    if (obs::json_number(*v, "block_size", &num)) {
+      spec.workload.block_size = static_cast<std::uint32_t>(num);
+    }
+    if (obs::json_number(*v, "iodepth", &num)) {
+      spec.workload.iodepth = static_cast<int>(num);
+    }
+    obs::json_number(*v, "read_fraction", &spec.workload.read_fraction);
+    obs::json_bool(*v, "sequential", &spec.workload.sequential);
+    obs::json_bool(*v, "real_payload", &spec.workload.real_payload);
+    if (obs::json_number(*v, "max_ios", &num)) {
+      spec.workload.max_ios = static_cast<std::uint64_t>(num);
+    }
+    obs::json_number(*v, "poisson_iops", &spec.workload.poisson_iops);
+  }
+  obs::json_string(root, "fault_plan_file", &spec.fault_plan_file);
+  *out = std::move(spec);
+  return true;
+}
+
+ClusterParams params_from(const ScenarioSpec& spec) {
+  ClusterParams p;
+  p.topo.compute_servers = spec.compute_nodes;
+  p.topo.storage_servers = spec.storage_nodes;
+  p.topo.servers_per_rack = spec.servers_per_rack;
+  p.topo.spines_per_pod = spec.spines_per_pod;
+  p.topo.core_switches = spec.core_switches;
+  p.stack = spec.stack;
+  p.compute_stacks = spec.compute_stacks;
+  p.on_dpu = spec.on_dpu;
+  p.seed = spec.seed;
+  p.block_server.store_payload = spec.store_payload;
+  return p;
+}
+
+Scenario build_scenario(const ScenarioSpec& spec, obs::Obs* obs) {
+  ClusterParams p = params_from(spec);
+  p.obs = obs;
+  Scenario s;
+  s.engine = std::make_unique<sim::Engine>();
+  s.cluster = std::make_unique<Cluster>(*s.engine, std::move(p));
+  if (spec.vds.empty()) {
+    for (int i = 0; i < s.cluster->num_compute(); ++i) {
+      s.vds.push_back(s.cluster->create_vd(spec.vd_size_bytes));
+    }
+  } else {
+    for (const VdSpec& vd : spec.vds) {
+      const std::uint64_t id = s.cluster->create_vd(vd.size_bytes);
+      if (vd.has_qos) s.cluster->set_qos(id, vd.qos);
+      s.vds.push_back(id);
+    }
+  }
+  return s;
+}
+
+}  // namespace repro::ebs

@@ -1,0 +1,86 @@
+// ScenarioSpec: one declarative description of an EBS experiment — topology,
+// per-node stack assignment, virtual disks with optional QoS, workload knobs
+// and an optional chaos fault-plan reference — that round-trips through JSON
+// and builds through a single entry point.
+//
+// Every harness (bench_util, the chaos harness, sim_fuzz, tests) derives its
+// cluster from a spec, so "what did this run simulate" is one JSON blob, not
+// a scatter of hard-coded parameter blocks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebs/cluster.h"
+#include "sa/qos_table.h"
+
+namespace repro::ebs {
+
+/// One virtual disk: size plus an optional QoS contract.
+struct VdSpec {
+  std::uint64_t size_bytes = 8ull << 30;
+  bool has_qos = false;
+  sa::QosSpec qos;
+};
+
+/// Workload knobs harnesses feed to fio / Poisson generators. The spec only
+/// carries them; the harness decides which generator to run.
+struct WorkloadSpec {
+  std::uint32_t block_size = 4096;  ///< 0 = sample from the size mix
+  int iodepth = 32;
+  double read_fraction = 1.0;
+  bool sequential = false;
+  bool real_payload = false;
+  std::uint64_t max_ios = 0;
+  double poisson_iops = 0.0;  ///< 0 = closed-loop fio only
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  // Topology (net::ClosConfig essentials).
+  int compute_nodes = 2;
+  int storage_nodes = 8;
+  int servers_per_rack = 8;
+  int spines_per_pod = 2;
+  int core_switches = 2;
+  /// Homogeneous fleet stack; overridden per node by `compute_stacks`.
+  StackKind stack = StackKind::kLuna;
+  std::vector<StackKind> compute_stacks;
+  bool on_dpu = false;
+  std::uint64_t seed = 42;
+  bool store_payload = false;
+  /// Size of the default per-compute-node VD when `vds` is empty.
+  std::uint64_t vd_size_bytes = 8ull << 30;
+  /// Explicit VD list; empty = one `vd_size_bytes` VD per compute node.
+  std::vector<VdSpec> vds;
+  WorkloadSpec workload;
+  /// Optional path to a chaos::FaultPlan JSON to inject during the run.
+  std::string fault_plan_file;
+
+  std::string to_json() const;
+};
+
+/// Parses a spec previously produced by `to_json` (or hand-written). Absent
+/// fields keep their defaults. Returns false with `*error` set on malformed
+/// input or unknown stack names.
+bool scenario_from_json(const std::string& text, ScenarioSpec* out,
+                        std::string* error);
+
+/// The ClusterParams a spec describes. Field-for-field identical to what the
+/// harnesses used to build by hand, so existing experiments are unchanged.
+ClusterParams params_from(const ScenarioSpec& spec);
+
+/// A built scenario: engine + cluster + the VDs the spec declared (with QoS
+/// applied), ready for a workload.
+struct Scenario {
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::uint64_t> vds;
+};
+
+/// Builds the engine, cluster and VDs a spec describes. `obs` optional
+/// (null = dark).
+Scenario build_scenario(const ScenarioSpec& spec, obs::Obs* obs = nullptr);
+
+}  // namespace repro::ebs

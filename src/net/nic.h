@@ -33,6 +33,9 @@ class Nic : public Device, public obs::Resettable {
 
   /// Host stack receive callback.
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  /// Currently installed receive callback. Heterogeneous storage nodes
+  /// snapshot each stack's hook and re-install a port demux over them.
+  const DeliverFn& deliver() const { return deliver_; }
 
   /// Blank pooled packet for the host stack to fill in.
   PacketPtr make_packet() { return network().make_packet(); }

@@ -1,0 +1,45 @@
+// StackFactory: the one place a StackKind becomes a data path.
+//
+// A registry keyed by StackKind (compute side) and ServerFamily (server
+// side). The five built-in adapters self-register on first use; external
+// experiments can override or extend the registry before building a
+// cluster (e.g. to wrap a stack with instrumentation).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "stack/stack.h"
+
+namespace repro::stack {
+
+class StackFactory {
+ public:
+  using ComputeFn =
+      std::function<std::unique_ptr<ComputeStack>(StackKind, ComputeContext&)>;
+  using ServerFn =
+      std::function<std::unique_ptr<ServerStack>(ServerContext&)>;
+
+  /// Process-wide registry, with the built-in adapters pre-registered.
+  static StackFactory& instance();
+
+  void register_compute(StackKind kind, ComputeFn fn);
+  void register_server(ServerFamily family, ServerFn fn);
+
+  /// Builds the compute-side data path for `kind`. Fatal on unregistered
+  /// kinds — a cluster cannot exist without its data path.
+  std::unique_ptr<ComputeStack> make_compute(StackKind kind,
+                                             ComputeContext ctx) const;
+  /// Builds the server-side engine for `family`.
+  std::unique_ptr<ServerStack> make_server(ServerFamily family,
+                                           ServerContext ctx) const;
+
+ private:
+  StackFactory();
+
+  std::map<StackKind, ComputeFn> compute_;
+  std::map<ServerFamily, ServerFn> server_;
+};
+
+}  // namespace repro::stack
