@@ -23,6 +23,7 @@
 // The harness config other than (stack, seed, plan, workload knobs drawn
 // from the seed) is fixed, so a repro file plus the printed command line
 // fully determines the failing run.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos/fault_plan.h"
@@ -75,6 +77,11 @@ struct FuzzOptions {
   double max_seconds = 0.0;    ///< 0 = no wall-clock box
   std::string out_dir = ".";
   bool plant_bug = false;
+  /// Worker threads for the sweep. Each run's config is a pure function of
+  /// its index, results are reported in index order, and minimization runs
+  /// serially afterwards — so `--jobs N` finds exactly the set of failures
+  /// `--jobs 1` finds, just sooner.
+  int jobs = 1;
 };
 
 std::string repro_path(const FuzzOptions& opt, const char* tag) {
@@ -121,7 +128,150 @@ void print_violations(const RunReport& r) {
   }
 }
 
+/// The (stack, seed, plan, workload) triple of sweep run `i` — a pure
+/// function of the options and index, shared by the serial and parallel
+/// paths so they cover identical configs.
+HarnessConfig config_for(const FuzzOptions& opt, int i,
+                         const chaos::TopologyShape shapes[4]) {
+  const int si = i % 4;
+  const StackKind stack = kStacks[si];
+  const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
+
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  chaos::GeneratorConfig gc;
+  gc.window = ms(500);
+  gc.min_events = 1;
+  gc.max_events = 4;
+  const FaultPlan plan = chaos::generate_plan(rng, gc, shapes[si]);
+
+  HarnessConfig cfg;
+  cfg.stack = stack;
+  cfg.seed = seed;
+  cfg.plan = plan;
+  cfg.active = ms(600);
+  // The workload leg of the triple, drawn from the same stream.
+  cfg.read_fraction = 0.2 + 0.15 * static_cast<double>(rng.next_below(4));
+  cfg.block_size = 4096u << rng.next_below(3);  // 4K / 8K / 16K
+  cfg.poisson_iops = 800.0 + 400.0 * static_cast<double>(rng.next_below(4));
+  cfg.oracle.hang_oracle = chaos::hang_oracle_applicable(stack, plan);
+  return cfg;
+}
+
+/// Minimizes + dumps one failing run (shared by both sweep paths; always
+/// called serially).
+void handle_failure(const FuzzOptions& opt, int i, const HarnessConfig& cfg,
+                    const RunReport& r, bool deterministic) {
+  std::printf("[sim_fuzz] FAIL run %d: stack=%s seed=%llu plan=%zu events%s\n",
+              i, stack_name(cfg.stack).c_str(),
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.plan.events.size(),
+              deterministic ? "" : " (NON-DETERMINISTIC)");
+  print_violations(r);
+  if (!r.ok()) {
+    const chaos::MinimizeResult min =
+        chaos::minimize_plan(cfg.plan, [&cfg](const FaultPlan& candidate) {
+          HarnessConfig probe = cfg;
+          probe.plan = candidate;
+          return !chaos::run_chaos(probe).ok();
+        });
+    std::printf("  minimized: %zu -> %zu events (%d probes)\n",
+                cfg.plan.events.size(), min.plan.events.size(), min.probes);
+    char tag[64];
+    std::snprintf(tag, sizeof tag, "%s_seed%llu",
+                  stack_name(cfg.stack).c_str(),
+                  static_cast<unsigned long long>(cfg.seed));
+    dump_repro(opt, cfg, min.plan, tag);
+  }
+}
+
+/// `--jobs N` sweep: workers pull run indices from an atomic counter and
+/// buffer their outcomes; every run's config is derived from its index, so
+/// the work partition cannot change any result. Reporting, minimization and
+/// repro dumps happen serially afterwards, in index order.
+int run_sweep_parallel(const FuzzOptions& opt) {
+  chaos::TopologyShape shapes[4];
+  for (int s = 0; s < 4; ++s) shapes[s] = shape_for(kStacks[s]);
+
+  struct Outcome {
+    bool ran = false;
+    bool deterministic = true;
+    HarnessConfig cfg;
+    RunReport report;
+  };
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(opt.runs));
+  std::atomic<int> next{0};
+  std::atomic<bool> boxed{false};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= opt.runs) return;
+      if (opt.max_seconds > 0) {
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        if (elapsed > opt.max_seconds) {
+          boxed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      Outcome& out = outcomes[static_cast<std::size_t>(i)];
+      out.cfg = config_for(opt, i, shapes);
+      out.report = chaos::run_chaos(out.cfg);
+      if (opt.determinism_every > 0 && i % opt.determinism_every == 0) {
+        const RunReport again = chaos::run_chaos(out.cfg);
+        out.deterministic = again.signature() == out.report.signature();
+      }
+      out.ran = true;
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int j = 0; j < opt.jobs; ++j) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+
+  int failures = 0;
+  int determinism_checks = 0;
+  int completed = 0;
+  std::uint64_t total_ios = 0;
+  std::uint64_t total_faults = 0;
+  std::uint64_t hang_oracle_runs = 0;
+  for (int i = 0; i < opt.runs; ++i) {
+    const Outcome& out = outcomes[static_cast<std::size_t>(i)];
+    if (!out.ran) continue;  // wall-clock box hit before this index
+    ++completed;
+    total_ios += out.report.ios_completed;
+    total_faults += out.report.faults_applied;
+    hang_oracle_runs += out.cfg.oracle.hang_oracle ? 1 : 0;
+    if (opt.determinism_every > 0 && i % opt.determinism_every == 0) {
+      ++determinism_checks;
+    }
+    if (!out.report.ok() || !out.deterministic) {
+      ++failures;
+      handle_failure(opt, i, out.cfg, out.report, out.deterministic);
+    }
+  }
+  if (boxed.load()) {
+    std::printf("[sim_fuzz] wall-clock box (%.0fs) hit after %d runs\n",
+                opt.max_seconds, completed);
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "[sim_fuzz] %d runs (%d with hang oracle armed) across %d jobs, %llu "
+      "I/Os, %llu faults injected, %d determinism double-runs, %d failures, "
+      "%.1fs\n",
+      completed, static_cast<int>(hang_oracle_runs), opt.jobs,
+      static_cast<unsigned long long>(total_ios),
+      static_cast<unsigned long long>(total_faults), determinism_checks,
+      failures, elapsed);
+  return failures == 0 ? 0 : 1;
+}
+
 int run_sweep(const FuzzOptions& opt) {
+  if (opt.jobs > 1) return run_sweep_parallel(opt);
   chaos::TopologyShape shapes[4];
   for (int s = 0; s < 4; ++s) shapes[s] = shape_for(kStacks[s]);
 
@@ -144,27 +294,7 @@ int run_sweep(const FuzzOptions& opt) {
         break;
       }
     }
-    const int si = i % 4;
-    const StackKind stack = kStacks[si];
-    const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
-
-    Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
-    chaos::GeneratorConfig gc;
-    gc.window = ms(500);
-    gc.min_events = 1;
-    gc.max_events = 4;
-    const FaultPlan plan = chaos::generate_plan(rng, gc, shapes[si]);
-
-    HarnessConfig cfg;
-    cfg.stack = stack;
-    cfg.seed = seed;
-    cfg.plan = plan;
-    cfg.active = ms(600);
-    // The workload leg of the triple, drawn from the same stream.
-    cfg.read_fraction = 0.2 + 0.15 * static_cast<double>(rng.next_below(4));
-    cfg.block_size = 4096u << rng.next_below(3);  // 4K / 8K / 16K
-    cfg.poisson_iops = 800.0 + 400.0 * static_cast<double>(rng.next_below(4));
-    cfg.oracle.hang_oracle = chaos::hang_oracle_applicable(stack, plan);
+    const HarnessConfig cfg = config_for(opt, i, shapes);
     hang_oracle_runs += cfg.oracle.hang_oracle ? 1 : 0;
 
     const RunReport r = chaos::run_chaos(cfg);
@@ -181,25 +311,7 @@ int run_sweep(const FuzzOptions& opt) {
 
     if (!r.ok() || !deterministic) {
       ++failures;
-      std::printf("[sim_fuzz] FAIL run %d: stack=%s seed=%llu plan=%zu events%s\n",
-                  i, stack_name(stack).c_str(),
-                  static_cast<unsigned long long>(seed), plan.events.size(),
-                  deterministic ? "" : " (NON-DETERMINISTIC)");
-      print_violations(r);
-      if (!r.ok()) {
-        const chaos::MinimizeResult min =
-            chaos::minimize_plan(plan, [&cfg](const FaultPlan& candidate) {
-              HarnessConfig probe = cfg;
-              probe.plan = candidate;
-              return !chaos::run_chaos(probe).ok();
-            });
-        std::printf("  minimized: %zu -> %zu events (%d probes)\n",
-                    plan.events.size(), min.plan.events.size(), min.probes);
-        char tag[64];
-        std::snprintf(tag, sizeof tag, "%s_seed%llu", stack_name(stack).c_str(),
-                      static_cast<unsigned long long>(seed));
-        dump_repro(opt, cfg, min.plan, tag);
-      }
+      handle_failure(opt, i, cfg, r, deterministic);
     } else if (i % 20 == 19) {
       std::printf("[sim_fuzz] %d/%d runs clean...\n", i + 1, opt.runs);
     }
@@ -362,6 +474,9 @@ int main(int argc, char** argv) {
       opt.max_seconds = std::atof(next());
     } else if (a == "--out") {
       opt.out_dir = next();
+    } else if (a == "--jobs") {
+      opt.jobs = std::atoi(next());
+      if (opt.jobs < 1) opt.jobs = 1;
     } else if (a == "--plant-bug") {
       mode_plant = true;
     } else if (a == "--replay") {
@@ -379,7 +494,8 @@ int main(int argc, char** argv) {
       opt.plant_bug = true;  // replay against the planted-bug build
     } else {
       std::fprintf(stderr,
-                   "usage: sim_fuzz [--smoke | --runs N] [--seed-base S]\n"
+                   "usage: sim_fuzz [--smoke | --runs N] [--jobs N]\n"
+                   "                [--seed-base S]\n"
                    "                [--max-seconds S] [--out DIR] [--plant-bug]\n"
                    "                [--replay FILE --stack NAME --seed N\n"
                    "                 [--hang-oracle] [--planted-bug]]\n");

@@ -97,10 +97,181 @@ ebs::ScenarioSpec HarnessConfig::scenario() const {
   spec.workload.real_payload = true;
   spec.workload.max_ios = static_cast<std::uint64_t>(fio_max_ios);
   spec.workload.poisson_iops = poisson_iops;
+  spec.shards = shards;
+  spec.threads = threads;
   return spec;
 }
 
+namespace {
+
+/// The sharded twin of `run_chaos`: same lifecycle, but the fleet runs on a
+/// ShardedEngine and oracle bookkeeping is split one board per compute node
+/// so submit/complete hooks execute only on the node's home shard (each
+/// node's VD is driven only by that node, so boards never cross shards).
+RunReport run_chaos_sharded(const HarnessConfig& cfg) {
+  const ebs::ScenarioSpec spec = cfg.scenario();
+  sim::ShardedEngine se(spec.shards, spec.threads > 0 ? spec.threads : 1);
+  ebs::ClusterParams params = ebs::params_from(spec);
+  params.obs = cfg.obs;
+  if (cfg.disable_solar_failover) {
+    params.solar.path.fail_threshold = 1 << 30;  // the planted bug
+  }
+  ebs::Cluster cluster(se, params);
+  if (cfg.obs != nullptr) cfg.obs->attach(se);
+
+  const int nodes = cluster.num_compute();
+  std::vector<std::unique_ptr<OracleBoard>> boards;
+  for (int i = 0; i < nodes; ++i) {
+    boards.push_back(std::make_unique<OracleBoard>(cfg.oracle));
+  }
+  Injector injector(cluster);
+  Rng rng(cfg.seed ^ 0xC4A05F'44D2ull);
+
+  std::vector<std::uint64_t> vds;
+  for (int i = 0; i < nodes; ++i) {
+    vds.push_back(cluster.create_vd(spec.vd_size_bytes));
+  }
+
+  // `cluster.engine().now()` routes through the calling thread's shard
+  // context, so inside submit/complete hooks it reads the home engine.
+  auto wrapped_submit = [&cluster, &boards](int node) {
+    OracleBoard* board = boards[static_cast<std::size_t>(node)].get();
+    return [&cluster, board, node](IoRequest io, IoCompleteFn done) {
+      const std::uint64_t id = board->on_submit(io, cluster.engine().now());
+      cluster.compute(node).submit_io(
+          std::move(io),
+          [&cluster, board, id, done = std::move(done)](IoResult res) {
+            board->on_complete(id, res, cluster.engine().now());
+            done(std::move(res));
+          });
+    };
+  };
+
+  workload::FioConfig fc;
+  fc.vd_id = vds[0];
+  fc.vd_size = spec.vd_size_bytes;
+  fc.block_size = spec.workload.block_size;
+  fc.iodepth = spec.workload.iodepth;
+  fc.read_fraction = spec.workload.read_fraction;
+  fc.real_payload = spec.workload.real_payload;
+  fc.max_ios = spec.workload.max_ios;  // closed loop must not swamp the run
+  std::unique_ptr<workload::FioJob> fio;
+  {
+    sim::ShardScope scope(cluster.compute_shard(0));
+    fio = std::make_unique<workload::FioJob>(cluster.engine(),
+                                             wrapped_submit(0), fc,
+                                             rng.fork(100));
+  }
+
+  std::vector<std::unique_ptr<workload::PoissonLoad>> poissons;
+  for (int i = 0; i < nodes; ++i) {
+    workload::PoissonConfig pc;
+    pc.vd_id = vds[static_cast<std::size_t>(i)];
+    pc.vd_size = spec.vd_size_bytes;
+    pc.iops = spec.workload.poisson_iops;
+    pc.read_fraction = spec.workload.read_fraction;
+    pc.block_size = spec.workload.block_size;
+    pc.real_payload = spec.workload.real_payload;
+    sim::ShardScope scope(cluster.compute_shard(i));
+    poissons.push_back(std::make_unique<workload::PoissonLoad>(
+        cluster.engine(), wrapped_submit(i), pc,
+        rng.fork(200 + static_cast<std::uint64_t>(i))));
+  }
+
+  for (int i = 0; i < nodes; ++i) {
+    sim::ShardScope scope(cluster.compute_shard(i));
+    sim::Engine& he = cluster.engine();
+    he.at(he.now(), [&fio, &poissons, i] {
+      if (i == 0) fio->start();
+      poissons[static_cast<std::size_t>(i)]->start();
+    });
+  }
+  se.run_until(cfg.warmup);
+
+  injector.arm(cfg.plan);
+  se.run_until(se.now() + cfg.active);
+
+  {
+    sim::ShardScope scope(cluster.compute_shard(0));
+    fio->stop();
+  }
+  for (int i = 0; i < nodes; ++i) {
+    sim::ShardScope scope(cluster.compute_shard(i));
+    poissons[static_cast<std::size_t>(i)]->stop();
+  }
+  injector.repair_all();
+  for (auto& b : boards) b->set_repair_time(injector.last_repair_time());
+
+  // Drain to quiesce in slices so we notice the fleet going idle early.
+  const TimeNs deadline = se.now() + cfg.drain_limit;
+  while (se.pending() > 0 && se.now() < deadline) {
+    se.run_until(std::min(deadline, se.now() + cfg.drain_slice));
+  }
+
+  std::uint64_t outstanding = 0;
+  for (auto& b : boards) {
+    b->check_outstanding(se.now(), injector.last_repair_time());
+    outstanding += b->outstanding();
+  }
+  if (outstanding == 0) {
+    // Conservation is a fleet-global property; report it once, on node 0.
+    if (se.pending() > 0) {
+      boards[0]->add_violation("conservation",
+                               std::to_string(se.pending()) +
+                                   " timers still pending at quiesce",
+                               se.now());
+    }
+    const std::size_t leaked = cluster.network().packets_outstanding();
+    if (leaked > 0) {
+      boards[0]->add_violation(
+          "conservation",
+          std::to_string(leaked) + " pooled packets never returned",
+          se.now());
+    }
+  }
+
+  // Durability read-back, one probe batch per node through its own VD.
+  if (outstanding == 0 && cfg.oracle.check_crc && cfg.readback_samples > 0) {
+    for (int i = 0; i < nodes; ++i) {
+      OracleBoard* board = boards[static_cast<std::size_t>(i)].get();
+      const auto cells =
+          board->stable_cells(static_cast<std::size_t>(cfg.readback_samples));
+      sim::ShardScope scope(cluster.compute_shard(i));
+      for (const OracleBoard::StableCell& cell : cells) {
+        IoRequest io;
+        io.vd_id = cell.vd_id;
+        io.op = OpType::kRead;
+        io.offset = cell.lba;
+        io.len = 4096;
+        cluster.compute(i).submit_io(
+            std::move(io), [&cluster, board, cell](IoResult res) {
+              board->check_readback(cell, res, cluster.engine().now());
+            });
+      }
+    }
+    se.run();
+  }
+
+  RunReport report;
+  for (int i = 0; i < nodes; ++i) {
+    const auto& v = boards[static_cast<std::size_t>(i)]->violations();
+    report.violations.insert(report.violations.end(), v.begin(), v.end());
+    report.ios_completed += boards[static_cast<std::size_t>(i)]->completed();
+    report.errors += boards[static_cast<std::size_t>(i)]->errors();
+    report.hangs += boards[static_cast<std::size_t>(i)]->hangs();
+    report.crc_checks += boards[static_cast<std::size_t>(i)]->crc_checks();
+  }
+  report.faults_applied = static_cast<std::uint64_t>(injector.applied());
+  report.faults_reverted = static_cast<std::uint64_t>(injector.reverted());
+  report.executed = se.executed();
+  report.end_time = se.now();
+  return report;
+}
+
+}  // namespace
+
 RunReport run_chaos(const HarnessConfig& cfg) {
+  if (cfg.shards > 1) return run_chaos_sharded(cfg);
   sim::Engine eng;
   const ebs::ScenarioSpec spec = cfg.scenario();
   ebs::ClusterParams params = ebs::params_from(spec);

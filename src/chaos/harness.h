@@ -56,6 +56,16 @@ struct HarnessConfig {
   OracleConfig oracle;
   int readback_samples = 48;
 
+  /// Fabric partition for the sharded engine; 1 = the classic single-engine
+  /// harness, bit-identical to before the knob existed. With shards > 1 the
+  /// run executes on a ShardedEngine with one oracle board per compute node
+  /// (node-affine, so oracle bookkeeping stays on the node's home shard).
+  int shards = 1;
+  /// Worker threads for the sharded run. Purely a speed knob: the report
+  /// signature is a function of the config (including `shards`), never of
+  /// `threads` — the determinism sweep asserts it.
+  int threads = 1;
+
   /// Planted bug for fuzzer validation: SOLAR never declares a path dead,
   /// so silent failures pin I/O exactly like LUNA — the hang oracle must
   /// catch it.

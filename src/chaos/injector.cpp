@@ -49,6 +49,22 @@ TopologyShape Injector::shape() const {
   return s;
 }
 
+int Injector::home_shard(const FaultTarget& t) const {
+  if (cluster_.sharded() == nullptr) return 0;
+  if (const net::Device* dev = resolve_device(t)) return dev->shard();
+  switch (t.kind) {
+    case TargetKind::kStorageSsd:
+    case TargetKind::kStorageCpu:
+      return cluster_.storage_shard(wrap(t.index, cluster_.num_storage()));
+    case TargetKind::kComputeCpu:
+    case TargetKind::kComputePcie:
+    case TargetKind::kComputeFpga:
+      return cluster_.compute_shard(wrap(t.index, cluster_.num_compute()));
+    default:
+      return 0;
+  }
+}
+
 net::Device* Injector::resolve_device(const FaultTarget& t) const {
   const net::Clos& clos = cluster_.clos();
   switch (t.kind) {
@@ -72,12 +88,17 @@ net::Device* Injector::resolve_device(const FaultTarget& t) const {
 }
 
 void Injector::arm(const FaultPlan& plan) {
-  sim::Engine& eng = cluster_.engine();
   armed_.reserve(armed_.size() + plan.events.size());
   for (const FaultEvent& e : plan.events) {
     armed_.push_back(Armed{e});
     const std::size_t slot = armed_.size() - 1;
     Armed& a = armed_[slot];
+    // Arm the timers on the target's home shard: apply/revert then run on
+    // the worker that owns the device, never racing its event processing.
+    a.home = home_shard(e.target);
+    sim::ShardScope scope(a.home);
+    sim::Engine& eng = cluster_.engine();
+    a.eng = &eng;
     a.apply_timer =
         eng.schedule_after(e.at, [this, slot] { apply(armed_[slot]); });
     if (e.duration > 0) {
@@ -91,7 +112,7 @@ void Injector::apply(Armed& a) {
   const FaultEvent& e = a.event;
   net::Network& net = cluster_.network();
   a.applied = true;
-  ++applied_;
+  applied_.fetch_add(1, std::memory_order_relaxed);
   switch (e.kind) {
     case FaultKind::kLinkFail: {
       net::Device* dev = resolve_device(e.target);
@@ -200,8 +221,14 @@ void Injector::revert(Armed& a) {
   const FaultEvent& e = a.event;
   net::Network& net = cluster_.network();
   a.reverted = true;
-  ++reverted_;
-  last_repair_ = cluster_.engine().now();
+  reverted_.fetch_add(1, std::memory_order_relaxed);
+  // CAS-max: reverts on different shards race, but the maximum is
+  // order-independent, and in a single-shard run this is plain assignment.
+  const TimeNs now = cluster_.engine().now();
+  TimeNs prev = last_repair_.load(std::memory_order_relaxed);
+  while (prev < now && !last_repair_.compare_exchange_weak(
+                           prev, now, std::memory_order_relaxed)) {
+  }
   switch (e.kind) {
     case FaultKind::kLinkFail: {
       net::Device* dev = resolve_device(e.target);
@@ -286,8 +313,12 @@ void Injector::revert(Armed& a) {
 }
 
 void Injector::repair_all() {
-  sim::Engine& eng = cluster_.engine();
+  // Runs from the coordinator with every shard quiescent, so touching
+  // remote-shard state directly is safe; the shard scope keeps any engine
+  // interaction on the fault's home engine.
   for (Armed& a : armed_) {
+    sim::ShardScope scope(a.home);
+    sim::Engine& eng = a.eng != nullptr ? *a.eng : cluster_.engine();
     if (!a.applied) {
       // Never fired: cancel the onset so it cannot apply post-repair.
       if (a.apply_timer != 0) eng.cancel(a.apply_timer);
@@ -299,7 +330,10 @@ void Injector::repair_all() {
     if (a.revert_timer != 0) eng.cancel(a.revert_timer);
     revert(a);
   }
-  if (last_repair_ < eng.now()) last_repair_ = eng.now();
+  const TimeNs now = cluster_.now();
+  if (last_repair_.load(std::memory_order_relaxed) < now) {
+    last_repair_.store(now, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace repro::chaos

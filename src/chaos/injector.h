@@ -8,6 +8,7 @@
 // fail-stop whose repair coincides with a silent-death onset).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -43,16 +44,22 @@ class Injector {
   /// Engine time of the most recent revert (applied or via repair_all);
   /// 0 if nothing has been reverted yet. The recovery-SLO oracle measures
   /// from here.
-  TimeNs last_repair_time() const { return last_repair_; }
+  TimeNs last_repair_time() const {
+    return last_repair_.load(std::memory_order_relaxed);
+  }
 
-  int applied() const { return applied_; }
-  int reverted() const { return reverted_; }
+  int applied() const { return applied_.load(std::memory_order_relaxed); }
+  int reverted() const { return reverted_.load(std::memory_order_relaxed); }
 
  private:
   struct Armed {
     FaultEvent event;
     sim::TimerId apply_timer = 0;
     sim::TimerId revert_timer = 0;
+    /// Home shard of the target: the timers live on this shard's engine, so
+    /// apply/revert mutate device state only from the worker that owns it.
+    int home = 0;
+    sim::Engine* eng = nullptr;  ///< the home shard's engine
     bool applied = false;
     bool reverted = false;
     double saved_magnitude = 0.0;  ///< pre-fault knob value for restore
@@ -61,12 +68,16 @@ class Injector {
   void apply(Armed& a);
   void revert(Armed& a);
   net::Device* resolve_device(const FaultTarget& t) const;
+  int home_shard(const FaultTarget& t) const;
 
   ebs::Cluster& cluster_;
   std::vector<Armed> armed_;
-  TimeNs last_repair_ = 0;
-  int applied_ = 0;
-  int reverted_ = 0;
+  // Counters are bumped from whichever shard a fault fires on; the totals
+  // (and the max repair time) are order-independent, so relaxed atomics
+  // keep the report deterministic.
+  std::atomic<TimeNs> last_repair_{0};
+  std::atomic<int> applied_{0};
+  std::atomic<int> reverted_{0};
 };
 
 }  // namespace repro::chaos

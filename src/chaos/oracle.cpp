@@ -131,31 +131,36 @@ void OracleBoard::on_complete(std::uint64_t id, const IoResult& res,
   }
 }
 
+void OracleBoard::check_outstanding(TimeNs now, TimeNs last_repair) {
+  if (outstanding_.empty()) return;
+  // Sorted report so violation text is deterministic.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(outstanding_.size());
+  for (const auto& [id, p] : outstanding_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    const PendingIo& p = outstanding_.at(id);
+    if (last_repair > 0 && now >= last_repair + cfg_.recovery_slo) {
+      add_violation(
+          "slo",
+          "io " + std::to_string(id) + " (issued at " +
+              std::to_string(p.issued_at / 1000000) +
+              " ms) still outstanding " +
+              std::to_string((now - last_repair) / 1000000) +
+              " ms after the last repair",
+          now);
+    } else {
+      add_violation("exactly_once",
+                    "io " + std::to_string(id) + " never completed", now);
+    }
+  }
+}
+
 void OracleBoard::check_quiesce(const sim::Engine& engine,
                                 const net::Network& net, TimeNs last_repair) {
   const TimeNs now = engine.now();
   if (!outstanding_.empty()) {
-    // Sorted report so violation text is deterministic.
-    std::vector<std::uint64_t> ids;
-    ids.reserve(outstanding_.size());
-    for (const auto& [id, p] : outstanding_) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (std::uint64_t id : ids) {
-      const PendingIo& p = outstanding_.at(id);
-      if (last_repair > 0 && now >= last_repair + cfg_.recovery_slo) {
-        add_violation(
-            "slo",
-            "io " + std::to_string(id) + " (issued at " +
-                std::to_string(p.issued_at / 1000000) +
-                " ms) still outstanding " +
-                std::to_string((now - last_repair) / 1000000) +
-                " ms after the last repair",
-            now);
-      } else {
-        add_violation("exactly_once",
-                      "io " + std::to_string(id) + " never completed", now);
-      }
-    }
+    check_outstanding(now, last_repair);
     return;  // leaked packets/timers are implied by the stuck I/Os
   }
   if (engine.pending() > 0) {

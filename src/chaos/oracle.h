@@ -67,6 +67,11 @@ class OracleBoard {
   void check_quiesce(const sim::Engine& engine, const net::Network& net,
                      TimeNs last_repair);
 
+  /// The stuck-I/O half of `check_quiesce` alone. Sharded runs keep one
+  /// board per compute node and call this on each, then do the global
+  /// conservation checks (engine timers, pooled packets) once per fleet.
+  void check_outstanding(TimeNs now, TimeNs last_repair);
+
   /// Stable committed cells suitable for a read-back probe: untainted,
   /// with the epoch captured so a racing write voids the sample.
   struct StableCell {

@@ -148,15 +148,45 @@ Cluster::Cluster(sim::Engine& engine, ClusterParams params)
       cipher_(params_.dpu.cipher_key) {
   network_ = std::make_unique<net::Network>(engine, net::NetworkParams{},
                                             rng_.next());
+  init();
+}
+
+Cluster::Cluster(sim::ShardedEngine& se, ClusterParams params)
+    : engine_(&se.shard(0)),
+      sharded_(&se),
+      params_(std::move(params)),
+      rng_(params_.seed),
+      cipher_(params_.dpu.cipher_key) {
+  // The engine's shard count is the single source of truth; the topology
+  // partition follows it.
+  params_.topo.shards = se.shards();
+  if (params_.obs != nullptr) {
+    params_.obs->tracer().set_shards(se.shards());
+  }
+  network_ = std::make_unique<net::Network>(se, net::NetworkParams{},
+                                            rng_.next());
+  init();
+  // Conservative lookahead: the fastest cross-shard wire bounds how far a
+  // shard may run ahead before a neighbour could affect it.
+  if (network_->min_cross_shard_prop() > 0) {
+    se.set_lookahead(network_->min_cross_shard_prop());
+  }
+}
+
+void Cluster::init() {
   if (params_.obs != nullptr) network_->set_obs(params_.obs);
   clos_ = net::build_clos(*network_, params_.topo);
   for (int i = 0; i < static_cast<int>(clos_.storage.size()); ++i) {
-    storage_nodes_.push_back(
-        std::make_unique<StorageNode>(*this, i, *clos_.storage[static_cast<std::size_t>(i)]));
+    net::Nic& nic = *clos_.storage[static_cast<std::size_t>(i)];
+    // Build the node under its NIC's home shard so every engine-bound
+    // component (CPU pool, block server, server stacks) lands there.
+    sim::ShardScope scope(nic.shard());
+    storage_nodes_.push_back(std::make_unique<StorageNode>(*this, i, nic));
   }
   for (int i = 0; i < static_cast<int>(clos_.compute.size()); ++i) {
-    compute_nodes_.push_back(
-        std::make_unique<ComputeNode>(*this, i, *clos_.compute[static_cast<std::size_t>(i)]));
+    net::Nic& nic = *clos_.compute[static_cast<std::size_t>(i)];
+    sim::ShardScope scope(nic.shard());
+    compute_nodes_.push_back(std::make_unique<ComputeNode>(*this, i, nic));
   }
   for (auto& n : compute_nodes_) {
     warmup_registry_.add_resettable(&n->stack());
@@ -182,20 +212,32 @@ void Cluster::register_observables() {
   switches(clos_.cores);
   switches(clos_.storage_spines);
   switches(clos_.storage_tors);
-  for (auto& n : compute_nodes_) n->register_observables(obs);
-  for (auto& n : storage_nodes_) n->register_observables(obs);
+  for (auto& n : compute_nodes_) {
+    sim::ShardScope scope(n->nic().shard());
+    n->register_observables(obs);
+  }
+  for (auto& n : storage_nodes_) {
+    sim::ShardScope scope(n->nic().shard());
+    n->register_observables(obs);
+  }
 }
 
 Cluster::~Cluster() = default;
 
 std::uint64_t Cluster::create_vd(std::uint64_t size_bytes) {
   const std::uint64_t vd = next_vd_++;
+  const std::size_t width =
+      params_.vd_stripe_width > 0
+          ? std::min<std::size_t>(
+                static_cast<std::size_t>(params_.vd_stripe_width),
+                storage_nodes_.size())
+          : storage_nodes_.size();
   std::vector<net::IpAddr> servers;
-  servers.reserve(storage_nodes_.size());
+  servers.reserve(width);
   // Stripe starting at a rotating server so VDs spread evenly.
   const std::size_t start = static_cast<std::size_t>(vd) %
                             storage_nodes_.size();
-  for (std::size_t i = 0; i < storage_nodes_.size(); ++i) {
+  for (std::size_t i = 0; i < width; ++i) {
     servers.push_back(
         storage_nodes_[(start + i) % storage_nodes_.size()]->nic().ip());
   }

@@ -20,6 +20,8 @@
 
 #include "net/topology.h"
 #include "obs/registry.h"
+#include "sim/shard_context.h"
+#include "sim/sharded.h"
 #include "stack/factory.h"
 #include "storage/block_server.h"
 
@@ -42,6 +44,10 @@ struct ClusterParams : stack::StackParams {
   std::vector<StackKind> compute_stacks;
   storage::BlockServerParams block_server;
   std::uint64_t seed = 1;
+  /// Servers each virtual disk stripes across. 0 (default) = every storage
+  /// node, the historical behaviour. Fleet-scale runs set a small width so
+  /// a VD's traffic touches a bounded server set instead of all 500.
+  int vd_stripe_width = 0;
   /// Optional observability hookup: when set, the cluster hands the
   /// subsystem to the network, names every trace process, and registers
   /// all component metrics/gauges. Null = dark (the default): no obs code
@@ -121,6 +127,11 @@ class StorageNode {
 class Cluster {
  public:
   Cluster(sim::Engine& engine, ClusterParams params);
+  /// Sharded build: the fabric is partitioned into `se.shards()` node-affine
+  /// shards (`params.topo.shards` is overwritten to match), every node is
+  /// constructed under its home shard's scope, and the engine lookahead is
+  /// set to the minimum cross-shard link propagation delay.
+  Cluster(sim::ShardedEngine& se, ClusterParams params);
   ~Cluster();
 
   /// Creates a virtual disk striped over all storage nodes; returns vd id.
@@ -138,7 +149,28 @@ class Cluster {
   /// registry and its histograms are never disturbed.
   void reset_warmup();
 
-  sim::Engine& engine() { return *engine_; }
+  /// The calling shard's engine. Under a sharded build this routes through
+  /// the thread's shard context (exactly like `net::Network::engine()`), so
+  /// node components built under `ShardScope(s)` bind shard s's engine and
+  /// events armed from shard s's worker stay on shard s.
+  sim::Engine& engine() {
+    return sharded_ != nullptr ? sharded_->shard(sim::current_shard())
+                               : *engine_;
+  }
+  /// Non-null when built on a ShardedEngine.
+  sim::ShardedEngine* sharded() { return sharded_; }
+  /// Global simulation time (shard-safe: barrier time when sharded).
+  TimeNs now() const {
+    return sharded_ != nullptr ? sharded_->now() : engine_->now();
+  }
+  /// Home shard of compute node `i` (0 for single-shard builds).
+  int compute_shard(int i) {
+    return compute_nodes_[static_cast<std::size_t>(i)]->nic().shard();
+  }
+  /// Home shard of storage node `i` (0 for single-shard builds).
+  int storage_shard(int i) {
+    return storage_nodes_[static_cast<std::size_t>(i)]->nic().shard();
+  }
   net::Network& network() { return *network_; }
   net::Clos& clos() { return clos_; }
   const ClusterParams& params() const { return params_; }
@@ -153,8 +185,12 @@ class Cluster {
   /// Names every trace process and registers switch/node observables.
   /// Called once from the ctor when `params.obs` is set.
   void register_observables();
+  /// Shared ctor tail: builds the fabric and the nodes (each under its home
+  /// shard's scope when sharded).
+  void init();
 
   sim::Engine* engine_;
+  sim::ShardedEngine* sharded_ = nullptr;
   ClusterParams params_;
   Rng rng_;
   std::unique_ptr<net::Network> network_;

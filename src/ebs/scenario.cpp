@@ -52,7 +52,11 @@ std::string ScenarioSpec::to_json() const {
   w.field("servers_per_rack", servers_per_rack);
   w.field("spines_per_pod", spines_per_pod);
   w.field("core_switches", core_switches);
+  // Written only when sharded so single-engine specs round-trip unchanged.
+  if (shards != 1) w.field("shards", shards);
+  if (threads != 1) w.field("threads", threads);
   w.end_object();
+  if (vd_stripe_width != 0) w.field("vd_stripe_width", vd_stripe_width);
   w.field("stack", to_string(stack));
   if (!compute_stacks.empty()) {
     w.key("compute_stacks");
@@ -127,6 +131,15 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
     if (obs::json_number(*topo, "core_switches", &num)) {
       spec.core_switches = static_cast<int>(num);
     }
+    if (obs::json_number(*topo, "shards", &num)) {
+      spec.shards = static_cast<int>(num);
+    }
+    if (obs::json_number(*topo, "threads", &num)) {
+      spec.threads = static_cast<int>(num);
+    }
+  }
+  if (obs::json_number(root, "vd_stripe_width", &num)) {
+    spec.vd_stripe_width = static_cast<int>(num);
   }
   if (const obs::JsonValue* v = root.find("stack")) {
     if (!parse_stack(*v, &spec.stack, error)) return false;
@@ -210,6 +223,8 @@ ClusterParams params_from(const ScenarioSpec& spec) {
   p.on_dpu = spec.on_dpu;
   p.seed = spec.seed;
   p.block_server.store_payload = spec.store_payload;
+  p.topo.shards = spec.shards;
+  p.vd_stripe_width = spec.vd_stripe_width;
   return p;
 }
 
@@ -217,8 +232,14 @@ Scenario build_scenario(const ScenarioSpec& spec, obs::Obs* obs) {
   ClusterParams p = params_from(spec);
   p.obs = obs;
   Scenario s;
-  s.engine = std::make_unique<sim::Engine>();
-  s.cluster = std::make_unique<Cluster>(*s.engine, std::move(p));
+  if (spec.shards > 1) {
+    s.sharded = std::make_unique<sim::ShardedEngine>(
+        spec.shards, spec.threads > 0 ? spec.threads : 1);
+    s.cluster = std::make_unique<Cluster>(*s.sharded, std::move(p));
+  } else {
+    s.engine = std::make_unique<sim::Engine>();
+    s.cluster = std::make_unique<Cluster>(*s.engine, std::move(p));
+  }
   if (spec.vds.empty()) {
     for (int i = 0; i < s.cluster->num_compute(); ++i) {
       s.vds.push_back(s.cluster->create_vd(spec.vd_size_bytes));

@@ -44,6 +44,14 @@ struct ScenarioSpec {
   int servers_per_rack = 8;
   int spines_per_pod = 2;
   int core_switches = 2;
+  /// Fabric partition for the sharded engine: racks map to `shards`
+  /// contiguous node-affine shards. 1 = classic single-engine build.
+  int shards = 1;
+  /// Worker threads driving the shards (only meaningful with shards > 1).
+  /// Results are bit-identical for any value; this is purely a speed knob.
+  int threads = 1;
+  /// Storage servers each VD stripes across (0 = all of them).
+  int vd_stripe_width = 0;
   /// Homogeneous fleet stack; overridden per node by `compute_stacks`.
   StackKind stack = StackKind::kLuna;
   std::vector<StackKind> compute_stacks;
@@ -72,9 +80,12 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
 ClusterParams params_from(const ScenarioSpec& spec);
 
 /// A built scenario: engine + cluster + the VDs the spec declared (with QoS
-/// applied), ready for a workload.
+/// applied), ready for a workload. Specs with `shards > 1` build on a
+/// `ShardedEngine` instead (`engine` stays null, `sharded` is set) — drive
+/// the run via `sharded->run()` / `run_until()`.
 struct Scenario {
   std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<sim::ShardedEngine> sharded;
   std::unique_ptr<Cluster> cluster;
   std::vector<std::uint64_t> vds;
 };

@@ -66,7 +66,11 @@ void Port::drain() {
 
 Device::Device(Network& net, DeviceId id, std::string name, int num_ports,
                bool is_host)
-    : net_(&net), id_(id), name_(std::move(name)), is_host_(is_host) {
+    : net_(&net),
+      id_(id),
+      name_(std::move(name)),
+      is_host_(is_host),
+      shard_(sim::current_shard()) {
   ports_.resize(static_cast<std::size_t>(num_ports));
   for (int i = 0; i < num_ports; ++i) {
     ports_[static_cast<std::size_t>(i)].owner_ = this;
@@ -119,15 +123,36 @@ void Device::start_tx(int port_idx) {
     auto* link = port_ref.link_.get();
     Device* peer = port_ref.peer_;
     const int peer_port = port_ref.peer_port_;
-    net_->engine().after(
-        port_ref.prop_delay_,
-        [this, link, peer, peer_port, pkt = std::move(pkt)]() mutable {
-          if (link == nullptr || !link->alive) {
-            ++net_->drops().link_down;
-            return;
-          }
-          peer->handle_arrival(std::move(pkt), peer_port);
-        });
+    if (peer->shard_ != shard_) {
+      // Cross-shard hop. The pooled shell stays home (pools are strictly
+      // shard-affine); the wire-visible contents — flow key, INT trail,
+      // payload reference, span id — move through the epoch mailbox and
+      // are re-shelled from the destination shard's pool on arrival. The
+      // propagation delay is >= the lookahead by construction, which is
+      // what makes the conservative epoch schedule correct.
+      net_->sharded()->post(
+          peer->shard_, net_->engine().now() + port_ref.prop_delay_,
+          [this, link, peer, peer_port, val = std::move(*pkt)]() mutable {
+            if (link == nullptr || !link->alive) {
+              ++net_->drops().link_down;
+              return;
+            }
+            PacketPtr p = net_->make_packet();
+            *p = std::move(val);
+            peer->handle_arrival(std::move(p), peer_port);
+          });
+      pkt.reset();
+    } else {
+      net_->engine().after(
+          port_ref.prop_delay_,
+          [this, link, peer, peer_port, pkt = std::move(pkt)]() mutable {
+            if (link == nullptr || !link->alive) {
+              ++net_->drops().link_down;
+              return;
+            }
+            peer->handle_arrival(std::move(pkt), peer_port);
+          });
+    }
     start_tx(port_idx);
   });
 }
@@ -186,13 +211,58 @@ void Device::handle_arrival(PacketPtr pkt, int in_port) {
 
 Network::Network(sim::Engine& engine, NetworkParams params,
                  std::uint64_t seed)
-    : engine_(&engine), params_(params), rng_(seed), pool_(new PacketPool) {}
+    : engine_(&engine), params_(params) {
+  shards_.push_back(std::make_unique<ShardState>(Rng(seed), 0));
+}
+
+Network::Network(sim::ShardedEngine& se, NetworkParams params,
+                 std::uint64_t seed)
+    : engine_(&se.shard(0)), sharded_(&se), params_(params) {
+  const int num_shards = se.shards();
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    // Shard 0 reproduces the legacy stream exactly; the rest are forked
+    // with a distinctive stream id so no two shards share a sequence.
+    const Rng r = s == 0 ? Rng(seed) : Rng(seed).fork(0xFAB5'0000ull + s);
+    shards_.push_back(std::make_unique<ShardState>(r, s));
+  }
+}
 
 Network::~Network() {
-  // Devices (and their queued packets) go first; then the pool deletes
+  // Devices (and their queued packets) go first; then each pool deletes
   // itself once any packets still captured in engine closures come home.
   devices_.clear();
-  pool_->retire();
+  for (auto& st : shards_) st->pool->retire();
+}
+
+std::size_t Network::packets_outstanding() const {
+  std::size_t total = 0;
+  for (const auto& st : shards_) total += st->pool->outstanding();
+  return total;
+}
+
+Network::DropStats Network::drops_total() const {
+  DropStats total;
+  for (const auto& st : shards_) {
+    total.queue_full += st->drops.queue_full;
+    total.link_down += st->drops.link_down;
+    total.device_dead += st->drops.device_dead;
+    total.blackhole += st->drops.blackhole;
+    total.random_loss += st->drops.random_loss;
+    total.no_route += st->drops.no_route;
+    total.corrupt_fcs += st->drops.corrupt_fcs;
+  }
+  return total;
+}
+
+Network::WireFaultStats Network::wire_faults_total() const {
+  WireFaultStats total;
+  for (const auto& st : shards_) {
+    total.corrupted += st->wire_faults.corrupted;
+    total.duplicated += st->wire_faults.duplicated;
+    total.reordered += st->wire_faults.reordered;
+  }
+  return total;
 }
 
 void Network::link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
@@ -215,37 +285,77 @@ void Network::link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
   bp.link_ = state;
   bp.detected_up_ = true;
   bp.cap_bytes_ = queue_capacity;
+  if (a.shard_ != b.shard_ &&
+      (min_cross_shard_prop_ < 0 || prop_delay < min_cross_shard_prop_)) {
+    min_cross_shard_prop_ = prop_delay;
+  }
 }
 
 void Network::set_link_alive(Device& dev, int port, bool alive) {
+  if (sharded_ != nullptr && sharded_->shards() > 1) {
+    // Link state is shared fabric state (both endpoints read `alive` on
+    // their own shards); mutate it only with every shard quiescent. The
+    // flip lands at the posting epoch's barrier — within one lookahead of
+    // the legacy instant — and detection/reconvergence keep their exact
+    // configured delays from there.
+    sharded_->post_global(
+        [this, d = &dev, port, alive] { set_link_alive_now(*d, port, alive); });
+    return;
+  }
+  set_link_alive_now(dev, port, alive);
+}
+
+void Network::set_link_alive_now(Device& dev, int port, bool alive) {
   Port& p = dev.port(port);
   if (!p.connected() || p.link_->alive == alive) return;
   p.link_->alive = alive;
   Device* peer = p.peer_;
   const int peer_port = p.peer_port_;
   // Both ends detect the carrier change after the detection delay.
-  engine_->after(params_.link_detect_delay,
-                 [this, d = &dev, port, peer, peer_port, alive] {
-                   d->port(port).detected_up_ = alive;
-                   peer->port(peer_port).detected_up_ = alive;
-                   if (alive) {
-                     d->on_link_up(port);
-                     peer->on_link_up(peer_port);
-                   } else {
-                     d->on_link_down(port);
-                     peer->on_link_down(peer_port);
-                   }
-                   schedule_reconvergence();
-                 });
+  auto detect = [this, d = &dev, port, peer, peer_port, alive] {
+    d->port(port).detected_up_ = alive;
+    peer->port(peer_port).detected_up_ = alive;
+    // The carrier handlers run under their device's shard context so any
+    // timers they arm (e.g. SOLAR path probing) land on the home engine.
+    {
+      const sim::ShardScope scope(d->shard_);
+      if (alive) {
+        d->on_link_up(port);
+      } else {
+        d->on_link_down(port);
+      }
+    }
+    {
+      const sim::ShardScope scope(peer->shard_);
+      if (alive) {
+        peer->on_link_up(peer_port);
+      } else {
+        peer->on_link_down(peer_port);
+      }
+    }
+    schedule_reconvergence();
+  };
+  if (sharded_ != nullptr && sharded_->shards() > 1) {
+    sharded_->post_global_at(sharded_->now() + params_.link_detect_delay,
+                             std::move(detect));
+  } else {
+    engine_->after(params_.link_detect_delay, std::move(detect));
+  }
 }
 
 void Network::schedule_reconvergence() {
   if (reconvergence_pending_) return;
   reconvergence_pending_ = true;
-  engine_->after(params_.reconverge_delay, [this] {
+  auto reconverge = [this] {
     reconvergence_pending_ = false;
     compute_routes();
-  });
+  };
+  if (sharded_ != nullptr && sharded_->shards() > 1) {
+    sharded_->post_global_at(sharded_->now() + params_.reconverge_delay,
+                             std::move(reconverge));
+  } else {
+    engine_->after(params_.reconverge_delay, std::move(reconverge));
+  }
 }
 
 void Network::fail_link(Device& dev, int port) {
@@ -288,7 +398,10 @@ void Network::set_loss_rate(Device& dev, double p) {
 
 void Network::set_blackhole(Device& dev, double fraction) {
   dev.faults_.blackhole_fraction = fraction;
-  dev.faults_.blackhole_salt = rng_.next();
+  // Salt from the *device's* home-shard stream: the injector applies this
+  // on the target's shard, so the draw is deterministic under sharding and
+  // identical to the legacy single-stream draw when shards == 1.
+  dev.faults_.blackhole_salt = rng().next();
 }
 
 void Network::set_corrupt_rate(Device& dev, double p) {

@@ -31,6 +31,8 @@
 #include "common/units.h"
 #include "net/packet.h"
 #include "sim/engine.h"
+#include "sim/shard_context.h"
+#include "sim/sharded.h"
 
 namespace repro::obs {
 class Obs;
@@ -123,6 +125,9 @@ class Device {
   DeviceId id() const { return id_; }
   const std::string& name() const { return name_; }
   bool is_host() const { return is_host_; }
+  /// Home shard (0 in single-shard networks). Fixed at construction: a
+  /// device's events always execute on its home shard's engine.
+  int shard() const { return shard_; }
   int num_ports() const { return static_cast<int>(ports_.size()); }
   Port& port(int i) { return ports_[static_cast<std::size_t>(i)]; }
   const Port& port(int i) const { return ports_[static_cast<std::size_t>(i)]; }
@@ -151,6 +156,7 @@ class Device {
   DeviceId id_;
   std::string name_;
   bool is_host_;
+  int shard_;
   std::vector<Port> ports_;
   DeviceFaults faults_;
 };
@@ -188,6 +194,11 @@ class Network {
   };
 
   Network(sim::Engine& engine, NetworkParams params, std::uint64_t seed);
+  /// Sharded fabric: one ShardState (rng, packet pool, drop counters,
+  /// packet-id space) per shard of `se`. Shard 0's streams are seeded
+  /// exactly like the single-engine constructor, so a 1-shard sharded
+  /// network is bit-identical to a legacy one.
+  Network(sim::ShardedEngine& se, NetworkParams params, std::uint64_t seed);
   ~Network();
 
   /// Creates and owns a device. T must derive from Device and take
@@ -201,9 +212,15 @@ class Network {
     return raw;
   }
 
-  /// Draws a blank packet from the network's pool.
-  PacketPtr make_packet() { return pool_->acquire(); }
-  const PacketPool& packet_pool() const { return *pool_; }
+  /// Draws a blank packet from the calling shard's pool. Pools are
+  /// strictly shard-affine: a packet shell never crosses shards (only its
+  /// contents do, see Device::start_tx), so each pool stays single-threaded.
+  PacketPtr make_packet() { return state().pool->acquire(); }
+  /// Shard 0's pool — the whole pool in single-shard networks (every
+  /// existing call site). Use packets_outstanding() for fleet totals.
+  const PacketPool& packet_pool() const { return *shards_[0]->pool; }
+  /// Packets currently in flight across all shards' pools.
+  std::size_t packets_outstanding() const;
 
   /// Connects a.port(pa) <-> b.port(pb) with symmetric rate/propagation.
   void link(Device& a, int pa, Device& b, int pb, BitsPerSec rate,
@@ -246,14 +263,35 @@ class Network {
   void set_obs(obs::Obs* obs) { obs_ = obs; }
   obs::Obs* obs() const { return obs_; }
 
-  sim::Engine& engine() { return *engine_; }
-  Rng& rng() { return rng_; }
+  /// The calling shard's engine (the single engine in legacy networks).
+  /// Inside a sharded run this is the engine of the shard whose events the
+  /// current thread is executing — i.e. always the home engine of the
+  /// device whose handler is on the stack.
+  sim::Engine& engine() {
+    return sharded_ != nullptr ? sharded_->shard(sim::current_shard())
+                               : *engine_;
+  }
+  /// Non-null when this fabric runs on a ShardedEngine.
+  sim::ShardedEngine* sharded() { return sharded_; }
+  Rng& rng() { return state().rng; }
   const NetworkParams& params() const { return params_; }
-  DropStats& drops() { return drops_; }
-  const DropStats& drops() const { return drops_; }
-  WireFaultStats& wire_faults() { return wire_faults_; }
-  const WireFaultStats& wire_faults() const { return wire_faults_; }
-  std::uint64_t next_packet_id() { return next_packet_id_++; }
+  DropStats& drops() { return state().drops; }
+  /// Shard 0's counters (the whole story in single-shard networks); use
+  /// the *_total() variants for fleet-wide numbers.
+  const DropStats& drops() const { return shards_[0]->drops; }
+  WireFaultStats& wire_faults() { return state().wire_faults; }
+  const WireFaultStats& wire_faults() const { return shards_[0]->wire_faults; }
+  DropStats drops_total() const;
+  WireFaultStats wire_faults_total() const;
+  std::uint64_t next_packet_id() {
+    ShardState& st = state();
+    return st.packet_id_tag | st.next_packet_id++;
+  }
+
+  /// Smallest propagation delay on any link whose endpoints live on
+  /// different shards (the upper bound for the conservative lookahead).
+  /// -1 if no such link exists.
+  TimeNs min_cross_shard_prop() const { return min_cross_shard_prop_; }
 
   const std::vector<std::unique_ptr<Device>>& devices() const {
     return devices_;
@@ -262,21 +300,48 @@ class Network {
  private:
   friend class Device;
 
+  // Per-shard mutable fabric state. Everything a packet's journey touches
+  // on its home shard lives here, so concurrent shards never share a
+  // cache line, an RNG stream, a counter or a pool. Shard 0 is seeded
+  // exactly like the legacy single-engine network; shard s > 0 gets a
+  // forked stream. Packet ids are (shard << 48) | counter, with shard 0
+  // untagged so single-shard ids match the legacy sequence bit-for-bit.
+  struct alignas(64) ShardState {
+    Rng rng;
+    // Owned via the retire() protocol: packets captured in still-pending
+    // engine closures may outlive the Network; the pool outlives them all.
+    PacketPool* pool;
+    DropStats drops;
+    WireFaultStats wire_faults;
+    std::uint64_t next_packet_id = 1;
+    std::uint64_t packet_id_tag = 0;
+
+    ShardState(Rng r, int shard)
+        : rng(r),
+          pool(new PacketPool),
+          packet_id_tag(shard == 0
+                            ? 0
+                            : static_cast<std::uint64_t>(shard) << 48) {}
+  };
+
+  ShardState& state() {
+    return *shards_[sharded_ != nullptr
+                        ? static_cast<std::size_t>(sim::current_shard())
+                        : 0];
+  }
+
   void set_link_alive(Device& dev, int port, bool alive);
+  void set_link_alive_now(Device& dev, int port, bool alive);
   void schedule_reconvergence();
 
   sim::Engine* engine_;
+  sim::ShardedEngine* sharded_ = nullptr;
   NetworkParams params_;
-  Rng rng_;
   obs::Obs* obs_ = nullptr;
-  // Owned via the retire() protocol: packets captured in still-pending
-  // engine closures may outlive the Network; the pool outlives them all.
-  PacketPool* pool_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
   std::vector<std::unique_ptr<Device>> devices_;
   DeviceId next_device_id_ = 1;
-  std::uint64_t next_packet_id_ = 1;
-  DropStats drops_;
-  WireFaultStats wire_faults_;
+  TimeNs min_cross_shard_prop_ = -1;
   bool reconvergence_pending_ = false;
   // routes_[device id][dst ip] -> egress ports on shortest paths.
   std::unordered_map<DeviceId, std::unordered_map<IpAddr, std::vector<int>>>

@@ -18,8 +18,10 @@
 //    hops) instead of a heap vector.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -67,19 +69,23 @@ using IntTrail = InlineVec<IntRecord, 8>;
 // ---------------------------------------------------------------------------
 
 /// Header shared by every pooled payload record. `tag` identifies the
-/// concrete type (for checked downcasts), `refs` is a plain (single-thread)
-/// refcount, and `recycle` returns the record to its type's free list.
+/// concrete type (for checked downcasts), `refs` is an atomic refcount —
+/// a payload can be referenced from two shards at once (e.g. a frame held
+/// for retransmission on its source shard while a copy is in flight on the
+/// destination shard), and sharded workers as well as sim_fuzz `--jobs`
+/// sweeps run concurrently — and `recycle` returns the record to the
+/// calling thread's free list for its type.
 struct PayloadBase {
   std::uint32_t tag = 0;
-  std::uint32_t refs = 0;
+  std::atomic<std::uint32_t> refs{0};
   void (*recycle)(PayloadBase*) = nullptr;
   PayloadBase* free_next = nullptr;
 };
 
 namespace detail {
 inline std::uint32_t next_payload_tag() {
-  static std::uint32_t counter = 0;
-  return ++counter;
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace detail
 
@@ -91,11 +97,14 @@ std::uint32_t payload_tag() {
 }
 
 inline void payload_ref(PayloadBase* b) {
-  if (b != nullptr) ++b->refs;
+  if (b != nullptr) b->refs.fetch_add(1, std::memory_order_relaxed);
 }
 
 inline void payload_unref(PayloadBase* b) {
-  if (b != nullptr && --b->refs == 0) b->recycle(b);
+  if (b != nullptr &&
+      b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    b->recycle(b);
+  }
 }
 
 namespace detail {
@@ -110,12 +119,28 @@ struct PayloadRec {
   ~PayloadRec() {}  // NOLINT
 };
 
-/// Per-type free list. Records are returned here on last unref and never
-/// freed (the static head keeps them reachable), so steady state allocates
-/// nothing and leak checkers stay quiet.
+/// Per-type, per-thread free list. Records are returned to the recycling
+/// thread's list on last unref and never freed (the thread-local head keeps
+/// them reachable for the thread's lifetime), so steady state allocates
+/// nothing and leak checkers stay quiet. thread_local makes the list safe
+/// under both sharded workers and sim_fuzz `--jobs` sweeps; a record that
+/// crosses shards simply migrates to the consuming thread's list, which is
+/// invisible to the simulation (the allocator is not part of the model).
+/// Immortal registry of every payload record ever allocated. Worker threads
+/// are transient (spawned per parallel run); a record parked on a dead
+/// thread's free list would otherwise be unreachable and show up as a leak.
+/// Records are never freed anyway — the registry just keeps them reachable.
+/// Locked only on allocation (freelist misses), not on acquire/recycle.
+inline void keep_payload_record(PayloadBase* b) {
+  static std::mutex mu;
+  static auto* all = new std::vector<PayloadBase*>();  // intentionally immortal
+  const std::lock_guard<std::mutex> lock(mu);
+  all->push_back(b);
+}
+
 template <typename T>
 struct PayloadFreeList {
-  inline static PayloadBase* head = nullptr;
+  inline static thread_local PayloadBase* head = nullptr;
 
   template <typename... Args>
   static PayloadBase* acquire(Args&&... args) {
@@ -127,8 +152,9 @@ struct PayloadFreeList {
       rec = new PayloadRec<T>();
       rec->base.tag = payload_tag<T>();
       rec->base.recycle = &PayloadFreeList<T>::recycle;
+      keep_payload_record(&rec->base);
     }
-    rec->base.refs = 1;
+    rec->base.refs.store(1, std::memory_order_relaxed);
     ::new (static_cast<void*>(&rec->value)) T(std::forward<Args>(args)...);
     return &rec->base;
   }

@@ -2,11 +2,31 @@
 
 #include <string>
 
+#include "sim/shard_context.h"
+
 namespace repro::net {
 namespace {
 
 int racks_for(int servers, int per_rack) {
   return (servers + per_rack - 1) / per_rack;
+}
+
+/// Node-affine shard assignment across both pods. Racks map to contiguous
+/// shard blocks (`rack * shards / total_racks`), so a rack's servers, its
+/// ToR pair and all the 200 ns host links stay on one shard; spines and
+/// cores round-robin across shards. With shards == 1 everything lands on
+/// shard 0 and construction order — hence RNG draws, device ids and packet
+/// ids — is bit-identical to the pre-sharding builder.
+struct ShardPlan {
+  int shards = 1;
+  int rack_base = 0;     ///< first global rack index of the pod being built
+  int total_racks = 1;   ///< racks across all pods
+  int spine_base = 0;    ///< first global spine index of the pod being built
+};
+
+int shard_of_rack(const ShardPlan& plan, int global_rack) {
+  return static_cast<int>(static_cast<long long>(global_rack) * plan.shards /
+                          plan.total_racks);
 }
 
 struct Pod {
@@ -16,26 +36,29 @@ struct Pod {
 };
 
 Pod build_pod(Network& net, const ClosConfig& cfg, const std::string& prefix,
-              int num_servers) {
+              int num_servers, const ShardPlan& plan) {
   Pod pod;
   const int racks = racks_for(num_servers, cfg.servers_per_rack);
   const int tor_ports = cfg.servers_per_rack + cfg.spines_per_pod;
   const int spine_ports = 2 * racks + cfg.core_switches;
 
   for (int r = 0; r < 2 * racks; ++r) {
+    const sim::ShardScope scope(shard_of_rack(plan, plan.rack_base + r / 2));
     pod.tors.push_back(net.add_device<Switch>(
         prefix + "-tor" + std::to_string(r), tor_ports));
   }
   for (int s = 0; s < cfg.spines_per_pod; ++s) {
+    const sim::ShardScope scope((plan.spine_base + s) % plan.shards);
     pod.spines.push_back(net.add_device<Switch>(
         prefix + "-spine" + std::to_string(s), spine_ports));
   }
   for (int i = 0; i < num_servers; ++i) {
+    const int rack = i / cfg.servers_per_rack;
+    const int slot = i % cfg.servers_per_rack;
+    const sim::ShardScope scope(shard_of_rack(plan, plan.rack_base + rack));
     Nic* nic = net.add_device<Nic>(prefix + "-srv" + std::to_string(i),
                                    /*uplinks=*/2);
     pod.servers.push_back(nic);
-    const int rack = i / cfg.servers_per_rack;
-    const int slot = i % cfg.servers_per_rack;
     // Dual-home: uplink 0 to the even ToR of the pair, uplink 1 to the odd.
     for (int u = 0; u < 2; ++u) {
       Switch* tor = pod.tors[static_cast<std::size_t>(2 * rack + u)];
@@ -60,17 +83,24 @@ Clos build_clos(Network& net, const ClosConfig& cfg) {
   Clos clos;
   clos.config = cfg;
 
-  Pod compute = build_pod(net, cfg, "cmp", cfg.compute_servers);
-  Pod storage = build_pod(net, cfg, "sto", cfg.storage_servers);
+  const int compute_racks = racks_for(cfg.compute_servers, cfg.servers_per_rack);
+  const int storage_racks = racks_for(cfg.storage_servers, cfg.servers_per_rack);
+  ShardPlan plan;
+  plan.shards = cfg.shards < 1 ? 1 : cfg.shards;
+  plan.total_racks = compute_racks + storage_racks;
+
+  Pod compute = build_pod(net, cfg, "cmp", cfg.compute_servers, plan);
+  plan.rack_base = compute_racks;
+  plan.spine_base = cfg.spines_per_pod;
+  Pod storage = build_pod(net, cfg, "sto", cfg.storage_servers, plan);
 
   const int core_ports = 2 * cfg.spines_per_pod;
   std::vector<Switch*> cores;
   for (int c = 0; c < cfg.core_switches; ++c) {
+    const sim::ShardScope scope(c % plan.shards);
     cores.push_back(
         net.add_device<Switch>("core" + std::to_string(c), core_ports));
   }
-  const int compute_racks = racks_for(cfg.compute_servers, cfg.servers_per_rack);
-  const int storage_racks = racks_for(cfg.storage_servers, cfg.servers_per_rack);
   for (int c = 0; c < cfg.core_switches; ++c) {
     for (int s = 0; s < cfg.spines_per_pod; ++s) {
       net.link(*compute.spines[static_cast<std::size_t>(s)],

@@ -25,6 +25,12 @@ struct ClosConfig {
   TimeNs host_prop = ns(200);
   TimeNs fabric_prop = ns(300);
   std::uint64_t queue_capacity = 0;  ///< 0 = network default
+  /// Node-affine partition for parallel simulation. Racks are split into
+  /// `shards` contiguous blocks: a rack's servers and its ToR pair share
+  /// the rack's shard (the 200 ns host links stay shard-local), spines and
+  /// cores round-robin. Every cross-shard link is a fabric link, so the
+  /// conservative lookahead equals `fabric_prop`. 1 = legacy single-shard.
+  int shards = 1;
 };
 
 struct Clos {

@@ -11,6 +11,7 @@
 #include "obs/registry.h"
 #include "obs/series.h"
 #include "obs/trace.h"
+#include "sim/sharded.h"
 
 namespace repro::sim {
 class Engine;
@@ -55,6 +56,18 @@ class Obs {
   /// late-registered entries join subsequent samples.
   void attach(sim::Engine& engine) {
     sampler_.attach(engine, cfg_.sample_interval);
+  }
+
+  /// Sharded variant: single-shard engines use the legacy probe hook (bit
+  /// identical to attach(Engine&)); multi-shard engines sample on the
+  /// epoch-barrier hook and split the tracer into per-shard rings.
+  void attach(sim::ShardedEngine& se) {
+    tracer_.set_shards(se.shards());
+    if (se.shards() == 1) {
+      sampler_.attach(se.shard(0), cfg_.sample_interval);
+    } else {
+      sampler_.attach(se, cfg_.sample_interval);
+    }
   }
 
  private:

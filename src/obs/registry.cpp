@@ -1,8 +1,25 @@
 #include "obs/registry.h"
 
+#include "sim/shard_context.h"
+
 namespace repro::obs {
 
-std::uint64_t Counter::scratch_ = 0;
+namespace {
+// One cache line per shard so concurrent shards' dark-counter bumps never
+// false-share; thread_local so concurrent *worlds* (sim_fuzz --jobs) never
+// share at all. A handle constructed under ShardScope(s) binds the
+// constructing thread's slot s, which only shard s's worker ever bumps —
+// and the epoch barrier sequences those bumps across epochs.
+struct alignas(64) ScratchSlot {
+  std::uint64_t v = 0;
+};
+constexpr int kMaxScratchShards = 64;
+thread_local ScratchSlot g_scratch[kMaxScratchShards];
+}  // namespace
+
+std::uint64_t* Counter::scratch_slot() {
+  return &g_scratch[sim::current_shard() & (kMaxScratchShards - 1)].v;
+}
 
 std::string metric_key(const std::string& name, const Labels& labels) {
   std::string key = name;
@@ -18,7 +35,7 @@ std::string metric_key(const std::string& name, const Labels& labels) {
 
 Counter Registry::counter(const std::string& name, const Labels& labels,
                           bool sampled) {
-  if (!enabled_) return Counter(&Counter::scratch_);
+  if (!enabled_) return Counter(Counter::scratch_slot());
   const std::string key = metric_key(name, labels);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -28,7 +45,7 @@ Counter Registry::counter(const std::string& name, const Labels& labels,
     if (e.kind == MetricKind::kCounter && e.counter != nullptr) {
       return Counter(const_cast<std::uint64_t*>(e.counter));
     }
-    return Counter(&Counter::scratch_);
+    return Counter(Counter::scratch_slot());
   }
   slots_.push_back(0);
   std::uint64_t* slot = &slots_.back();

@@ -45,12 +45,17 @@ inline Labels label(std::string key, std::string value) {
 /// Canonical "name|k=v,k=v" key used for dedup and lookups.
 std::string metric_key(const std::string& name, const Labels& labels);
 
-/// Pointer-to-slot counter handle. Default-constructed handles target a
-/// process-wide scratch slot, so members are safe to bump before (or
-/// without) registration.
+/// Pointer-to-slot counter handle. Default-constructed (and disabled)
+/// handles target a scratch slot chosen by the *constructing* thread's
+/// shard context: slots are thread-local and padded per shard, so dark
+/// counters bumped concurrently — by sharded workers (components are built
+/// under their home shard's ShardScope, and shard s only ever runs on one
+/// thread per epoch) or by independent sim_fuzz --jobs sweeps (each job
+/// constructs its world on its own thread) — never share a cache line and
+/// never race.
 class Counter {
  public:
-  Counter() : v_(&scratch_) {}
+  Counter() : v_(scratch_slot()) {}
 
   void inc(std::uint64_t n = 1) { *v_ += n; }
   std::uint64_t value() const { return *v_; }
@@ -59,7 +64,7 @@ class Counter {
   friend class Registry;
   explicit Counter(std::uint64_t* v) : v_(v) {}
 
-  static std::uint64_t scratch_;
+  static std::uint64_t* scratch_slot();
   std::uint64_t* v_;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/series.h"
 
 #include "sim/engine.h"
+#include "sim/sharded.h"
 
 namespace repro::obs {
 
@@ -11,6 +12,19 @@ void Sampler::attach(sim::Engine& engine, TimeNs interval) {
                      sample(t);
                      return t + interval;
                    });
+}
+
+void Sampler::attach(sim::ShardedEngine& se, TimeNs interval) {
+  if (!registry_.enabled() || interval <= 0) return;
+  next_due_ = se.now() + interval;
+  se.set_barrier_hook([this, interval](TimeNs t) {
+    // One sample per due instant crossed, stamped with the due instant
+    // (regular cadence) and reading values as of this barrier.
+    while (next_due_ <= t) {
+      sample(next_due_);
+      next_due_ += interval;
+    }
+  });
 }
 
 void Sampler::sample(TimeNs t) {

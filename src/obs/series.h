@@ -21,7 +21,8 @@
 
 namespace repro::sim {
 class Engine;
-}
+class ShardedEngine;
+}  // namespace repro::sim
 
 namespace repro::obs {
 
@@ -65,6 +66,14 @@ class Sampler {
   /// registry is disabled or `interval <= 0`.
   void attach(sim::Engine& engine, TimeNs interval);
 
+  /// Sharded variant: rides the epoch-barrier hook. Sample *timestamps*
+  /// stay on the exact interval grid, but values are read at the first
+  /// barrier at-or-after each due instant, i.e. quantized to the epoch
+  /// layout (a pure function of the simulation and shard count, never of
+  /// the thread count — so sampled series are bit-identical at any thread
+  /// count). The hook runs with every worker quiescent; reads are race-free.
+  void attach(sim::ShardedEngine& se, TimeNs interval);
+
   /// Takes one snapshot of every sampled entry at time `t`. Entries
   /// registered after earlier samples join the series from now on.
   void sample(TimeNs t);
@@ -87,6 +96,7 @@ class Sampler {
   // entry index -> series_ slot + 1 (0 = none yet); grows with the registry.
   std::vector<std::size_t> slot_of_entry_;
   std::uint64_t samples_ = 0;
+  TimeNs next_due_ = 0;  // next sample instant (sharded barrier-hook mode)
 };
 
 }  // namespace repro::obs

@@ -160,7 +160,39 @@ Engine::Node* Engine::take_next(TimeNs limit) {
   }
 }
 
+TimeNs Engine::next_lower_bound() const {
+  if (pending_ == 0) return -1;
+  // Mirrors the take_next scan without cascading. Level 0 gives the exact
+  // earliest time; a higher-level slot start is a lower bound on every
+  // pending event (slots at or below the clock's chunk are always empty —
+  // they would have cascaded already).
+  const unsigned cur0 = static_cast<unsigned>(now_) & (kSlots - 1);
+  if (const std::uint64_t m0 = occupied_[0] & (~std::uint64_t{0} << cur0);
+      m0 != 0) {
+    return (now_ & ~TimeNs{kSlots - 1}) | std::countr_zero(m0);
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    const unsigned cur = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(now_) >> (kSlotBits * level)) &
+        (kSlots - 1));
+    if (cur + 1 >= kSlots) continue;
+    const std::uint64_t above =
+        occupied_[level] & (~std::uint64_t{0} << (cur + 1));
+    if (above == 0) continue;
+    const int idx = std::countr_zero(above);
+    const int shift = kSlotBits * (level + 1);
+    const TimeNs high =
+        shift >= 64 ? TimeNs{0}
+                    : static_cast<TimeNs>(
+                          (static_cast<std::uint64_t>(now_) >> shift) << shift);
+    return high | (static_cast<TimeNs>(idx) << (kSlotBits * level));
+  }
+  assert(false && "pending_ > 0 but wheel scan found nothing");
+  return -1;
+}
+
 TimerId Engine::schedule_at(TimeNs t, Callback fn) {
+  assert_owner();
   if (t < now_) t = now_;
   Node* n = alloc_node();
   n->time = t;
@@ -174,6 +206,7 @@ TimerId Engine::schedule_at(TimeNs t, Callback fn) {
 }
 
 bool Engine::cancel(TimerId id) {
+  assert_owner();
   const std::uint64_t idx1 = id >> 32;
   if (idx1 == 0 || idx1 > chunks_.size() * kChunk) return false;
   Node* n = node_at(idx1 - 1);
@@ -185,6 +218,7 @@ bool Engine::cancel(TimerId id) {
 }
 
 bool Engine::step() {
+  assert_owner();
   Node* n = take_next(kNoLimit);
   if (n == nullptr) return false;
   ++executed_;
@@ -195,12 +229,14 @@ bool Engine::step() {
 }
 
 void Engine::run() {
+  assert_owner();
   stopped_ = false;
   while (!stopped_ && step()) {
   }
 }
 
 void Engine::run_until(TimeNs t) {
+  assert_owner();
   stopped_ = false;
   while (!stopped_) {
     Node* n = take_next(t);

@@ -16,9 +16,11 @@
 // therefore bit-identical seeded runs — intact across the rewrite.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/small_fn.h"
@@ -86,12 +88,31 @@ class Engine {
   /// armed or not). The probe returns the next instant to fire at; a return
   /// value <= the current instant disarms it.
   void set_probe(TimeNs first_at, ProbeFn fn) {
+    assert_owner();
     probe_ = std::move(fn);
     probe_at_ = first_at < now_ ? now_ : first_at;
   }
   void clear_probe() {
+    assert_owner();
     probe_.reset();
     probe_at_ = -1;
+  }
+
+  /// Earliest timestamp at which this engine could possibly execute an
+  /// event, or -1 if the queue is empty. Exact for events in the current
+  /// level-0 wheel window; a (never-late) lower bound — the slot start —
+  /// for events parked on higher levels. Non-mutating; the sharded engine
+  /// uses it to skip empty epochs without disturbing the wheel.
+  TimeNs next_lower_bound() const;
+
+  /// Re-binds the debug-mode owning thread to the calling thread. The
+  /// sharded engine hands per-shard engines between its worker threads and
+  /// the coordinating thread at epoch barriers; each handoff re-binds. A
+  /// no-op in release builds.
+  void bind_owner() {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
   }
 
  private:
@@ -140,6 +161,18 @@ class Engine {
     }
   }
 
+  /// Debug-mode ownership check: the engine is single-threaded by design,
+  /// and under sharding each per-shard engine must only ever be touched by
+  /// the thread that currently owns its shard. Catches cross-thread
+  /// scheduling/probing (a silent race in release) as a loud assert.
+  void assert_owner() const {
+#ifndef NDEBUG
+    assert(owner_ == std::this_thread::get_id() &&
+           "sim::Engine touched from a thread that does not own it "
+           "(missing ShardedEngine mailbox hop or bind_owner?)");
+#endif
+  }
+
   Node* heads_[kLevels][kSlots] = {};
   Node* tails_[kLevels][kSlots] = {};
   std::uint64_t occupied_[kLevels] = {};
@@ -154,6 +187,9 @@ class Engine {
   std::size_t pending_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+#ifndef NDEBUG
+  std::thread::id owner_ = std::this_thread::get_id();
+#endif
 };
 
 }  // namespace repro::sim

@@ -6,14 +6,21 @@
 // makes this hold.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "chaos/fault_plan.h"
 #include "chaos/harness.h"
 #include "ebs/cluster.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "sim/engine.h"
+#include "sim/shard_context.h"
+#include "sim/sharded.h"
 #include "workload/fio.h"
 
 namespace repro::ebs {
@@ -216,6 +223,166 @@ TEST(Determinism, ChaosSweepInstrumentedVsDarkAcrossSixteenSeeds) {
   // The sweep must actually have injected faults, or the equality above
   // says nothing about chaos determinism.
   EXPECT_GT(total_faults, 0u);
+}
+
+// A SOLAR cluster on the sharded engine: four compute + eight storage
+// servers across four shards, one fio job per compute node. The signature
+// must be a function of (seed, shards) only — re-running with 2 or 8 worker
+// threads re-times the wall clock, never the simulation.
+struct ObsExports {
+  std::string metrics, trace, series;
+};
+
+// `exports`, when given with `obs`, receives the serialized artifacts —
+// written while the cluster is alive, since registry entries read live
+// node state.
+RunSig run_sharded(std::uint64_t seed, int threads, obs::Obs* obs = nullptr,
+                   ObsExports* exports = nullptr) {
+  sim::ShardedEngine se(4, threads);
+  ClusterParams p;
+  p.topo.compute_servers = 4;
+  p.topo.storage_servers = 8;
+  p.topo.servers_per_rack = 2;
+  p.stack = StackKind::kSolar;
+  p.seed = seed;
+  p.block_server.store_payload = false;
+  p.obs = obs;
+  Cluster cluster(se, p);
+  if (obs != nullptr) obs->attach(se);
+
+  std::vector<std::uint64_t> vds;
+  for (int i = 0; i < 4; ++i) vds.push_back(cluster.create_vd(1ull << 30));
+
+  workload::FioConfig cfg;
+  cfg.iodepth = 4;
+  cfg.read_fraction = 0.5;
+  cfg.max_ios = 150;
+  std::vector<std::unique_ptr<workload::FioJob>> jobs;
+  Rng rng(seed);
+  for (int i = 0; i < 4; ++i) {
+    cfg.vd_id = vds[static_cast<std::size_t>(i)];
+    sim::ShardScope scope(cluster.compute_shard(i));
+    jobs.push_back(std::make_unique<workload::FioJob>(
+        cluster.engine(),
+        [&cluster, i](IoRequest io, transport::IoCompleteFn done) {
+          cluster.compute(i).submit_io(std::move(io), std::move(done));
+        },
+        cfg, rng.fork(static_cast<std::uint64_t>(i))));
+  }
+  for (int i = 0; i < 4; ++i) {
+    sim::ShardScope scope(cluster.compute_shard(i));
+    cluster.engine().at(0, [&jobs, i] {
+      jobs[static_cast<std::size_t>(i)]->start();
+    });
+  }
+  se.run();
+
+  if (obs != nullptr && exports != nullptr) {
+    std::ostringstream m, t, s;
+    obs::write_metrics_json(m, obs->registry());
+    obs::write_chrome_trace(t, obs->tracer());
+    obs::write_series_json(s, obs->registry(), obs->sampler());
+    exports->metrics = m.str();
+    exports->trace = t.str();
+    exports->series = s.str();
+  }
+
+  RunSig sig;
+  sig.executed = se.executed();
+  sig.end_time = se.now();
+  for (const auto& j : jobs) {
+    sig.solar_done += j->completed();
+    const Histogram& lat = j->metrics().total();
+    sig.lat_count += lat.count();
+    sig.lat_max = std::max(sig.lat_max, lat.max());
+    sig.lat_mean += lat.mean();
+  }
+  return sig;
+}
+
+TEST(Determinism, ShardedClusterBitIdenticalAcrossThreadCounts) {
+  const RunSig t1 = run_sharded(9001, 1);
+  const RunSig t2 = run_sharded(9001, 2);
+  const RunSig t8 = run_sharded(9001, 8);
+  EXPECT_EQ(t1.solar_done, 600u);  // 4 jobs x max_ios
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+// Observability on the sharded engine: the sampler rides the epoch-barrier
+// hook and the tracer writes per-shard rings merged on export, so a fully-
+// instrumented run must be bit-identical to a dark one — and the exported
+// artifacts themselves (metrics JSON, Chrome/Perfetto trace, time series)
+// must be byte-identical across thread counts.
+TEST(Determinism, ShardedObservabilityIsEffectFreeAndThreadInvariant) {
+  const RunSig dark = run_sharded(9001, 2);
+
+  struct Lit {
+    RunSig sig;
+    std::uint64_t samples = 0;
+    ObsExports out;
+  };
+  auto lit = [](int threads) {
+    obs::ObsConfig oc;
+    oc.sample_interval = us(20);
+    auto obs = std::make_unique<obs::Obs>(oc);
+    Lit e;
+    e.sig = run_sharded(9001, threads, obs.get(), &e.out);
+    e.samples = obs->sampler().samples_taken();
+    return e;
+  };
+  const Lit a = lit(1);
+  const Lit b = lit(2);
+
+  EXPECT_EQ(dark, a.sig);
+  EXPECT_EQ(dark, b.sig);
+  EXPECT_EQ(a.out.metrics, b.out.metrics);
+  EXPECT_EQ(a.out.trace, b.out.trace);
+  EXPECT_EQ(a.out.series, b.out.series);
+  EXPECT_GT(a.samples, 0u);
+  EXPECT_GT(a.out.trace.size(), 100u);  // spans actually exported
+}
+
+// Chaos on the sharded engine: same plan, same seed, shards = 2, swept at
+// 1, 2 and 8 worker threads. Fault-injection timers are armed on each
+// target's home shard and the oracle boards are node-affine, so the full
+// report signature — violations, completions, fault counts, executed
+// events, final clock — must not move with the thread count.
+TEST(Determinism, ShardedChaosSignatureThreadCountInvariant) {
+  chaos::HarnessConfig cfg;
+  cfg.stack = ebs::StackKind::kSolar;
+  cfg.seed = 31337;
+  cfg.active = ms(250);
+  cfg.poisson_iops = 900.0;
+  cfg.readback_samples = 12;
+  cfg.shards = 2;
+
+  Rng plan_rng(7);
+  chaos::GeneratorConfig gc;
+  gc.window = ms(200);
+  chaos::TopologyShape shape;
+  shape.compute_nodes = cfg.compute_nodes;
+  shape.storage_nodes = cfg.storage_nodes;
+  shape.compute_tors = 2;
+  shape.storage_tors = 4;
+  shape.compute_spines = 2;
+  shape.storage_spines = 2;
+  shape.cores = 2;
+  shape.replica_ssds = 3;
+  shape.has_fpga = true;
+  cfg.plan = chaos::generate_plan(plan_rng, gc, shape);
+
+  cfg.threads = 1;
+  const chaos::RunReport t1 = chaos::run_chaos(cfg);
+  cfg.threads = 2;
+  const chaos::RunReport t2 = chaos::run_chaos(cfg);
+  cfg.threads = 8;
+  const chaos::RunReport t8 = chaos::run_chaos(cfg);
+
+  EXPECT_EQ(t1.signature(), t2.signature());
+  EXPECT_EQ(t1.signature(), t8.signature());
+  EXPECT_GT(t1.faults_applied, 0u);
+  EXPECT_GT(t1.ios_completed, 0u);
 }
 
 }  // namespace
