@@ -165,8 +165,16 @@ int main(int argc, char** argv) {
            tok = std::strtok(nullptr, ",")) {
         o.threads.push_back(std::atoi(tok));
       }
+    } else if (std::strcmp(argv[i], "--vds") == 0 && i + 1 < argc) {
+      o.vds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      o.nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--active-ms") == 0 && i + 1 < argc) {
+      o.active = ms(std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--threads 1,2,8]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads 1,2,8] [--vds N] "
+                   "[--nodes N] [--active-ms N]\n",
                    argv[0]);
       return 2;
     }

@@ -99,6 +99,7 @@ ebs::ScenarioSpec HarnessConfig::scenario() const {
   spec.workload.poisson_iops = poisson_iops;
   spec.shards = shards;
   spec.threads = threads;
+  spec.qos = qos;
   return spec;
 }
 
@@ -113,6 +114,8 @@ RunReport run_chaos_sharded(const HarnessConfig& cfg) {
   sim::ShardedEngine se(spec.shards, spec.threads > 0 ? spec.threads : 1);
   ebs::ClusterParams params = ebs::params_from(spec);
   params.obs = cfg.obs;
+  if (cfg.dpu_cpu_cores > 0) params.dpu.cpu_cores = cfg.dpu_cpu_cores;
+  if (cfg.solar_cpu_per_rpc > 0) params.solar.cpu_per_rpc = cfg.solar_cpu_per_rpc;
   if (cfg.disable_solar_failover) {
     params.solar.path.fail_threshold = 1 << 30;  // the planted bug
   }
@@ -130,6 +133,7 @@ RunReport run_chaos_sharded(const HarnessConfig& cfg) {
   std::vector<std::uint64_t> vds;
   for (int i = 0; i < nodes; ++i) {
     vds.push_back(cluster.create_vd(spec.vd_size_bytes));
+    if (cfg.slo_all) cluster.set_slo(vds.back(), cfg.slo);
   }
 
   // `cluster.engine().now()` routes through the calling thread's shard
@@ -276,6 +280,8 @@ RunReport run_chaos(const HarnessConfig& cfg) {
   const ebs::ScenarioSpec spec = cfg.scenario();
   ebs::ClusterParams params = ebs::params_from(spec);
   params.obs = cfg.obs;
+  if (cfg.dpu_cpu_cores > 0) params.dpu.cpu_cores = cfg.dpu_cpu_cores;
+  if (cfg.solar_cpu_per_rpc > 0) params.solar.cpu_per_rpc = cfg.solar_cpu_per_rpc;
   if (cfg.disable_solar_failover) {
     params.solar.path.fail_threshold = 1 << 30;  // the planted bug
   }
@@ -289,6 +295,7 @@ RunReport run_chaos(const HarnessConfig& cfg) {
   std::vector<std::uint64_t> vds;
   for (int i = 0; i < cluster.num_compute(); ++i) {
     vds.push_back(cluster.create_vd(spec.vd_size_bytes));
+    if (cfg.slo_all) cluster.set_slo(vds.back(), cfg.slo);
   }
 
   auto wrapped_submit = [&cluster, &oracle, &eng](int node) {

@@ -18,6 +18,7 @@
 #include "chaos/oracle.h"
 #include "ebs/cluster.h"
 #include "ebs/scenario.h"
+#include "qos/slo.h"
 
 namespace repro::obs {
 class Obs;
@@ -46,6 +47,18 @@ struct HarnessConfig {
   double poisson_iops = 1500.0;  ///< per compute node
   std::uint32_t block_size = 8192;
   double read_fraction = 0.3;
+
+  // Admission/scheduling layer under chaos: rejection storms must not
+  // break exactly-once or recovery oracles (early-rejected I/Os complete
+  // with kRejected, which the oracle counts as an error, not a loss).
+  qos::QosParams qos;
+  bool slo_all = false;  ///< attach `slo` to every VD the harness creates
+  qos::SloSpec slo;
+  /// Capacity throttle for rejection-storm runs: saturating the default
+  /// six-core DPU takes offered loads too big to simulate cheaply, so
+  /// storms shrink the node instead (0 = stack default).
+  int dpu_cpu_cores = 0;
+  TimeNs solar_cpu_per_rpc = 0;
 
   // Phases.
   TimeNs warmup = ms(50);

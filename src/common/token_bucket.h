@@ -45,6 +45,13 @@ class TokenBucket {
     return std::min(burst_, tokens_ + elapsed * rate_per_sec_);
   }
 
+  /// Returns `amount` tokens consumed for work that never happened (an
+  /// admitted I/O rejected before execution). Capped at `burst` so a
+  /// refund can never mint tokens beyond the bucket's ceiling.
+  void refund(double amount) {
+    tokens_ = std::min(burst_, tokens_ + amount);
+  }
+
   double rate_per_sec() const { return rate_per_sec_; }
   double burst() const { return burst_; }
 

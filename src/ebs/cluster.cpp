@@ -49,12 +49,28 @@ ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
       &cluster.cipher_,
       p,
       cluster.rng_.fork(1000 + static_cast<std::uint64_t>(index))};
+  if (p.qos.enabled) ctx.slos = &cluster.slos_;
   stack_ = stack::StackFactory::instance().make_compute(p.stack_for(index),
                                                         std::move(ctx));
+  // Admission gate in front of the doorbell; node-affine (bound to this
+  // node's home engine, under whose shard scope we are constructed).
+  if (p.qos.enabled) {
+    admission_ = std::make_unique<qos::NodeAdmission>(
+        cluster.engine(), cluster.slos_, cluster.qos_, p.qos);
+  }
 }
 
 void ComputeNode::submit_io(transport::IoRequest io,
                             transport::IoCompleteFn done) {
+  if (admission_ != nullptr) {
+    admission_->submit(std::move(io), std::move(done),
+                       [this](transport::IoRequest fwd,
+                              transport::IoCompleteFn fwd_done) {
+                         stack_->submit_io(std::move(fwd),
+                                           std::move(fwd_done));
+                       });
+    return;
+  }
   stack_->submit_io(std::move(io), std::move(done));
 }
 
@@ -63,6 +79,9 @@ void ComputeNode::register_observables(obs::Obs& obs) {
                                 nic_->name());
   nic_->register_metrics(obs.registry());
   stack_->register_observables(obs, *nic_);
+  if (admission_ != nullptr) {
+    admission_->register_metrics(obs.registry(), nic_->name());
+  }
 }
 
 double ComputeNode::consumed_cores(TimeNs over) const {
@@ -191,6 +210,9 @@ void Cluster::init() {
   for (auto& n : compute_nodes_) {
     warmup_registry_.add_resettable(&n->stack());
     warmup_registry_.add_resettable(&n->nic());
+    if (n->admission() != nullptr) {
+      warmup_registry_.add_resettable(n->admission());
+    }
   }
   if (params_.obs != nullptr) register_observables();
 }
@@ -247,6 +269,10 @@ std::uint64_t Cluster::create_vd(std::uint64_t size_bytes) {
 
 void Cluster::set_qos(std::uint64_t vd_id, const sa::QosSpec& spec) {
   qos_.set(vd_id, spec);
+}
+
+void Cluster::set_slo(std::uint64_t vd_id, const qos::SloSpec& spec) {
+  slos_.set(vd_id, spec);
 }
 
 }  // namespace repro::ebs

@@ -20,6 +20,7 @@
 
 #include "net/topology.h"
 #include "obs/registry.h"
+#include "qos/admission.h"
 #include "sim/shard_context.h"
 #include "sim/sharded.h"
 #include "stack/factory.h"
@@ -94,6 +95,9 @@ class ComputeNode {
   solar::SolarClient* solar() { return stack_->solar(); }
   sa::StorageAgent* agent() { return stack_->agent(); }
   transport::TcpStack* tcp() { return stack_->tcp(); }
+  /// The node's admission gate, or null when the fleet runs without the
+  /// qos subsystem (`ClusterParams::qos.enabled == false`).
+  qos::NodeAdmission* admission() { return admission_.get(); }
 
   /// Registers this node's metrics, gauges and trace names on `obs`.
   void register_observables(obs::Obs& obs);
@@ -101,6 +105,7 @@ class ComputeNode {
  private:
   net::Nic* nic_;
   std::unique_ptr<stack::ComputeStack> stack_;
+  std::unique_ptr<qos::NodeAdmission> admission_;
 };
 
 /// One storage server: block server + one server-side engine per stack
@@ -137,6 +142,10 @@ class Cluster {
   /// Creates a virtual disk striped over all storage nodes; returns vd id.
   std::uint64_t create_vd(std::uint64_t size_bytes);
   void set_qos(std::uint64_t vd_id, const sa::QosSpec& spec);
+  /// Attaches an SLO contract to a VD. Like QoS specs, contracts must be in
+  /// place before traffic starts (admission caches the spec pointer).
+  void set_slo(std::uint64_t vd_id, const qos::SloSpec& spec);
+  const qos::SloTable& slos() const { return slos_; }
 
   ComputeNode& compute(int i) { return *compute_nodes_[static_cast<std::size_t>(i)]; }
   StorageNode& storage(int i) { return *storage_nodes_[static_cast<std::size_t>(i)]; }
@@ -197,6 +206,7 @@ class Cluster {
   net::Clos clos_;
   sa::SegmentTable segments_;
   sa::QosTable qos_;
+  qos::SloTable slos_;
   sa::BlockCipher cipher_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;

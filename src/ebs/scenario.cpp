@@ -78,6 +78,10 @@ std::string ScenarioSpec::to_json() const {
         w.key("qos");
         write_qos(w, vd.qos);
       }
+      if (vd.has_slo) {
+        w.key("slo");
+        qos::write_slo(w, vd.slo);
+      }
       w.end_object();
     }
     w.end_array();
@@ -92,6 +96,12 @@ std::string ScenarioSpec::to_json() const {
   w.field("max_ios", workload.max_ios);
   w.field("poisson_iops", workload.poisson_iops);
   w.end_object();
+  // Written only when the subsystem is on, so pre-qos specs round-trip
+  // unchanged.
+  if (qos.enabled) {
+    w.key("qos");
+    qos::write_qos_params(w, qos);
+  }
   if (!fault_plan_file.empty()) w.field("fault_plan_file", fault_plan_file);
   w.end_object();
   return os.str();
@@ -184,6 +194,13 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
         }
         vd.has_qos = true;
       }
+      if (const obs::JsonValue* slo = item.find("slo")) {
+        if (!qos::read_slo(*slo, &vd.slo)) {
+          *error = "scenario: slo must be an object";
+          return false;
+        }
+        vd.has_slo = true;
+      }
       spec.vds.push_back(vd);
     }
   }
@@ -206,6 +223,12 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
     }
     obs::json_number(*v, "poisson_iops", &spec.workload.poisson_iops);
   }
+  if (const obs::JsonValue* v = root.find("qos")) {
+    if (!qos::read_qos_params(*v, &spec.qos)) {
+      *error = "scenario: qos must be an object";
+      return false;
+    }
+  }
   obs::json_string(root, "fault_plan_file", &spec.fault_plan_file);
   *out = std::move(spec);
   return true;
@@ -225,6 +248,7 @@ ClusterParams params_from(const ScenarioSpec& spec) {
   p.block_server.store_payload = spec.store_payload;
   p.topo.shards = spec.shards;
   p.vd_stripe_width = spec.vd_stripe_width;
+  p.qos = spec.qos;
   return p;
 }
 
@@ -248,6 +272,7 @@ Scenario build_scenario(const ScenarioSpec& spec, obs::Obs* obs) {
     for (const VdSpec& vd : spec.vds) {
       const std::uint64_t id = s.cluster->create_vd(vd.size_bytes);
       if (vd.has_qos) s.cluster->set_qos(id, vd.qos);
+      if (vd.has_slo) s.cluster->set_slo(id, vd.slo);
       s.vds.push_back(id);
     }
   }

@@ -13,15 +13,18 @@
 #include <vector>
 
 #include "ebs/cluster.h"
+#include "qos/slo.h"
 #include "sa/qos_table.h"
 
 namespace repro::ebs {
 
-/// One virtual disk: size plus an optional QoS contract.
+/// One virtual disk: size plus optional QoS and SLO contracts.
 struct VdSpec {
   std::uint64_t size_bytes = 8ull << 30;
   bool has_qos = false;
   sa::QosSpec qos;
+  bool has_slo = false;
+  qos::SloSpec slo;
 };
 
 /// Workload knobs harnesses feed to fio / Poisson generators. The spec only
@@ -63,6 +66,10 @@ struct ScenarioSpec {
   /// Explicit VD list; empty = one `vd_size_bytes` VD per compute node.
   std::vector<VdSpec> vds;
   WorkloadSpec workload;
+  /// Fleet-wide admission/scheduling knobs (qos subsystem). Disabled by
+  /// default: the admission layer is then never built and the run is
+  /// bit-identical to a spec that predates the field.
+  qos::QosParams qos;
   /// Optional path to a chaos::FaultPlan JSON to inject during the run.
   std::string fault_plan_file;
 

@@ -1,0 +1,76 @@
+#include "qos/predictor.h"
+
+#include <algorithm>
+
+namespace repro::qos {
+
+LoadPredictor::LoadPredictor(TimeNs window, int buckets) {
+  if (buckets < 1) buckets = 1;
+  if (window < buckets) window = buckets;
+  span_ = window / buckets;
+  ring_.resize(static_cast<std::size_t>(buckets));
+}
+
+void LoadPredictor::advance(TimeNs now) {
+  const std::uint64_t idx = static_cast<std::uint64_t>(now) /
+                            static_cast<std::uint64_t>(span_);
+  if (idx <= cur_) return;
+  const std::uint64_t steps =
+      std::min<std::uint64_t>(idx - cur_, ring_.size());
+  for (std::uint64_t s = 1; s <= steps; ++s) {
+    Bucket& b = ring_[(cur_ + s) % ring_.size()];
+    completions_ -= b.completions;
+    admissions_ -= b.admissions;
+    latency_sum_ -= b.latency_sum;
+    b = Bucket{};
+  }
+  cur_ = idx;
+}
+
+TimeNs LoadPredictor::covered(TimeNs now) const {
+  const TimeNs window = span_ * static_cast<TimeNs>(ring_.size());
+  return std::min(window, std::max(span_, now));
+}
+
+void LoadPredictor::on_admit(TimeNs now) {
+  advance(now);
+  ++ring_[cur_ % ring_.size()].admissions;
+  ++admissions_;
+}
+
+void LoadPredictor::on_complete(TimeNs now, TimeNs latency) {
+  advance(now);
+  if (latency < 0) latency = 0;
+  Bucket& b = ring_[cur_ % ring_.size()];
+  ++b.completions;
+  b.latency_sum += latency;
+  ++completions_;
+  latency_sum_ += latency;
+}
+
+TimeNs LoadPredictor::predict(TimeNs now, int inflight) {
+  advance(now);
+  if (completions_ == 0) return 0;  // cold: admit, gather evidence
+  const TimeNs avg_latency =
+      latency_sum_ / static_cast<TimeNs>(completions_);
+  // Little's law: the window saw `completions_` finish over `covered`
+  // ns, so the tenant's queue drains one I/O every covered/completions
+  // ns. A new arrival waits for everything in flight plus itself.
+  const TimeNs drain =
+      static_cast<TimeNs>(inflight) * covered(now) /
+      static_cast<TimeNs>(completions_);
+  return std::max(avg_latency, drain);
+}
+
+double LoadPredictor::admitted_rate(TimeNs now) {
+  advance(now);
+  return static_cast<double>(admissions_) * 1e9 /
+         static_cast<double>(covered(now));
+}
+
+std::uint64_t LoadPredictor::window_completions(TimeNs now) {
+  advance(now);
+  return completions_;
+}
+
+}  // namespace repro::qos

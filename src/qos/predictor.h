@@ -1,0 +1,67 @@
+// Sliding-window load predictor: the signal behind early rejection.
+//
+// One predictor per (tenant, node). It watches the tenant's recent
+// completions through a ring of time buckets and answers one question at
+// admission time: "if this I/O enters now, how long until it completes?"
+// The estimate combines the window's mean latency (what the system is
+// currently delivering) with a Little's-law drain term (how long the
+// tenant's in-flight queue takes to clear at the observed completion
+// rate) — under overload the drain term dominates and grows linearly with
+// queue depth, which is exactly the doomed-work signal Mooncake rejects on.
+//
+// Everything is integer state driven by caller-supplied sim time: same
+// inputs, same outputs, on any shard/thread layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace repro::qos {
+
+class LoadPredictor {
+ public:
+  LoadPredictor(TimeNs window, int buckets);
+
+  /// Records an admission at `now` (feeds the guaranteed-floor rate).
+  void on_admit(TimeNs now);
+
+  /// Records a completion observed at `now` with end-to-end latency
+  /// `latency` (QoS wait excluded, like every latency in this repo).
+  void on_complete(TimeNs now, TimeNs latency);
+
+  /// Predicted sojourn of an I/O admitted at `now` with `inflight` I/Os
+  /// already outstanding for this tenant. Cold windows (no completions
+  /// observed) predict 0: never reject without evidence.
+  TimeNs predict(TimeNs now, int inflight);
+
+  /// Admissions per second over the window (guaranteed-floor check).
+  double admitted_rate(TimeNs now);
+
+  std::uint64_t window_completions(TimeNs now);
+
+ private:
+  struct Bucket {
+    std::uint64_t completions = 0;
+    std::uint64_t admissions = 0;
+    TimeNs latency_sum = 0;
+  };
+
+  /// Expires buckets the window slid past. O(buckets) worst case, O(1)
+  /// amortized under steady traffic.
+  void advance(TimeNs now);
+  /// Window span actually covered at `now` (ramps up from one bucket span
+  /// so the first instants of a run don't divide by the full window).
+  TimeNs covered(TimeNs now) const;
+
+  TimeNs span_;  ///< one bucket's duration
+  std::vector<Bucket> ring_;
+  std::uint64_t cur_ = 0;  ///< absolute index of the newest bucket
+  // Window totals, maintained incrementally as buckets expire.
+  std::uint64_t completions_ = 0;
+  std::uint64_t admissions_ = 0;
+  TimeNs latency_sum_ = 0;
+};
+
+}  // namespace repro::qos

@@ -1,0 +1,74 @@
+#include "qos/scheduler.h"
+
+#include <utility>
+
+namespace repro::qos {
+
+CpuScheduler::CpuScheduler(sim::CpuPool& pool, const SloTable& slos,
+                           const QosParams& params)
+    : pool_(pool), slos_(slos) {
+  weight_[static_cast<int>(SloClass::kGuaranteed)] = static_cast<std::uint64_t>(
+      params.sched_weight_guaranteed > 0 ? params.sched_weight_guaranteed : 1);
+  weight_[static_cast<int>(SloClass::kBestEffort)] = static_cast<std::uint64_t>(
+      params.sched_weight_best_effort > 0 ? params.sched_weight_best_effort
+                                          : 1);
+  cores_.resize(static_cast<std::size_t>(pool.size()));
+}
+
+int CpuScheduler::classify(std::uint64_t vd_id) const {
+  const SloSpec* slo = slos_.find(vd_id);
+  return static_cast<int>(slo != nullptr ? slo->cls : SloClass::kBestEffort);
+}
+
+std::uint64_t CpuScheduler::served_ns(SloClass cls) const {
+  std::uint64_t total = 0;
+  for (const Core& c : cores_) total += c.served[static_cast<int>(cls)];
+  return total;
+}
+
+void CpuScheduler::submit(std::uint64_t vd_id, std::uint64_t affinity,
+                          TimeNs cost, sim::Callback done) {
+  // Same Fibonacci hash as CpuPool::submit kByHash: an uncontended stream
+  // lands on the same core the bare pool would pick.
+  const std::size_t core =
+      (affinity * 0x9E3779B97F4A7C15ull) % cores_.size();
+  Core& c = cores_[core];
+  if (cost < 0) cost = 0;
+  c.q[classify(vd_id)].push_back(Item{cost, std::move(done)});
+  if (!c.busy) dispatch(core);
+}
+
+void CpuScheduler::dispatch(std::size_t core) {
+  Core& c = cores_[core];
+  const int g = static_cast<int>(SloClass::kGuaranteed);
+  const int be = static_cast<int>(SloClass::kBestEffort);
+  int cls;
+  if (c.q[g].empty() && c.q[be].empty()) return;
+  if (c.q[g].empty()) {
+    cls = be;
+  } else if (c.q[be].empty()) {
+    cls = g;
+  } else {
+    // WFQ on cumulative served time: pick the class whose served/weight is
+    // lowest (integer cross-multiply; tie favors guaranteed).
+    cls = c.served[g] * weight_[be] <= c.served[be] * weight_[g] ? g : be;
+  }
+  c.running = std::move(c.q[cls].front());
+  c.q[cls].pop_front();
+  c.busy = true;
+  c.served[cls] += static_cast<std::uint64_t>(c.running.cost);
+  // The completion wrapper captures only {this, core}: the item itself
+  // lives in the core slot, so nested callbacks never outgrow Callback's
+  // inline buffer. `done` runs while the core is still marked busy, so
+  // work it re-submits queues behind it instead of double-dispatching.
+  pool_.core(static_cast<int>(core))
+      .run(c.running.cost, [this, core] {
+        Core& c2 = cores_[core];
+        sim::Callback done = std::move(c2.running.done);
+        if (done) done();
+        c2.busy = false;
+        dispatch(core);
+      });
+}
+
+}  // namespace repro::qos

@@ -1,0 +1,58 @@
+// Weighted-fair CPU scheduling at the DPU dispatch point.
+//
+// The plain `sim::CpuPool` is FIFO per core: under contention a best-effort
+// tenant's burst delays guaranteed tenants head-of-line. `CpuScheduler`
+// wraps a pool with two class queues per core (guaranteed / best-effort)
+// and dispatches one item at a time by weighted fair queueing on cumulative
+// served nanoseconds — integer cross-multiplied, so the pick is exact and
+// deterministic. Core choice uses the pool's own Fibonacci affinity hash,
+// so an uncontended single-class stream executes in exactly the FIFO order
+// the bare pool would give.
+//
+// One scheduler per node's DPU (built by the stack adapter when
+// `QosParams::sched_enabled`); never shared across shards.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "qos/slo.h"
+#include "sim/cpu.h"
+
+namespace repro::qos {
+
+class CpuScheduler {
+ public:
+  CpuScheduler(sim::CpuPool& pool, const SloTable& slos,
+               const QosParams& params);
+
+  /// Queues `cost` ns of work for tenant `vd_id`; `affinity` pins the core
+  /// (same key the bare pool would hash). `done` fires at completion.
+  void submit(std::uint64_t vd_id, std::uint64_t affinity, TimeNs cost,
+              sim::Callback done);
+
+  std::uint64_t served_ns(SloClass cls) const;
+
+ private:
+  struct Item {
+    TimeNs cost = 0;
+    sim::Callback done;
+  };
+  struct Core {
+    bool busy = false;
+    std::deque<Item> q[kSloClasses];
+    std::uint64_t served[kSloClasses] = {0, 0};
+    Item running;
+  };
+
+  int classify(std::uint64_t vd_id) const;
+  void dispatch(std::size_t core);
+
+  sim::CpuPool& pool_;
+  const SloTable& slos_;
+  std::uint64_t weight_[kSloClasses];
+  std::vector<Core> cores_;
+};
+
+}  // namespace repro::qos

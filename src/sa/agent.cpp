@@ -126,6 +126,9 @@ void StorageAgent::run_io(IoRequest io, transport::IoCompleteFn done,
 
     auto extents = segments_.split(io.vd_id, io.offset, io.len);
     if (extents.empty()) {
+      // The I/O consumed QoS tokens at submit but does no work: return
+      // them so a misaddressed burst doesn't also burn the tenant's budget.
+      qos_.refund(io.vd_id, io.len);
       IoResult res;
       res.status = StorageStatus::kOutOfRange;
       res.completed_at = engine_.now();

@@ -32,4 +32,27 @@ QosTable::Admission QosTable::admit(std::uint64_t vd_id, std::uint32_t bytes,
   return {true, t};
 }
 
+TimeNs QosTable::peek(std::uint64_t vd_id, std::uint32_t bytes,
+                      TimeNs now) const {
+  const auto it = entries_.find(vd_id);
+  if (it == entries_.end()) return 0;
+  const Entry& e = it->second;
+  const double want_bytes = static_cast<double>(bytes);
+  if (e.iops.current_tokens(now) >= 1.0 &&
+      e.bytes.current_tokens(now) >= want_bytes) {
+    return 0;
+  }
+  const TimeNs t = std::max(e.iops.next_available(now, 1.0),
+                            e.bytes.next_available(now, want_bytes));
+  return t > now ? t - now : 0;
+}
+
+void QosTable::refund(std::uint64_t vd_id, std::uint32_t bytes) {
+  auto it = entries_.find(vd_id);
+  if (it == entries_.end()) return;
+  it->second.iops.refund(1.0);
+  it->second.bytes.refund(static_cast<double>(bytes));
+  ++refunded_;
+}
+
 }  // namespace repro::sa

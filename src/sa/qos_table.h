@@ -39,7 +39,19 @@ class QosTable {
   /// Unknown VDs are admitted immediately (no policy configured).
   Admission admit(std::uint64_t vd_id, std::uint32_t bytes, TimeNs now);
 
+  /// Non-consuming probe: the wait `admit()` would impose on this I/O at
+  /// `now` (0 = immediate). The admission layer's rejection decision reads
+  /// this so tokens are only ever consumed by the stack's real admit.
+  TimeNs peek(std::uint64_t vd_id, std::uint32_t bytes, TimeNs now) const;
+
+  /// Returns the tokens an admitted I/O consumed when the I/O is dropped
+  /// before doing any work (early rejection, out-of-range): without this a
+  /// rejected burst double-penalizes the tenant — once by the rejection,
+  /// once by the burned budget.
+  void refund(std::uint64_t vd_id, std::uint32_t bytes);
+
   std::uint64_t throttled() const { return throttled_; }
+  std::uint64_t refunded() const { return refunded_; }
 
  private:
   struct Entry {
@@ -48,6 +60,7 @@ class QosTable {
   };
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::uint64_t throttled_ = 0;
+  std::uint64_t refunded_ = 0;
 };
 
 }  // namespace repro::sa

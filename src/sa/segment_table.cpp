@@ -6,7 +6,17 @@ namespace repro::sa {
 
 void SegmentTable::map(std::uint64_t vd_id, std::uint64_t seg_index,
                        SegmentLocation loc) {
-  table_[key(vd_id, seg_index)] = loc;
+  overrides_[key(vd_id, seg_index)] = loc;
+}
+
+std::uint32_t SegmentTable::intern_stripe(
+    const std::vector<net::IpAddr>& servers) {
+  const auto it = stripe_index_.find(servers);
+  if (it != stripe_index_.end()) return it->second;
+  const auto off = static_cast<std::uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), servers.begin(), servers.end());
+  stripe_index_.emplace(servers, off);
+  return off;
 }
 
 void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
@@ -14,19 +24,33 @@ void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
   if (servers.empty()) return;
   const std::uint64_t segments =
       (size_bytes + kSegmentBytes - 1) / kSegmentBytes;
-  for (std::uint64_t s = 0; s < segments; ++s) {
-    SegmentLocation loc;
-    loc.segment_id = next_segment_id_++;
-    loc.block_server = servers[s % servers.size()];
-    map(vd_id, s, loc);
-  }
+  if (vd_id >= vds_.size()) vds_.resize(vd_id + 1);
+  VdMeta& vd = vds_[vd_id];
+  vd.base_segment_id = next_segment_id_;
+  vd.num_segments = static_cast<std::uint32_t>(segments);
+  vd.pool_off = intern_stripe(servers);
+  vd.pool_len = static_cast<std::uint32_t>(servers.size());
+  next_segment_id_ += segments;
+  flat_segments_ += segments;
 }
 
 std::optional<SegmentLocation> SegmentTable::lookup(
     std::uint64_t vd_id, std::uint64_t offset) const {
-  auto it = table_.find(key(vd_id, offset / kSegmentBytes));
-  if (it == table_.end()) return std::nullopt;
-  return it->second;
+  const std::uint64_t seg = offset / kSegmentBytes;
+  if (!overrides_.empty()) {
+    const auto it = overrides_.find(key(vd_id, seg));
+    if (it != overrides_.end()) return it->second;
+  }
+  if (vd_id < vds_.size()) {
+    const VdMeta& vd = vds_[vd_id];
+    if (seg < vd.num_segments) {
+      SegmentLocation loc;
+      loc.segment_id = vd.base_segment_id + seg;
+      loc.block_server = pool_[vd.pool_off + seg % vd.pool_len];
+      return loc;
+    }
+  }
+  return std::nullopt;
 }
 
 std::vector<Extent> SegmentTable::split(std::uint64_t vd_id,

@@ -4,9 +4,19 @@
 // lives on one block server. An I/O that crosses segment boundaries splits
 // into per-segment extents, each becoming its own RPC (§4.5 "Block splits
 // the I/O ... by adjusting the LBA address").
+//
+// Layout: `map_disk` (the only bulk path — every VD in a cluster goes
+// through it) assigns segment ids sequentially and stripes servers
+// round-robin, so a whole VD compresses to one fixed-size `VdMeta` record
+// in a vector indexed by vd id, plus a shared, deduplicated stripe pool
+// (fleets rotate the same few stripe patterns across millions of VDs).
+// A million-VD fleet is ~32 MB of contiguous metadata instead of gigabytes
+// of per-segment hash nodes. Individual `map()` overrides (tests, segment
+// migration) live in a side map consulted first — empty in the common case.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -48,13 +58,31 @@ class SegmentTable {
   std::vector<Extent> split(std::uint64_t vd_id, std::uint64_t offset,
                             std::uint32_t len) const;
 
-  std::size_t size() const { return table_.size(); }
+  /// Mapped segments: bulk-mapped plus explicit overrides.
+  std::size_t size() const { return flat_segments_ + overrides_.size(); }
 
  private:
+  /// One bulk-mapped VD: `num_segments` sequential ids from
+  /// `base_segment_id`, striped over pool_[pool_off .. pool_off+pool_len).
+  struct VdMeta {
+    std::uint64_t base_segment_id = 0;
+    std::uint32_t num_segments = 0;
+    std::uint32_t pool_off = 0;
+    std::uint32_t pool_len = 0;
+  };
+
   static std::uint64_t key(std::uint64_t vd_id, std::uint64_t seg_index) {
     return vd_id * 0x1000003ull + seg_index;
   }
-  std::unordered_map<std::uint64_t, SegmentLocation> table_;
+  /// Stripe-pool slot for `servers`, deduplicating repeats.
+  std::uint32_t intern_stripe(const std::vector<net::IpAddr>& servers);
+
+  std::vector<VdMeta> vds_;          ///< indexed by vd id
+  std::vector<net::IpAddr> pool_;    ///< shared stripe patterns
+  std::map<std::vector<net::IpAddr>, std::uint32_t> stripe_index_;
+  std::size_t flat_segments_ = 0;
+  /// Explicit `map()` entries; shadow the flat layout when present.
+  std::unordered_map<std::uint64_t, SegmentLocation> overrides_;
   std::uint64_t next_segment_id_ = 1;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "obs/obs.h"
+#include "qos/scheduler.h"
 
 namespace repro::solar {
 
@@ -142,6 +143,15 @@ PathSet& SolarClient::pathset(net::IpAddr peer) {
   return *it->second;
 }
 
+void SolarClient::cpu_submit(std::uint64_t vd_id, std::uint64_t affinity,
+                             TimeNs cost, sim::Callback done) {
+  if (sched_ != nullptr) {
+    sched_->submit(vd_id, affinity, cost, std::move(done));
+    return;
+  }
+  dpu_.cpu().submit(affinity, cost, std::move(done));
+}
+
 void SolarClient::submit_io(IoRequest io, transport::IoCompleteFn done) {
   const TimeNs now = engine_.now();
   // QoS is a hardware match-action stage (Figure 12); admission control
@@ -167,6 +177,9 @@ void SolarClient::start_io(std::shared_ptr<IoCtx> io) {
   auto extents =
       segments_.split(io->io.vd_id, io->io.offset, io->io.len);
   if (extents.empty()) {
+    // Admission consumed QoS tokens for an I/O that does no work: refund
+    // them so a misaddressed burst doesn't also burn the tenant's budget.
+    qos_.refund(io->io.vd_id, io->io.len);
     IoResult res;
     res.status = StorageStatus::kOutOfRange;
     res.completed_at = engine_.now();
@@ -216,7 +229,8 @@ void SolarClient::start_rpc(const std::shared_ptr<IoCtx>& io,
   // RPC issue cost on the DPU CPU (§4.5: the CPU polls the I/O to issue an
   // RPC), then the Block-table lookup in the FPGA.
   const TimeNs cpu_t0 = engine_.now();
-  dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_rpc, [this, rpc, cpu_t0] {
+  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_rpc,
+             [this, rpc, cpu_t0] {
     const TimeNs cpu_t1 = engine_.now();
     if (obs::Tracer* t = trc()) {
       t->span("dpu.cpu", rpc->span, cpu_t0, cpu_t1, nic_.id(), 0, "rpc_issue",
@@ -284,8 +298,8 @@ void SolarClient::send_write_block(const std::shared_ptr<RpcCtx>& rpc,
   }
 
   rpc->st[pkt_id].stage_t0 = engine_.now();
-  dpu_.cpu().submit(rpc->rpc_id, cpu_cost, [this, rpc, pkt_id, port,
-                                                  software_path, fpga_lat] {
+  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, cpu_cost,
+             [this, rpc, pkt_id, port, software_path, fpga_lat] {
     const DataBlock& blk = rpc->wire[pkt_id];
     if (obs::Tracer* t = trc()) {
       t->span("dpu.cpu", rpc->span, rpc->st[pkt_id].stage_t0, engine_.now(),
@@ -358,9 +372,8 @@ void SolarClient::send_read_request(const std::shared_ptr<RpcCtx>& rpc,
   rpc->st[pkt_id].request_acked = false;
   const std::uint16_t port = path->port;
   rpc->st[pkt_id].stage_t0 = engine_.now();
-  dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_packet, [this, rpc,
-                                                                pkt_id,
-                                                                port] {
+  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_packet,
+             [this, rpc, pkt_id, port] {
     rpc->st[pkt_id].stage_t1 = engine_.now();
     if (obs::Tracer* t = trc()) {
       t->span("dpu.cpu", rpc->span, rpc->st[pkt_id].stage_t0, engine_.now(),
@@ -476,7 +489,7 @@ void SolarClient::handle_ack(const Frame& f, const net::IntTrail& int_recs) {
     if (st.acked) return;  // duplicate ACK
     // Window/CC update per data ACK (§4.7). Read request-ACKs cost nothing
     // here — they carry no CC signal; the read side pays per data response.
-    dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_ack, [] {});
+    cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_ack, [] {});
     st.acked = true;
     if (obs::Tracer* t = trc()) {
       t->span_with_id(st.span, "blk.net", rpc->span, st.sent_at,
@@ -563,9 +576,9 @@ void SolarClient::handle_write_response(const Frame& f) {
       !rpc->original.empty() &&
       std::all_of(rpc->original.begin(), rpc->original.end(),
                   [](const DataBlock& b) { return b.has_payload(); });
-  dpu_.cpu().submit(
-      rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc, [this, rpc,
-                                                       all_payloads] {
+  cpu_submit(
+      rpc->io->io.vd_id, rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
+      [this, rpc, all_payloads] {
         if (params_.aggregate_check && all_payloads) {
           std::vector<std::vector<std::uint8_t>> blocks;
           std::vector<std::uint32_t> crcs;
@@ -581,7 +594,8 @@ void SolarClient::handle_write_response(const Frame& f) {
             // Fall back to software per-block CRCs to find the culprits.
             TimeNs sw_cost = params_.sw_crc_per_block *
                              static_cast<TimeNs>(rpc->original.size());
-            dpu_.cpu().submit(rpc->rpc_id, sw_cost, [this, rpc] {
+            cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, sw_cost,
+                       [this, rpc] {
               rpc->response_received = false;
               int resent = 0;
               for (std::uint16_t i = 0; i < rpc->st.size(); ++i) {
@@ -681,7 +695,8 @@ void SolarClient::handle_read_response(const Frame& f,
                                f.server_ssd);
       rpc->wire[pkt_id] = std::move(block);
       rpc->outstanding--;
-      dpu_.cpu().submit(rpc->rpc_id, params_.cpu_per_ack, [] {});
+      cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_ack,
+                 [] {});
       drain_queue(rpc->dst);
       if (rpc->outstanding == 0) maybe_complete_read(rpc);
     };
@@ -695,11 +710,12 @@ void SolarClient::handle_read_response(const Frame& f,
         engine_.after(fpga_lat, std::move(finish));
       });
     } else {
-      dpu_.internal_pcie().transfer(len, [this, len,
+      const std::uint64_t vd = rpc->io->io.vd_id;
+      dpu_.internal_pcie().transfer(len, [this, len, vd,
                                           finish = std::move(finish)]() mutable {
-        dpu_.internal_pcie().transfer(len, [this,
+        dpu_.internal_pcie().transfer(len, [this, vd,
                                             finish = std::move(finish)]() mutable {
-          dpu_.cpu().submit(0, params_.sw_crc_per_block, std::move(finish));
+          cpu_submit(vd, 0, params_.sw_crc_per_block, std::move(finish));
         });
       });
     }
@@ -712,9 +728,9 @@ void SolarClient::maybe_complete_read(const std::shared_ptr<RpcCtx>& rpc) {
       !rpc->wire.empty() &&
       std::all_of(rpc->wire.begin(), rpc->wire.end(),
                   [](const DataBlock& b) { return b.has_payload(); });
-  dpu_.cpu().submit(
-      rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc, [this, rpc,
-                                                       all_payloads] {
+  cpu_submit(
+      rpc->io->io.vd_id, rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
+      [this, rpc, all_payloads] {
         if (params_.aggregate_check && all_payloads) {
           std::vector<std::vector<std::uint8_t>> blocks;
           std::vector<std::uint32_t> crcs;
@@ -728,7 +744,8 @@ void SolarClient::maybe_complete_read(const std::shared_ptr<RpcCtx>& rpc) {
             ++stats_.agg_check_failures;
             const TimeNs sw_cost = params_.sw_crc_per_block *
                                    static_cast<TimeNs>(rpc->wire.size());
-            dpu_.cpu().submit(rpc->rpc_id, sw_cost, [this, rpc] {
+            cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, sw_cost,
+                       [this, rpc] {
               for (std::uint16_t i = 0; i < rpc->st.size(); ++i) {
                 if (crc32_raw(rpc->wire[i].data) != rpc->wire[i].crc) {
                   rpc->st[i] = BlockState{};
@@ -858,7 +875,7 @@ void SolarClient::handle_probe_ack(net::IpAddr peer, const Frame& f) {
   if (path == nullptr) return;  // path was redrawn since the probe
   const TimeNs rtt = f.echo_ts > 0 ? engine_.now() - f.echo_ts : 0;
   it->second->on_ack(*path, rtt, f.int_echo);
-  dpu_.cpu().submit(f.rpc.path_id, params_.cpu_per_ack, [] {});
+  cpu_submit(0, f.rpc.path_id, params_.cpu_per_ack, [] {});
 }
 
 void SolarClient::release_path(std::uint16_t port, net::IpAddr peer) {

@@ -29,6 +29,10 @@ class Registry;
 class Tracer;
 }
 
+namespace repro::qos {
+class CpuScheduler;
+}
+
 namespace repro::solar {
 
 struct SolarParams {
@@ -102,6 +106,12 @@ class SolarClient {
   /// Publishes transport counters and path gauges (labels: node=<name>).
   void register_metrics(obs::Registry& reg);
 
+  /// Routes every DPU CPU dispatch through a tenant-aware scheduler
+  /// (weighted fair queueing between guaranteed and best-effort tenants).
+  /// Null (the default) submits straight to the pool — bit-identical to
+  /// the pre-scheduler behavior.
+  void set_cpu_scheduler(qos::CpuScheduler* sched) { sched_ = sched; }
+
  private:
   struct IoCtx;
   struct RpcCtx;
@@ -145,6 +155,11 @@ class SolarClient {
                     transport::StorageStatus status);
   void finish_io(const std::shared_ptr<IoCtx>& io);
   void release_path(std::uint16_t port, net::IpAddr peer);
+  /// DPU CPU dispatch point: through the tenant scheduler when attached,
+  /// straight to the pool otherwise. `vd_id` classifies the tenant,
+  /// `affinity` pins the core (the same key the bare pool hashes).
+  void cpu_submit(std::uint64_t vd_id, std::uint64_t affinity, TimeNs cost,
+                  sim::Callback done);
   /// Active tracer, or nullptr when observability is dark.
   obs::Tracer* trc() const;
 
@@ -153,6 +168,7 @@ class SolarClient {
   net::Nic& nic_;
   sa::SegmentTable& segments_;
   sa::QosTable& qos_;
+  qos::CpuScheduler* sched_ = nullptr;
   SolarParams params_;
   Rng rng_;
   SolarStats stats_;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "qos/scheduler.h"
 
 namespace repro::stack {
 
@@ -119,6 +120,15 @@ class SolarFamilyStack final : public ComputeStackBase {
     solar_ = std::make_unique<solar::SolarClient>(
         ctx.engine, *dpu_, ctx.nic, ctx.segments, ctx.qos, sp,
         ctx.rng.fork(2));
+    // Tenant-aware WFQ over the DPU cores (qos subsystem). Only built when
+    // scheduling is on AND the fleet carries SLO contracts — otherwise the
+    // client dispatches straight to the pool, bit-identical to before.
+    if (ctx.params.qos.enabled && ctx.params.qos.sched_enabled &&
+        ctx.slos != nullptr) {
+      sched_ = std::make_unique<qos::CpuScheduler>(dpu_->cpu(), *ctx.slos,
+                                                   ctx.params.qos);
+      solar_->set_cpu_scheduler(sched_.get());
+    }
   }
 
   StackKind kind() const override { return kind_; }
@@ -140,6 +150,7 @@ class SolarFamilyStack final : public ComputeStackBase {
 
   StackKind kind_;
   std::unique_ptr<solar::SolarClient> solar_;
+  std::unique_ptr<qos::CpuScheduler> sched_;
 };
 
 /// Shared shape of the three software-SA generations: a StorageAgent over

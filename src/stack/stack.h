@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "dpu/dpu.h"
 #include "obs/resettable.h"
+#include "qos/slo.h"
 #include "rdma/rdma.h"
 #include "sa/agent.h"
 #include "sa/crypto.h"
@@ -45,6 +46,7 @@ struct StackParams {
   sa::SaParams sa;
   solar::SolarParams solar;
   rdma::RdmaParams rdma;
+  qos::QosParams qos;
 };
 
 /// Everything a compute-side adapter needs from the node that hosts it.
@@ -59,6 +61,9 @@ struct ComputeContext {
   sa::BlockCipher* cipher;
   const StackParams& params;
   Rng rng;
+  /// Per-tenant SLO contracts (qos subsystem); null when the fleet runs
+  /// without admission control — adapters then skip scheduler creation.
+  const qos::SloTable* slos = nullptr;
 };
 
 /// Compute-side data path of one stack generation on one node.

@@ -1,0 +1,194 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/json_reader.h"
+#include "workload/size_dist.h"
+
+namespace repro::workload {
+
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+
+bool parse_trace_jsonl(const std::string& text,
+                       std::vector<TraceRecord>* out, std::string* error) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  std::size_t line_no = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    obs::JsonValue root;
+    obs::JsonReader reader(line);
+    if (!reader.parse(&root) ||
+        root.type != obs::JsonValue::Type::kObject) {
+      *error = "trace line " + std::to_string(line_no) + ": " +
+               (reader.error().empty() ? "not a JSON object"
+                                       : reader.error());
+      return false;
+    }
+    TraceRecord r;
+    double num = 0.0;
+    if (obs::json_number(root, "ts_us", &num)) {
+      r.at = static_cast<TimeNs>(num * 1e3);
+    }
+    if (obs::json_number(root, "vd", &num)) {
+      r.vd_index = static_cast<std::uint32_t>(num);
+    }
+    std::string op;
+    if (obs::json_string(root, "op", &op)) {
+      if (op == "write") {
+        r.op = OpType::kWrite;
+      } else if (op == "read") {
+        r.op = OpType::kRead;
+      } else {
+        *error = "trace line " + std::to_string(line_no) +
+                 ": unknown op \"" + op + "\"";
+        return false;
+      }
+    }
+    if (obs::json_number(root, "offset", &num)) {
+      r.offset = static_cast<std::uint64_t>(num);
+    }
+    if (obs::json_number(root, "len", &num)) {
+      r.len = static_cast<std::uint32_t>(num);
+    }
+    out->push_back(r);
+  }
+  return true;
+}
+
+bool load_trace_file(const std::string& path, std::vector<TraceRecord>* out,
+                     std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open trace file: " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_trace_jsonl(ss.str(), out, error);
+}
+
+std::string trace_to_jsonl(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  for (const TraceRecord& r : records) {
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.field("ts_us", static_cast<double>(r.at) / 1e3);
+    w.field("vd", r.vd_index);
+    w.field("op", r.op == OpType::kWrite ? "write" : "read");
+    w.field("offset", r.offset);
+    w.field("len", r.len);
+    w.end_object();
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<TraceRecord> synth_diurnal_trace(const DiurnalTraceConfig& cfg,
+                                             Rng rng) {
+  // Normalize the Fig. 4 shape so the peak hour runs at exactly peak_iops.
+  double peak_mult = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    peak_mult = std::max(peak_mult, diurnal_multiplier(h));
+  }
+  std::vector<TraceRecord> records;
+  const TimeNs slice = cfg.duration / 24;
+  const std::uint32_t vds = std::max<std::uint32_t>(1, cfg.vds);
+  const std::uint64_t cells =
+      std::max<std::uint64_t>(1, cfg.vd_size / cfg.block_size);
+  std::uint32_t next_vd = 0;
+  for (int h = 0; h < 24; ++h) {
+    const double iops =
+        cfg.peak_iops * diurnal_multiplier(h) / peak_mult;
+    if (iops <= 0.0) continue;
+    double t = static_cast<double>(h) * static_cast<double>(slice);
+    const double end = static_cast<double>(h + 1) * static_cast<double>(slice);
+    while (true) {
+      t += rng.exponential(1e9 / iops);
+      if (t >= end) break;
+      TraceRecord r;
+      r.at = static_cast<TimeNs>(t);
+      r.vd_index = next_vd++ % vds;
+      r.op = rng.bernoulli(cfg.read_fraction) ? OpType::kRead
+                                              : OpType::kWrite;
+      r.offset = rng.next_below(cells) * cfg.block_size;
+      r.len = cfg.block_size;
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+TraceReplay::TraceReplay(sim::Engine& engine, SubmitFn submit,
+                         std::vector<std::uint64_t> vds,
+                         std::vector<TraceRecord> records,
+                         TraceReplayConfig config, Rng rng)
+    : engine_(engine),
+      submit_(std::move(submit)),
+      vds_(std::move(vds)),
+      records_(std::move(records)),
+      config_(config),
+      rng_(rng) {
+  // Replay in time order regardless of file order; stable so same-timestamp
+  // records keep their relative order (determinism).
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void TraceReplay::start() {
+  if (vds_.empty() || records_.empty()) return;
+  running_ = true;
+  base_ = engine_.now();
+  schedule_from(0);
+}
+
+void TraceReplay::schedule_from(std::size_t idx) {
+  if (!running_ || idx >= records_.size()) return;
+  const TraceRecord& r = records_[idx];
+  const TimeNs at =
+      base_ + static_cast<TimeNs>(static_cast<double>(r.at) *
+                                  config_.time_scale);
+  engine_.at(std::max(at, engine_.now()), [this, idx] {
+    if (!running_) return;
+    issue(records_[idx]);
+    schedule_from(idx + 1);
+  });
+}
+
+void TraceReplay::issue(const TraceRecord& r) {
+  IoRequest io;
+  io.vd_id = vds_[r.vd_index % vds_.size()];
+  io.op = r.op;
+  io.len = r.len;
+  io.offset = r.offset;
+  if (io.op == OpType::kWrite) {
+    io.payload = transport::make_placeholder_blocks(io.offset, io.len, 4096);
+    if (config_.real_payload) {
+      for (auto& blk : io.payload) {
+        blk.data.resize(blk.len);
+        for (auto& b : blk.data) b = static_cast<std::uint8_t>(rng_.next());
+      }
+    }
+  }
+  io.issued_at = engine_.now();
+  ++issued_;
+  const TimeNs issued_at = engine_.now();
+  auto io_copy = io;
+  submit_(std::move(io), [this, io_copy = std::move(io_copy),
+                          issued_at](IoResult res) {
+    ++completed_;
+    metrics_.record(io_copy, res, issued_at);
+  });
+}
+
+}  // namespace repro::workload

@@ -1,0 +1,103 @@
+// Trace-replay load generation (Mooncake-style jsonl traces).
+//
+// A trace is a sequence of timestamped I/O records — one JSON object per
+// line (`{"ts_us":..,"vd":..,"op":"read","offset":..,"len":..}`), the
+// format Mooncake publishes its serving traces in. `TraceReplay` replays a
+// trace open-loop against a cluster: each record fires at its recorded
+// time (optionally rescaled), targeting the replay's VD list by index, so
+// the same trace drives any fleet shape. `synth_diurnal_trace` compresses
+// the paper's Fig. 4 diurnal curve into a trace for overload benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ebs/metrics.h"
+#include "sim/engine.h"
+#include "transport/message.h"
+#include "workload/fio.h"
+
+namespace repro::workload {
+
+/// One trace line. `at` is relative to replay start; `vd_index` indexes the
+/// replay's VD list (traces are fleet-shape agnostic).
+struct TraceRecord {
+  TimeNs at = 0;
+  std::uint32_t vd_index = 0;
+  transport::OpType op = transport::OpType::kRead;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 4096;
+};
+
+/// Parses jsonl text (one record per line; blank lines ignored). Returns
+/// false with `*error` set on the first malformed line.
+bool parse_trace_jsonl(const std::string& text,
+                       std::vector<TraceRecord>* out, std::string* error);
+
+/// Reads and parses a jsonl trace file.
+bool load_trace_file(const std::string& path, std::vector<TraceRecord>* out,
+                     std::string* error);
+
+/// Serializes records to the jsonl wire format (`parse_trace_jsonl`'s
+/// inverse, for --emit-trace style tooling).
+std::string trace_to_jsonl(const std::vector<TraceRecord>& records);
+
+/// Knobs for the synthetic compressed-day trace.
+struct DiurnalTraceConfig {
+  double peak_iops = 20000.0;   ///< arrival rate at the Fig. 4 evening peak
+  TimeNs duration = ms(120);    ///< the 24 h curve compresses into this
+  std::uint32_t block_size = 4096;
+  double read_fraction = 0.7;
+  std::uint32_t vds = 1;        ///< records spread over vd_index 0..vds-1
+  std::uint64_t vd_size = 256ull << 20;
+};
+
+/// Synthesizes a compressed day: 24 equal slices, slice h carrying Fig. 4's
+/// hour-h load shape, scaled so the peak hour arrives at `peak_iops`.
+/// Deterministic for a given rng seed.
+std::vector<TraceRecord> synth_diurnal_trace(const DiurnalTraceConfig& cfg,
+                                             Rng rng);
+
+struct TraceReplayConfig {
+  double time_scale = 1.0;  ///< record times are multiplied by this
+  bool real_payload = false;
+};
+
+/// Open-loop replay of a trace. Submission order and timing depend only on
+/// the records (plus rng for payload bytes), so replays are bit-identical
+/// at any shard/thread count when bound to a node's home engine.
+class TraceReplay {
+ public:
+  TraceReplay(sim::Engine& engine, SubmitFn submit,
+              std::vector<std::uint64_t> vds,
+              std::vector<TraceRecord> records, TraceReplayConfig config,
+              Rng rng);
+
+  void start();
+  /// Stops issuing (outstanding I/Os drain; scheduled records are skipped).
+  void stop() { running_ = false; }
+
+  ebs::MetricSink& metrics() { return metrics_; }
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  void schedule_from(std::size_t idx);
+  void issue(const TraceRecord& r);
+
+  sim::Engine& engine_;
+  SubmitFn submit_;
+  std::vector<std::uint64_t> vds_;
+  std::vector<TraceRecord> records_;
+  TraceReplayConfig config_;
+  Rng rng_;
+  ebs::MetricSink metrics_;
+  TimeNs base_ = 0;
+  bool running_ = false;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace repro::workload
