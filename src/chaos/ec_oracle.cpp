@@ -1,0 +1,97 @@
+#include "chaos/ec_oracle.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "ebs/cluster.h"
+#include "ec/client.h"
+#include "sa/segment_table.h"
+#include "storage/block_server.h"
+#include "storage/segment_store.h"
+
+namespace repro::chaos {
+
+namespace {
+
+constexpr std::uint32_t kCell = ec::EcParams::kCellBytes;
+constexpr std::uint32_t kRowsPerSegment = ec::EcClient::kRowsPerSegment;
+
+}  // namespace
+
+std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
+                                           const std::set<net::IpAddr>& down,
+                                           TimeNs now, int max_rows_per_vd) {
+  std::vector<Violation> out;
+
+  // Ground truth: fragment bytes live in the block servers' stores.
+  std::map<net::IpAddr, const storage::SegmentStore*> stores;
+  for (int i = 0; i < cluster.num_storage(); ++i) {
+    stores[cluster.storage(i).nic().ip()] =
+        &cluster.storage(i).block_server().store();
+  }
+  // A fragment value is "known" when its holder is up and actually has the
+  // cell on disk. Absence is honest: a rebuild target that has not been
+  // written yet contributes nothing.
+  auto present = [&](const sa::SegmentLocation& loc,
+                     std::uint32_t row) -> bool {
+    if (loc.block_server == 0) return false;  // past-the-end tail fragment
+    if (down.count(loc.block_server) != 0) return false;
+    const auto it = stores.find(loc.block_server);
+    if (it == stores.end()) return false;
+    return it->second
+        ->get(loc.segment_id, static_cast<std::uint64_t>(row) * kCell)
+        .has_value();
+  };
+
+  const sa::SegmentTable& table = cluster.segments();
+  for (int node = 0; node < cluster.num_compute(); ++node) {
+    const ec::EcClient* ec = cluster.compute(node).ec();
+    if (ec == nullptr) continue;
+    for (const auto& [vd, dir] : ec->directory()) {
+      const auto info = table.ec_info(vd);
+      if (!info.has_value()) continue;
+      const int k = info->k;
+      const int m = info->m;
+      int audited = 0;
+      for (const auto& [rowid, mask] : dir.rows) {
+        if (max_rows_per_vd > 0 && audited >= max_rows_per_vd) break;
+        ++audited;
+        const auto stripe = static_cast<std::uint32_t>(rowid / kRowsPerSegment);
+        const auto row = static_cast<std::uint32_t>(rowid % kRowsPerSegment);
+        // Data offset of the row's first cell — `row_dirty` keys on it.
+        const std::uint64_t data_off =
+            static_cast<std::uint64_t>(stripe) * k *
+                sa::SegmentTable::kSegmentBytes +
+            static_cast<std::uint64_t>(row) * kCell;
+        if (ec->row_dirty(vd, data_off)) continue;  // under active repair
+        // A held row lock means a write/repair never acknowledged (e.g.
+        // wedged against a dead server): durability is not owed yet.
+        if (ec->row_busy(vd, stripe, row)) continue;
+        const std::vector<sa::SegmentLocation> frags =
+            table.ec_fragments(vd, stripe);
+        int known = 0;
+        for (int c = 0; c < k; ++c) {
+          if ((mask & (1u << c)) == 0) {
+            ++known;  // never written: known zero, no read needed
+          } else if (present(frags[static_cast<std::size_t>(c)], row)) {
+            ++known;
+          }
+        }
+        for (int q = 0; q < m; ++q) {
+          if (present(frags[static_cast<std::size_t>(k + q)], row)) ++known;
+        }
+        if (known < k) {
+          std::ostringstream os;
+          os << "vd " << vd << " stripe " << stripe << " row " << row
+             << ": " << known << " of " << (k + m)
+             << " fragment values recoverable, need " << k;
+          out.push_back(Violation{"ec_durability", os.str(), now});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::chaos

@@ -1,0 +1,45 @@
+// EC durability oracle: the erasure-coded twin of the OracleBoard's
+// replica durability check.
+//
+// The invariant is availability-under-f-failures: every committed data
+// cell of every EC VD must remain recoverable — its value either directly
+// readable from the fragment's current holder, or decodable from any k of
+// the stripe's k+m fragment values (unwritten data cells count as known
+// zeros, the codec's absent-as-zero convention). With at most m fragment
+// servers down the audit must stay green; with m+1 concurrently down some
+// stripe necessarily drops below k known values and the oracle fires —
+// that is real data loss, exactly what an m-parity code cannot survive.
+//
+// The audit reads ground truth: fragment presence straight from each
+// block server's SegmentStore (a remapped-but-not-yet-rebuilt fragment is
+// honestly absent at its new location) and the caller's `down` set for
+// which holders are unreachable. Rows under a torn parity update
+// (`EcClient::row_dirty`) are skipped the way a production scrub skips
+// cells under active repair — their parity is stale by design and the
+// maintenance agent already owns re-encoding them.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "chaos/oracle.h"
+#include "net/packet.h"
+
+namespace repro::ebs {
+class Cluster;
+}
+
+namespace repro::chaos {
+
+/// Audits every EC VD of `cluster` (via each compute node's EcClient
+/// directory) and returns one "ec_durability" violation per unrecoverable
+/// (vd, stripe, row). `down` is the set of storage-server IPs currently
+/// unreachable (fail-stopped / silent); pass an empty set for a
+/// post-repair audit. `max_rows_per_vd` bounds the sweep deterministically
+/// (first N directory rows in offset order); <= 0 = unbounded.
+std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
+                                           const std::set<net::IpAddr>& down,
+                                           TimeNs now,
+                                           int max_rows_per_vd = 0);
+
+}  // namespace repro::chaos

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <utility>
 
+#include "chaos/ec_oracle.h"
 #include "chaos/injector.h"
 #include "obs/obs.h"
 #include "workload/fio.h"
@@ -100,10 +102,54 @@ ebs::ScenarioSpec HarnessConfig::scenario() const {
   spec.shards = shards;
   spec.threads = threads;
   spec.qos = qos;
+  spec.ec = ec;
   return spec;
 }
 
 namespace {
+
+/// Storage-server IPs unreachable at `now` under `plan` (armed at
+/// `armed_at`): fail-stop and silent-death NIC faults still in their
+/// window. This is the ground-truth down set the EC audit measures
+/// against — derived from the plan, not from probe state, so the oracle
+/// never trusts the subsystem it is checking.
+std::set<net::IpAddr> storage_down_at(ebs::Cluster& cluster,
+                                      const FaultPlan& plan, TimeNs armed_at,
+                                      TimeNs now) {
+  std::set<net::IpAddr> down;
+  const int n = cluster.num_storage();
+  if (n == 0) return down;
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind != FaultKind::kDeviceStop && e.kind != FaultKind::kDeviceSilent) {
+      continue;
+    }
+    if (e.target.kind != TargetKind::kStorageNic) continue;
+    const TimeNs start = armed_at + e.at;
+    if (start > now) continue;
+    if (e.duration > 0 && start + e.duration <= now) continue;
+    down.insert(cluster.storage(e.target.index % n).nic().ip());
+  }
+  return down;
+}
+
+/// Runs the EC durability audit and files its findings on `board`.
+void audit_ec(ebs::Cluster& cluster, const std::set<net::IpAddr>& down,
+              TimeNs now, OracleBoard& board) {
+  for (const Violation& v : audit_ec_durability(cluster, down, now)) {
+    board.add_violation(v.oracle, v.detail, v.at);
+  }
+}
+
+/// True when every compute node's maintenance agent has drained (no
+/// rebuild backlog, repairs or stalls) — the precondition for the
+/// post-repair audit with an empty down set.
+bool maintenance_idle(ebs::Cluster& cluster) {
+  for (int i = 0; i < cluster.num_compute(); ++i) {
+    const ec::MaintenanceAgent* agent = cluster.compute(i).maintenance();
+    if (agent != nullptr && !agent->idle()) return false;
+  }
+  return true;
+}
 
 /// The sharded twin of `run_chaos`: same lifecycle, but the fleet runs on a
 /// ShardedEngine and oracle bookkeeping is split one board per compute node
@@ -192,6 +238,7 @@ RunReport run_chaos_sharded(const HarnessConfig& cfg) {
   }
   se.run_until(cfg.warmup);
 
+  const TimeNs armed_at = se.now();
   injector.arm(cfg.plan);
   se.run_until(se.now() + cfg.active);
 
@@ -203,6 +250,14 @@ RunReport run_chaos_sharded(const HarnessConfig& cfg) {
     sim::ShardScope scope(cluster.compute_shard(i));
     poissons[static_cast<std::size_t>(i)]->stop();
   }
+  // EC durability under the plan's live outages: with the fleet's worst
+  // moment behind us but faults not yet repaired, every committed cell
+  // must still be recoverable — unless more than m fragments are down.
+  if (params.ec.enabled) {
+    audit_ec(cluster,
+             storage_down_at(cluster, cfg.plan, armed_at, se.now()),
+             se.now(), *boards[0]);
+  }
   injector.repair_all();
   for (auto& b : boards) b->set_repair_time(injector.last_repair_time());
 
@@ -210,6 +265,12 @@ RunReport run_chaos_sharded(const HarnessConfig& cfg) {
   const TimeNs deadline = se.now() + cfg.drain_limit;
   while (se.pending() > 0 && se.now() < deadline) {
     se.run_until(std::min(deadline, se.now() + cfg.drain_slice));
+  }
+
+  // Post-repair: once the maintenance agents have drained, the fleet must
+  // be whole again (every fragment rebuilt or back online).
+  if (params.ec.enabled && maintenance_idle(cluster)) {
+    audit_ec(cluster, {}, se.now(), *boards[0]);
   }
 
   std::uint64_t outstanding = 0;
@@ -340,11 +401,18 @@ RunReport run_chaos(const HarnessConfig& cfg) {
   });
   eng.run_until(cfg.warmup);
 
+  const TimeNs armed_at = eng.now();
   injector.arm(cfg.plan);
   eng.run_until(eng.now() + cfg.active);
 
   fio.stop();
   for (auto& p : poissons) p->stop();
+  // EC durability under the plan's live outages (see the sharded twin).
+  if (params.ec.enabled) {
+    audit_ec(cluster,
+             storage_down_at(cluster, cfg.plan, armed_at, eng.now()),
+             eng.now(), oracle);
+  }
   injector.repair_all();
   oracle.set_repair_time(injector.last_repair_time());
 
@@ -352,6 +420,12 @@ RunReport run_chaos(const HarnessConfig& cfg) {
   const TimeNs deadline = eng.now() + cfg.drain_limit;
   while (eng.pending() > 0 && eng.now() < deadline) {
     eng.run_until(std::min(deadline, eng.now() + cfg.drain_slice));
+  }
+
+  // Post-repair: once the maintenance agent has drained, the fleet must
+  // be whole again (every fragment rebuilt or back online).
+  if (params.ec.enabled && maintenance_idle(cluster)) {
+    audit_ec(cluster, {}, eng.now(), oracle);
   }
 
   oracle.check_quiesce(eng, cluster.network(), injector.last_repair_time());

@@ -52,6 +52,12 @@ struct HarnessConfig {
   // break exactly-once or recovery oracles (early-rejected I/Os complete
   // with kRejected, which the oracle counts as an error, not a loss).
   qos::QosParams qos;
+  /// Erasure-coded fleet (`ec.enabled`): the run additionally audits EC
+  /// durability — mid-run against the fault plan's live storage outages
+  /// (any m concurrent fragment losses must stay recoverable; m+1 fires
+  /// "ec_durability") and again at post-repair quiesce once the
+  /// maintenance agents have drained.
+  ec::EcParams ec;
   bool slo_all = false;  ///< attach `slo` to every VD the harness creates
   qos::SloSpec slo;
   /// Capacity throttle for rejection-storm runs: saturating the default

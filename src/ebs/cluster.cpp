@@ -1,6 +1,7 @@
 #include "ebs/cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "obs/obs.h"
@@ -19,16 +20,28 @@ std::vector<StackKind> fleet_kinds(const ClusterParams& p) {
 }  // namespace
 
 std::vector<stack::ServerFamily> ClusterParams::server_families() const {
+  if (ec.enabled) return {stack::ServerFamily::kEcServer};
   const std::vector<StackKind> kinds = fleet_kinds(*this);
-  bool present[3] = {false, false, false};
+  bool present[stack::kNumServerFamilies] = {};
   for (StackKind k : kinds) {
     present[static_cast<int>(stack::server_family(k))] = true;
   }
   std::vector<stack::ServerFamily> families;
-  for (int f = 0; f < 3; ++f) {
+  for (int f = 0; f < stack::kNumServerFamilies; ++f) {
     if (present[f]) families.push_back(static_cast<stack::ServerFamily>(f));
   }
   return families;
+}
+
+stack::ServerFamily ClusterParams::transport_family() const {
+  const std::vector<StackKind> kinds = fleet_kinds(*this);
+  const stack::ServerFamily family = stack::server_family(kinds.front());
+  for (StackKind k : kinds) {
+    if (stack::server_family(k) != family) {
+      if (ec.enabled) std::abort();  // EC fleets share one transport family
+    }
+  }
+  return family;
 }
 
 bool ClusterParams::kernel_generation() const {
@@ -58,6 +71,44 @@ ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
     admission_ = std::make_unique<qos::NodeAdmission>(
         cluster.engine(), cluster.slos_, cluster.qos_, p.qos);
   }
+  // EC striping layer between admission and the stack. Every sub-I/O it
+  // issues (parity RMW, degraded decode, rebuild) is guest-shaped traffic
+  // through the unmodified generation underneath.
+  if (p.ec.enabled) {
+    auto inner = [s = stack_.get()](transport::IoRequest io,
+                                    transport::IoCompleteFn done) {
+      s->submit_io(std::move(io), std::move(done));
+    };
+    ec_ = std::make_unique<ec::EcClient>(cluster.engine(), cluster.segments_,
+                                         p.ec, inner);
+    // Rebuild remap mutates the shared SegmentTable: under a sharded build
+    // it must run at an epoch barrier with every shard quiescent (same
+    // contract as net::Network::set_link_alive); the continuation is then
+    // rescheduled onto this node's home engine.
+    sim::ShardedEngine* sharded = cluster.sharded_;
+    sa::SegmentTable* segments = &cluster.segments_;
+    sim::Engine* home = &cluster.engine();
+    ec::MaintenanceAgent::RemapFn remap =
+        [sharded, segments, home](std::uint64_t vd, std::uint64_t seg,
+                                  sa::SegmentLocation loc,
+                                  std::function<void()> done) {
+          if (sharded != nullptr && sharded->shards() > 1) {
+            sharded->post_global(
+                [segments, home, sharded, vd, seg, loc,
+                 done = std::move(done)]() mutable {
+                  segments->map(vd, seg, loc);
+                  home->schedule_at(sharded->now(),
+                                    [done = std::move(done)] { done(); });
+                });
+            return;
+          }
+          segments->map(vd, seg, loc);
+          done();
+        };
+    maintenance_ = std::make_unique<ec::MaintenanceAgent>(
+        cluster.engine(), *ec_, cluster.segments_, p.ec, inner,
+        std::move(remap));
+  }
 }
 
 void ComputeNode::submit_io(transport::IoRequest io,
@@ -66,9 +117,17 @@ void ComputeNode::submit_io(transport::IoRequest io,
     admission_->submit(std::move(io), std::move(done),
                        [this](transport::IoRequest fwd,
                               transport::IoCompleteFn fwd_done) {
-                         stack_->submit_io(std::move(fwd),
-                                           std::move(fwd_done));
+                         if (ec_ != nullptr) {
+                           ec_->submit_io(std::move(fwd), std::move(fwd_done));
+                         } else {
+                           stack_->submit_io(std::move(fwd),
+                                             std::move(fwd_done));
+                         }
                        });
+    return;
+  }
+  if (ec_ != nullptr) {
+    ec_->submit_io(std::move(io), std::move(done));
     return;
   }
   stack_->submit_io(std::move(io), std::move(done));
@@ -101,8 +160,11 @@ StorageNode::StorageNode(Cluster& cluster, int index, net::Nic& nic)
   cpu_ = std::make_unique<sim::CpuPool>(eng, "storage-cpu",
                                         p.server_stack_cores,
                                         sim::CpuPool::Dispatch::kByHash);
-  block_server_ = std::make_unique<storage::BlockServer>(eng, p.block_server,
-                                                         rng.fork(1));
+  storage::BlockServerParams bs = p.block_server;
+  // EC replaces replication: each fragment is stored once, redundancy
+  // comes from the parity fragments on other nodes.
+  if (p.ec.enabled) bs.backend.replicas = 1;
+  block_server_ = std::make_unique<storage::BlockServer>(eng, bs, rng.fork(1));
   const std::vector<stack::ServerFamily> families = p.server_families();
   const bool kernel = p.kernel_generation();
   // Each family engine installs its NIC deliver hook in its ctor. The first
@@ -117,6 +179,9 @@ StorageNode::StorageNode(Cluster& cluster, int index, net::Nic& nic)
   for (stack::ServerFamily family : families) {
     stack::ServerContext ctx{eng,    nic,    *cpu_, *block_server_,
                              p,      kernel, rng.fork(stream++)};
+    if (family == stack::ServerFamily::kEcServer) {
+      ctx.ec_inner = p.transport_family();
+    }
     stacks_.push_back(
         stack::StackFactory::instance().make_server(family, std::move(ctx)));
     if (families.size() > 1) {
@@ -262,6 +327,17 @@ std::uint64_t Cluster::create_vd(std::uint64_t size_bytes) {
   for (std::size_t i = 0; i < width; ++i) {
     servers.push_back(
         storage_nodes_[(start + i) % storage_nodes_.size()]->nic().ip());
+  }
+  if (params_.ec.enabled) {
+    // EC layout: the server list becomes the stripe rotation pool; it must
+    // hold at least k+m distinct servers (k+m+1 for rebuild headroom).
+    if (servers.size() < static_cast<std::size_t>(params_.ec.k) +
+                             static_cast<std::size_t>(params_.ec.m)) {
+      std::abort();
+    }
+    segments_.map_disk_ec(vd, size_bytes, servers, params_.ec.k,
+                          params_.ec.m);
+    return vd;
   }
   segments_.map_disk(vd, size_bytes, servers);
   return vd;

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "ec/client.h"
+#include "ec/maintenance.h"
 #include "net/topology.h"
 #include "obs/registry.h"
 #include "qos/admission.h"
@@ -61,8 +63,14 @@ struct ClusterParams : stack::StackParams {
     return compute_stacks[static_cast<std::size_t>(node) %
                           compute_stacks.size()];
   }
-  /// Server families present in the fleet, in canonical enum order.
+  /// Server families present in the fleet, in canonical enum order. An
+  /// EC fleet (`ec.enabled`) is the single kEcServer family wrapping the
+  /// generations' common transport family.
   std::vector<stack::ServerFamily> server_families() const;
+  /// Transport family the fleet's generations share — the family an EC
+  /// server wraps. Aborts on a mixed-transport EC fleet (EC fragments must
+  /// all be reachable through one engine).
+  stack::ServerFamily transport_family() const;
   /// True when every compute stack in the fleet is kernel TCP — only then
   /// do storage servers run kernel TCP server-side too.
   bool kernel_generation() const;
@@ -98,6 +106,10 @@ class ComputeNode {
   /// The node's admission gate, or null when the fleet runs without the
   /// qos subsystem (`ClusterParams::qos.enabled == false`).
   qos::NodeAdmission* admission() { return admission_.get(); }
+  /// The node's EC striping layer, or null on replication fleets.
+  ec::EcClient* ec() { return ec_.get(); }
+  /// The node's EC maintenance agent, or null on replication fleets.
+  ec::MaintenanceAgent* maintenance() { return maintenance_.get(); }
 
   /// Registers this node's metrics, gauges and trace names on `obs`.
   void register_observables(obs::Obs& obs);
@@ -106,6 +118,8 @@ class ComputeNode {
   net::Nic* nic_;
   std::unique_ptr<stack::ComputeStack> stack_;
   std::unique_ptr<qos::NodeAdmission> admission_;
+  std::unique_ptr<ec::EcClient> ec_;
+  std::unique_ptr<ec::MaintenanceAgent> maintenance_;
 };
 
 /// One storage server: block server + one server-side engine per stack

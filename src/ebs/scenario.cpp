@@ -102,6 +102,10 @@ std::string ScenarioSpec::to_json() const {
     w.key("qos");
     qos::write_qos_params(w, qos);
   }
+  if (ec.enabled) {
+    w.key("ec");
+    ec::write_ec_params(w, ec);
+  }
   if (!fault_plan_file.empty()) w.field("fault_plan_file", fault_plan_file);
   w.end_object();
   return os.str();
@@ -119,11 +123,26 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
     return false;
   }
   ScenarioSpec spec;
+  if (!obs::json_check_keys(
+          root,
+          {"name", "topology", "vd_stripe_width", "stack", "compute_stacks",
+           "on_dpu", "seed", "store_payload", "vd_size_bytes", "vds",
+           "workload", "qos", "ec", "fault_plan_file"},
+          "scenario", error)) {
+    return false;
+  }
   obs::json_string(root, "name", &spec.name);
   double num = 0.0;
   if (const obs::JsonValue* topo = root.find("topology")) {
     if (topo->type != obs::JsonValue::Type::kObject) {
       *error = "scenario: topology must be an object";
+      return false;
+    }
+    if (!obs::json_check_keys(*topo,
+                              {"compute", "storage", "servers_per_rack",
+                               "spines_per_pod", "core_switches", "shards",
+                               "threads"},
+                              "scenario.topology", error)) {
       return false;
     }
     if (obs::json_number(*topo, "compute", &num)) {
@@ -184,10 +203,20 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
         return false;
       }
       VdSpec vd;
+      if (!obs::json_check_keys(item, {"size_bytes", "qos", "slo"},
+                                "scenario.vds", error)) {
+        return false;
+      }
       if (obs::json_number(item, "size_bytes", &num)) {
         vd.size_bytes = static_cast<std::uint64_t>(num);
       }
       if (const obs::JsonValue* q = item.find("qos")) {
+        if (!obs::json_check_keys(*q,
+                                  {"iops_limit", "bandwidth_limit",
+                                   "burst_ios", "burst_bytes"},
+                                  "scenario.vds.qos", error)) {
+          return false;
+        }
         if (!read_qos(*q, &vd.qos)) {
           *error = "scenario: qos must be an object";
           return false;
@@ -195,6 +224,11 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
         vd.has_qos = true;
       }
       if (const obs::JsonValue* slo = item.find("slo")) {
+        if (!obs::json_check_keys(
+                *slo, {"target_p99_us", "guaranteed_iops", "class"},
+                "scenario.vds.slo", error)) {
+          return false;
+        }
         if (!qos::read_slo(*slo, &vd.slo)) {
           *error = "scenario: slo must be an object";
           return false;
@@ -207,6 +241,13 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
   if (const obs::JsonValue* v = root.find("workload")) {
     if (v->type != obs::JsonValue::Type::kObject) {
       *error = "scenario: workload must be an object";
+      return false;
+    }
+    if (!obs::json_check_keys(*v,
+                              {"block_size", "iodepth", "read_fraction",
+                               "sequential", "real_payload", "max_ios",
+                               "poisson_iops"},
+                              "scenario.workload", error)) {
       return false;
     }
     if (obs::json_number(*v, "block_size", &num)) {
@@ -224,8 +265,28 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
     obs::json_number(*v, "poisson_iops", &spec.workload.poisson_iops);
   }
   if (const obs::JsonValue* v = root.find("qos")) {
+    if (!obs::json_check_keys(
+            *v,
+            {"enabled", "early_reject", "headroom", "reject_latency_us",
+             "predictor_window_us", "predictor_buckets", "sched_enabled",
+             "sched_weight_guaranteed", "sched_weight_best_effort"},
+            "scenario.qos", error)) {
+      return false;
+    }
     if (!qos::read_qos_params(*v, &spec.qos)) {
       *error = "scenario: qos must be an object";
+      return false;
+    }
+  }
+  if (const obs::JsonValue* v = root.find("ec")) {
+    // The ec subsystem owns its key list (it validates geometry too), so
+    // the allow-list is its predicate rather than a literal copy.
+    if (!obs::json_check_keys(*v, {}, "scenario.ec", error,
+                              &ec::ec_params_key_allowed)) {
+      return false;
+    }
+    if (!ec::read_ec_params(*v, &spec.ec)) {
+      *error = "scenario: ec must be an object with valid k/m geometry";
       return false;
     }
   }
@@ -249,6 +310,7 @@ ClusterParams params_from(const ScenarioSpec& spec) {
   p.topo.shards = spec.shards;
   p.vd_stripe_width = spec.vd_stripe_width;
   p.qos = spec.qos;
+  p.ec = spec.ec;
   return p;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ebs/cluster.h"
+#include "ec/params.h"
 #include "qos/slo.h"
 #include "sa/qos_table.h"
 
@@ -70,6 +71,9 @@ struct ScenarioSpec {
   /// default: the admission layer is then never built and the run is
   /// bit-identical to a spec that predates the field.
   qos::QosParams qos;
+  /// Erasure-coding knobs (src/ec). Disabled by default: the fleet then
+  /// runs 3-replica like every spec that predates the field.
+  ec::EcParams ec;
   /// Optional path to a chaos::FaultPlan JSON to inject during the run.
   std::string fault_plan_file;
 
@@ -77,8 +81,9 @@ struct ScenarioSpec {
 };
 
 /// Parses a spec previously produced by `to_json` (or hand-written). Absent
-/// fields keep their defaults. Returns false with `*error` set on malformed
-/// input or unknown stack names.
+/// fields keep their defaults; unrecognized fields are an error, not a
+/// silent no-op (a typo'd knob must not quietly run the default). Returns
+/// false with `*error` set on malformed input or unknown stack names.
 bool scenario_from_json(const std::string& text, ScenarioSpec* out,
                         std::string* error);
 

@@ -1,0 +1,178 @@
+// Client-side erasure-coding layer: stripes guest I/O over k data + m
+// parity fragment cells, keeps parity consistent with per-row
+// read-modify-write, reconstructs degraded reads from any k surviving
+// fragments, and exposes the reconstruct/repair primitives the
+// MaintenanceAgent drives for background rebuild.
+//
+// Placement lives in sa::SegmentTable (`map_disk_ec`): the physical offset
+// space is data segments followed by parity segments, so every sub-I/O the
+// layer issues routes through the unmodified inner stack (LUNA, SOLAR, …)
+// exactly like guest traffic — EC cost is real simulated traffic, not an
+// analytic model. All state is per compute node (node-affine, so sharded
+// runs stay bit-deterministic); each EC VD must be driven from a single
+// compute node, which every harness in this repo already guarantees.
+//
+// Cell granularity is 4 KB — the block size the workloads, the block
+// server and the chaos durability oracle all share. In real-payload runs
+// the codec operates on actual bytes (requires store_payload so parity
+// read-modify-write sees stored content); placeholder runs carry sized
+// placeholders through the same traffic pattern and skip the byte math.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ec/codec.h"
+#include "ec/params.h"
+#include "sa/segment_table.h"
+#include "sim/engine.h"
+#include "transport/message.h"
+
+namespace repro::ec {
+
+class MaintenanceAgent;
+
+class EcClient {
+ public:
+  /// Forwards a sub-I/O to the node's inner compute stack.
+  using SubmitFn =
+      std::function<void(transport::IoRequest, transport::IoCompleteFn)>;
+
+  EcClient(sim::Engine& engine, sa::SegmentTable& segments,
+           const EcParams& params, SubmitFn inner);
+
+  /// Guest entry point (between admission and the stack).
+  void submit_io(transport::IoRequest io, transport::IoCompleteFn done);
+
+  // --- fragment-server health -----------------------------------------
+  void mark_server(net::IpAddr ip, bool alive);
+  bool server_alive(net::IpAddr ip) const {
+    return dead_.find(ip) == dead_.end();
+  }
+  const std::set<net::IpAddr>& dead_servers() const { return dead_; }
+
+  // --- maintenance hooks ----------------------------------------------
+  void set_agent(MaintenanceAgent* agent) { agent_ = agent; }
+  /// While set, reads of the segment are forced through degraded decode
+  /// (the fragment's new location may not hold rebuilt data yet).
+  void set_segment_rebuilding(std::uint64_t vd, std::uint64_t seg_index,
+                              bool rebuilding);
+  bool segment_rebuilding(std::uint64_t vd, std::uint64_t seg_index) const {
+    return rebuilding_.find({vd, seg_index}) != rebuilding_.end();
+  }
+  /// Reconstructs fragment cell `c` of (vd, stripe, row) from any k healthy
+  /// fragments and writes it to the fragment's current location (background
+  /// traffic). `done(ok)` fires when the write lands or the attempt fails.
+  void reconstruct_cell(std::uint64_t vd, std::uint32_t stripe,
+                        std::uint32_t row, int c,
+                        std::function<void(bool)> done);
+  /// Recomputes all m parity cells of a row from its data cells (row
+  /// repair after a torn parity update). Clears the dirty mark on success.
+  void repair_row(std::uint64_t vd, std::uint32_t stripe, std::uint32_t row,
+                  std::function<void(bool)> done);
+
+  // --- directory (rebuild discovery, durability oracle) ----------------
+  /// Written data cells per (stripe, row): rowid = stripe * rows_per_segment
+  /// + row, value = bitmask of data fragment indices ever written.
+  struct VdDirectory {
+    std::map<std::uint64_t, std::uint32_t> rows;
+  };
+  const std::map<std::uint64_t, VdDirectory>& directory() const {
+    return dir_;
+  }
+  /// True when the row covering data offset `offset` has a potentially
+  /// stale parity (pending repair) — the durability oracle skips such rows
+  /// the way a production audit skips cells under active repair.
+  bool row_dirty(std::uint64_t vd, std::uint64_t offset) const;
+  /// True while an operation holds the row's lock — an unacknowledged
+  /// write/repair is mid-flight, so durability is not yet owed for the
+  /// row and the oracle skips it (like cells under active I/O in a
+  /// production audit).
+  bool row_busy(std::uint64_t vd, std::uint32_t stripe,
+                std::uint32_t row) const {
+    return locks_.find(RowRef{vd, stripe, row}) != locks_.end();
+  }
+  std::size_t dirty_rows() const { return dirty_.size(); }
+  std::size_t rebuilding_segments() const { return rebuilding_.size(); }
+
+  struct Stats {
+    std::uint64_t sub_ios = 0;
+    std::uint64_t degraded_reads = 0;
+    std::uint64_t parity_updates = 0;
+    std::uint64_t reconstructs = 0;
+    std::uint64_t row_repairs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  static constexpr std::uint32_t kCell = EcParams::kCellBytes;
+  static constexpr std::uint32_t kRowsPerSegment =
+      static_cast<std::uint32_t>(sa::SegmentTable::kSegmentBytes / kCell);
+
+ private:
+  struct RowRef {
+    std::uint64_t vd = 0;
+    std::uint32_t stripe = 0;
+    std::uint32_t row = 0;  ///< cell row within the segment
+    bool operator<(const RowRef& o) const {
+      if (vd != o.vd) return vd < o.vd;
+      if (stripe != o.stripe) return stripe < o.stripe;
+      return row < o.row;
+    }
+  };
+
+  /// Physical VD offset of fragment `c`'s cell (c < k data, else parity).
+  std::uint64_t frag_offset(const sa::EcInfo& info, const RowRef& r,
+                            int c) const;
+  /// Serializes row-granular operations: parity RMW, repair, reconstruct
+  /// and degraded reads all run one-at-a-time per row. `op` receives a
+  /// release callback it must invoke exactly once when finished.
+  using RowOp = std::function<void(std::function<void()>)>;
+  void run_locked(const RowRef& row, RowOp op);
+
+  void submit_per_cell_read(transport::IoRequest io,
+                            transport::IoCompleteFn done);
+
+  void write_cell(const RowRef& row, int p, transport::DataBlock block,
+                  bool background,
+                  std::function<void(transport::IoResult)> done);
+  void read_cell_direct(std::uint64_t vd, std::uint64_t offset,
+                        bool background,
+                        std::function<void(transport::IoResult)> done);
+  void read_cell_degraded(const RowRef& row, int p,
+                          std::function<void(transport::IoResult)> done);
+  /// Shared tail of repair_row / parity reconstruct: read all k data cells,
+  /// re-encode the requested parities, write them.
+  void recompute_parity(const RowRef& row, std::vector<int> parities,
+                        bool clear_dirty, std::function<void(bool)> done);
+
+  void inner_submit(transport::IoRequest io, transport::IoCompleteFn done);
+  transport::IoRequest cell_read(std::uint64_t vd, std::uint64_t offset,
+                                 bool background) const;
+  transport::IoRequest cell_write(std::uint64_t vd, std::uint64_t offset,
+                                  std::vector<std::uint8_t> bytes,
+                                  bool placeholder, bool background) const;
+  void note_result(net::IpAddr server, const transport::IoResult& res);
+  void mark_dirty(const RowRef& row);
+  const Codec& codec() { return codec_; }
+
+  sim::Engine& engine_;
+  sa::SegmentTable& segments_;
+  EcParams params_;
+  SubmitFn inner_;
+  Codec codec_;
+  MaintenanceAgent* agent_ = nullptr;
+
+  std::map<std::uint64_t, VdDirectory> dir_;
+  std::set<net::IpAddr> dead_;
+  std::set<RowRef> dirty_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> rebuilding_;
+  std::map<RowRef, std::deque<RowOp>> locks_;
+  Stats stats_;
+};
+
+}  // namespace repro::ec

@@ -1,0 +1,205 @@
+#include "ec/codec.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace repro::ec {
+
+namespace {
+
+struct GfTables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+
+  GfTables() {
+    std::uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if ((x & 0x100u) != 0) x ^= 0x11Du;
+    }
+    // Doubled exp table: exp[a + b] works without a mod-255 per multiply.
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const GfTables& tables() {
+  static const GfTables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) std::abort();  // division by zero: codec invariant broken
+  const GfTables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+Codec::Codec(int k, int m) : k_(k), m_(m) {
+  if (k < 1 || m < 1 || k + m > 128) std::abort();
+  cauchy_.resize(static_cast<std::size_t>(k * m));
+  for (int q = 0; q < m; ++q) {
+    for (int p = 0; p < k; ++p) {
+      const auto xq = static_cast<std::uint8_t>(k + q);
+      const auto yp = static_cast<std::uint8_t>(p);
+      cauchy_[static_cast<std::size_t>(q * k + p)] =
+          gf_inv(static_cast<std::uint8_t>(xq ^ yp));
+    }
+  }
+}
+
+void Codec::mul_acc(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
+    return;
+  }
+  const GfTables& t = tables();
+  const std::uint8_t lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t v = in[i];
+    if (v != 0) {
+      out[i] ^= t.exp[static_cast<std::size_t>(lc) + t.log[v]];
+    }
+  }
+}
+
+std::vector<std::uint8_t> Codec::encode_parity(
+    int q, const std::vector<std::vector<std::uint8_t>>& data,
+    std::size_t n) const {
+  std::vector<std::uint8_t> out(n, 0);
+  for (int p = 0; p < k_ && p < static_cast<int>(data.size()); ++p) {
+    const auto& d = data[static_cast<std::size_t>(p)];
+    if (d.empty()) continue;
+    mul_acc(coef(q, p), d.data(), out.data(), n);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Codec::update_parity(
+    int q, int p, const std::vector<std::uint8_t>& old_parity,
+    const std::vector<std::uint8_t>& delta, std::size_t n) const {
+  std::vector<std::uint8_t> out(n, 0);
+  if (!old_parity.empty()) {
+    for (std::size_t i = 0; i < n && i < old_parity.size(); ++i) {
+      out[i] = old_parity[i];
+    }
+  }
+  if (!delta.empty()) mul_acc(coef(q, p), delta.data(), out.data(), n);
+  return out;
+}
+
+std::vector<std::uint8_t> Codec::generator_row(int frag) const {
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(k_), 0);
+  if (frag < k_) {
+    row[static_cast<std::size_t>(frag)] = 1;
+  } else {
+    for (int p = 0; p < k_; ++p) {
+      row[static_cast<std::size_t>(p)] = coef(frag - k_, p);
+    }
+  }
+  return row;
+}
+
+bool Codec::reconstruct(
+    const std::vector<std::pair<int, const std::vector<std::uint8_t>*>>&
+        sources,
+    int lost, std::size_t n, std::vector<std::uint8_t>* out) const {
+  const int k = k_;
+  if (static_cast<int>(sources.size()) != k) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(k_ + m_), false);
+  for (const auto& [idx, bytes] : sources) {
+    (void)bytes;
+    if (idx < 0 || idx >= k_ + m_ || seen[static_cast<std::size_t>(idx)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(idx)] = true;
+  }
+  if (lost < 0 || lost >= k_ + m_) return false;
+
+  // Gauss-Jordan invert the k x k matrix of the sources' generator rows:
+  // inv maps source bytes back to the k data fragments.
+  std::vector<std::uint8_t> mat(static_cast<std::size_t>(k * k), 0);
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(k * k), 0);
+  for (int r = 0; r < k; ++r) {
+    const auto row = generator_row(sources[static_cast<std::size_t>(r)].first);
+    for (int c = 0; c < k; ++c) {
+      mat[static_cast<std::size_t>(r * k + c)] =
+          row[static_cast<std::size_t>(c)];
+    }
+    inv[static_cast<std::size_t>(r * k + r)] = 1;
+  }
+  for (int col = 0; col < k; ++col) {
+    int pivot = -1;
+    for (int r = col; r < k; ++r) {
+      if (mat[static_cast<std::size_t>(r * k + col)] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;  // singular: impossible for Cauchy minors
+    if (pivot != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(mat[static_cast<std::size_t>(pivot * k + c)],
+                  mat[static_cast<std::size_t>(col * k + c)]);
+        std::swap(inv[static_cast<std::size_t>(pivot * k + c)],
+                  inv[static_cast<std::size_t>(col * k + c)]);
+      }
+    }
+    const std::uint8_t d =
+        gf_inv(mat[static_cast<std::size_t>(col * k + col)]);
+    for (int c = 0; c < k; ++c) {
+      mat[static_cast<std::size_t>(col * k + c)] =
+          gf_mul(mat[static_cast<std::size_t>(col * k + c)], d);
+      inv[static_cast<std::size_t>(col * k + c)] =
+          gf_mul(inv[static_cast<std::size_t>(col * k + c)], d);
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = mat[static_cast<std::size_t>(r * k + col)];
+      if (f == 0) continue;
+      for (int c = 0; c < k; ++c) {
+        mat[static_cast<std::size_t>(r * k + c)] = static_cast<std::uint8_t>(
+            mat[static_cast<std::size_t>(r * k + c)] ^
+            gf_mul(f, mat[static_cast<std::size_t>(col * k + c)]));
+        inv[static_cast<std::size_t>(r * k + c)] = static_cast<std::uint8_t>(
+            inv[static_cast<std::size_t>(r * k + c)] ^
+            gf_mul(f, inv[static_cast<std::size_t>(col * k + c)]));
+      }
+    }
+  }
+
+  // lost-fragment row of (generator · inv): one pass over the sources.
+  const auto lost_row = generator_row(lost);
+  std::vector<std::uint8_t> weights(static_cast<std::size_t>(k), 0);
+  for (int s = 0; s < k; ++s) {
+    std::uint8_t w = 0;
+    for (int c = 0; c < k; ++c) {
+      w = static_cast<std::uint8_t>(
+          w ^ gf_mul(lost_row[static_cast<std::size_t>(c)],
+                     inv[static_cast<std::size_t>(c * k + s)]));
+    }
+    weights[static_cast<std::size_t>(s)] = w;
+  }
+  out->assign(n, 0);
+  for (int s = 0; s < k; ++s) {
+    const auto* bytes = sources[static_cast<std::size_t>(s)].second;
+    if (bytes == nullptr || bytes->empty()) continue;
+    mul_acc(weights[static_cast<std::size_t>(s)], bytes->data(), out->data(),
+            n);
+  }
+  return true;
+}
+
+}  // namespace repro::ec

@@ -1,0 +1,78 @@
+// Systematic Reed-Solomon erasure codec over GF(256).
+//
+// The generator matrix is [I_k ; C] with C an m x k Cauchy matrix
+// (c[q][p] = 1 / (x_q + y_p), x_q = k + q, y_p = p): every k x k minor is
+// invertible, so any k of the k+m fragments reconstruct the rest. Fragments
+// are equal-length byte buffers — in this simulator one 4 KB cell each.
+// Two properties the data path relies on:
+//
+//  * absent-as-zero: an all-zero fragment is what unwritten space reads
+//    back as, and the codec is linear, so parity over a partially written
+//    stripe is simply parity over zero-padded data;
+//  * delta update: p' = p + c[q][p]·(d + d'), so a single-cell overwrite
+//    updates each parity with one read-modify-write instead of re-reading
+//    the whole stripe.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace repro::ec {
+
+/// GF(256) arithmetic (polynomial 0x11D), table-driven.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf_inv(std::uint8_t a);
+
+class Codec {
+ public:
+  /// Requires 1 <= k, 1 <= m and k + m <= 128 (Cauchy x/y sets must be
+  /// disjoint in GF(256); the fleet never goes near the bound).
+  Codec(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  /// Coefficient of data fragment `p` in parity `q` (the Cauchy entry).
+  std::uint8_t coef(int q, int p) const {
+    return cauchy_[static_cast<std::size_t>(q * k_ + p)];
+  }
+
+  /// out[i] ^= c * in[i] for n bytes — the GF multiply-accumulate every
+  /// encode/decode path reduces to.
+  static void mul_acc(std::uint8_t c, const std::uint8_t* in,
+                      std::uint8_t* out, std::size_t n);
+
+  /// Parity fragment `q` of a full stripe: data[p] may be empty (= zero
+  /// fragment); non-empty buffers must all have size n.
+  std::vector<std::uint8_t> encode_parity(
+      int q, const std::vector<std::vector<std::uint8_t>>& data,
+      std::size_t n) const;
+
+  /// Delta update: new parity bytes from old parity + the XOR-delta of data
+  /// fragment `p`. Empty `old_parity` means the parity cell was never
+  /// written (all-zero).
+  std::vector<std::uint8_t> update_parity(
+      int q, int p, const std::vector<std::uint8_t>& old_parity,
+      const std::vector<std::uint8_t>& delta, std::size_t n) const;
+
+  /// Reconstructs fragment `lost` (0..k-1 = data, k..k+m-1 = parity) from
+  /// exactly k sources (fragment index, bytes; empty bytes = zero
+  /// fragment). Returns false on bad input (wrong source count, duplicate
+  /// or out-of-range indices — never happens from the data path).
+  bool reconstruct(
+      const std::vector<std::pair<int, const std::vector<std::uint8_t>*>>&
+          sources,
+      int lost, std::size_t n, std::vector<std::uint8_t>* out) const;
+
+ private:
+  /// Row `frag` of the systematic generator matrix (length k).
+  std::vector<std::uint8_t> generator_row(int frag) const;
+
+  int k_;
+  int m_;
+  std::vector<std::uint8_t> cauchy_;  ///< m x k, row-major
+};
+
+}  // namespace repro::ec

@@ -1,0 +1,432 @@
+#include "ec/maintenance.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace repro::ec {
+
+using transport::IoRequest;
+using transport::IoResult;
+using transport::OpType;
+using transport::StorageStatus;
+
+namespace {
+
+double rebuild_cell_cost(const EcParams& p) {
+  // One reconstructed cell moves k source reads plus one write.
+  return static_cast<double>(p.k + 1) * EcParams::kCellBytes;
+}
+
+double rebuild_burst(const EcParams& p) {
+  const double cost = rebuild_cell_cost(p);
+  if (p.rebuild_bandwidth_cap <= 0) return cost;
+  return std::max(cost * std::max(p.rebuild_concurrency, 1),
+                  p.rebuild_bandwidth_cap * 0.01);
+}
+
+}  // namespace
+
+MaintenanceAgent::MaintenanceAgent(sim::Engine& engine, EcClient& ec,
+                                   sa::SegmentTable& segments,
+                                   const EcParams& params,
+                                   EcClient::SubmitFn probe_submit,
+                                   RemapFn remap)
+    : engine_(engine),
+      ec_(ec),
+      segments_(segments),
+      params_(params),
+      probe_submit_(std::move(probe_submit)),
+      remap_(std::move(remap)),
+      bucket_(params.rebuild_bandwidth_cap, rebuild_burst(params)) {
+  ec_.set_agent(this);
+}
+
+void MaintenanceAgent::on_activity(std::uint64_t vd) {
+  vds_.insert(vd);
+  activity_ = true;
+  ensure_timer();
+}
+
+void MaintenanceAgent::on_fragment_failure(net::IpAddr server) {
+  note_failure(server);
+}
+
+void MaintenanceAgent::on_row_damage(std::uint64_t vd, std::uint32_t stripe,
+                                     std::uint32_t row) {
+  RowKey r{vd, stripe, row};
+  stalled_rows_.erase(r);
+  if (damage_queued_.insert(r).second) damage_q_.push_back(r);
+  ensure_timer();
+  pump_repairs();
+}
+
+void MaintenanceAgent::force_server_down(net::IpAddr server) {
+  declare_dead(server);
+}
+
+void MaintenanceAgent::force_server_up(net::IpAddr server) {
+  auto& h = health_[server];
+  if (h.dead) declare_alive(server);
+}
+
+void MaintenanceAgent::ensure_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  engine_.schedule_after(params_.probe_interval, [this] { tick(); });
+}
+
+void MaintenanceAgent::tick() {
+  timer_armed_ = false;
+  // Rearm only while something can still make progress: guest traffic in
+  // the last interval, or queued rebuild/repair work. A drained cluster
+  // stops ticking so the engine quiesces.
+  const bool keep = activity_ || !rebuild_q_.empty() || rebuild_active_ ||
+                    !damage_q_.empty() || repair_active_;
+  activity_ = false;
+  probe_all();
+  pump_rebuild();
+  pump_repairs();
+  if (keep) ensure_timer();
+}
+
+std::vector<net::IpAddr> MaintenanceAgent::tracked_servers() const {
+  std::set<net::IpAddr> set;
+  for (const std::uint64_t vd : vds_) {
+    for (const net::IpAddr s : segments_.stripe_servers(vd)) set.insert(s);
+  }
+  return {set.begin(), set.end()};
+}
+
+void MaintenanceAgent::probe_all() {
+  for (const net::IpAddr s : tracked_servers()) probe(s);
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+MaintenanceAgent::probe_target(net::IpAddr server) {
+  const auto cached = probe_cache_.find(server);
+  if (cached != probe_cache_.end()) {
+    const auto loc =
+        segments_.lookup(cached->second.first, cached->second.second);
+    if (loc && loc->block_server == server) return cached->second;
+    probe_cache_.erase(cached);
+  }
+  for (const std::uint64_t vd : vds_) {
+    const auto info = segments_.ec_info(vd);
+    if (!info) continue;
+    const std::uint64_t total =
+        info->num_data_segments +
+        static_cast<std::uint64_t>(info->num_stripes) * info->m;
+    for (std::uint64_t seg = 0; seg < total; ++seg) {
+      const std::uint64_t off = seg * sa::SegmentTable::kSegmentBytes;
+      const auto loc = segments_.lookup(vd, off);
+      if (loc && loc->block_server == server) {
+        probe_cache_[server] = {vd, off};
+        return std::make_pair(vd, off);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void MaintenanceAgent::probe(net::IpAddr server) {
+  auto& h = health_[server];
+  if (h.outstanding) return;
+  const auto target = probe_target(server);
+  if (!target) return;  // server no longer holds any fragment
+  ++stats_.probes;
+  h.outstanding = true;
+  const std::uint64_t gen = ++h.probe_gen;
+  h.timeout_timer = engine_.schedule_after(
+      params_.probe_timeout,
+      [this, server, gen] { probe_done(server, gen, false); });
+  IoRequest io;
+  io.vd_id = target->first;
+  io.op = OpType::kRead;
+  io.offset = target->second;
+  io.len = EcParams::kCellBytes;
+  io.background = true;
+  probe_submit_(std::move(io), [this, server, gen](IoResult res) {
+    probe_done(server, gen, res.status == StorageStatus::kOk);
+  });
+}
+
+void MaintenanceAgent::probe_done(net::IpAddr server, std::uint64_t gen,
+                                  bool ok) {
+  auto& h = health_[server];
+  if (gen != h.probe_gen || !h.outstanding) return;  // superseded / late
+  h.outstanding = false;
+  engine_.cancel(h.timeout_timer);
+  if (ok) {
+    note_ok(server);
+  } else {
+    ++stats_.probe_failures;
+    note_failure(server);
+  }
+}
+
+void MaintenanceAgent::note_ok(net::IpAddr server) {
+  auto& h = health_[server];
+  h.fails = 0;
+  if (h.dead) declare_alive(server);
+}
+
+void MaintenanceAgent::note_failure(net::IpAddr server) {
+  auto& h = health_[server];
+  if (h.dead) return;
+  if (++h.fails >= params_.probe_failures_to_dead) declare_dead(server);
+}
+
+void MaintenanceAgent::declare_dead(net::IpAddr server) {
+  auto& h = health_[server];
+  if (h.dead) return;
+  h.dead = true;
+  h.fails = 0;
+  ++stats_.servers_died;
+  ec_.mark_server(server, false);
+  // Queue every fragment currently placed on the dead server.
+  for (const std::uint64_t vd : vds_) {
+    const auto info = segments_.ec_info(vd);
+    if (!info) continue;
+    const std::uint64_t total =
+        info->num_data_segments +
+        static_cast<std::uint64_t>(info->num_stripes) * info->m;
+    for (std::uint64_t seg = 0; seg < total; ++seg) {
+      const auto loc =
+          segments_.lookup(vd, seg * sa::SegmentTable::kSegmentBytes);
+      if (!loc || loc->block_server != server) continue;
+      if (queued_.insert({vd, seg}).second) rebuild_q_.push_back({vd, seg});
+    }
+  }
+  requeue_stalled();
+  ensure_timer();
+  pump_rebuild();
+}
+
+void MaintenanceAgent::declare_alive(net::IpAddr server) {
+  auto& h = health_[server];
+  if (!h.dead) return;
+  h.dead = false;
+  h.fails = 0;
+  ++stats_.servers_revived;
+  ec_.mark_server(server, true);
+  requeue_stalled();
+  ensure_timer();
+  pump_rebuild();
+  pump_repairs();
+}
+
+void MaintenanceAgent::requeue_stalled() {
+  for (const FragKey& f : stalled_) {
+    if (queued_.insert(f).second) rebuild_q_.push_back(f);
+  }
+  stalled_.clear();
+  for (const RowKey& r : stalled_rows_) {
+    if (damage_queued_.insert(r).second) damage_q_.push_back(r);
+  }
+  stalled_rows_.clear();
+}
+
+void MaintenanceAgent::pump_rebuild() {
+  if (rebuild_active_ || rebuild_q_.empty()) return;
+  rebuild_active_ = true;
+  const FragKey f = rebuild_q_.front();
+  rebuild_q_.pop_front();
+  start_segment_rebuild(f.first, f.second);
+}
+
+void MaintenanceAgent::start_segment_rebuild(std::uint64_t vd,
+                                             std::uint64_t seg) {
+  const auto info = segments_.ec_info(vd);
+  const auto cur =
+      segments_.lookup(vd, seg * sa::SegmentTable::kSegmentBytes);
+  if (!info || !cur) {
+    finish_segment(vd, seg, true);  // nothing to do
+    return;
+  }
+  // A previous attempt may have remapped the fragment to a spare and then
+  // stalled before any data landed; the rebuilding flag is still set and
+  // the (healthy) holder does not yet hold the fragment. Dropping because
+  // "the holder is alive" would leave the fragment silently absent.
+  const bool resuming = ec_.segment_rebuilding(vd, seg);
+  if (ec_.server_alive(cur->block_server) && !resuming) {
+    // The holder revived (or was never truly down): drop the rebuild.
+    finish_segment(vd, seg, true);
+    return;
+  }
+  const std::uint64_t nd = info->num_data_segments;
+  const std::uint32_t stripe =
+      seg < nd ? static_cast<std::uint32_t>(seg / info->k)
+               : static_cast<std::uint32_t>((seg - nd) / info->m);
+  const int frag = seg < nd
+                       ? static_cast<int>(seg % info->k)
+                       : info->k + static_cast<int>((seg - nd) % info->m);
+  // Rows holding data for this fragment (from the write directory).
+  std::vector<std::uint32_t> rows;
+  const auto& dirs = ec_.directory();
+  const auto dit = dirs.find(vd);
+  if (dit != dirs.end()) {
+    const std::uint64_t first_row =
+        static_cast<std::uint64_t>(stripe) * EcClient::kRowsPerSegment;
+    for (auto it = dit->second.rows.lower_bound(first_row);
+         it != dit->second.rows.end() &&
+         it->first < first_row + EcClient::kRowsPerSegment;
+         ++it) {
+      const bool need =
+          frag < info->k ? (it->second >> frag & 1u) != 0 : it->second != 0;
+      if (need) {
+        rows.push_back(static_cast<std::uint32_t>(it->first - first_row));
+      }
+    }
+  }
+  if (resuming && ec_.server_alive(cur->block_server)) {
+    // Resume into the spare the stalled attempt already remapped to.
+    rebuild_rows(vd, seg, stripe, frag, std::move(rows), 0);
+    return;
+  }
+  // Replacement: the first healthy pool server not already holding a
+  // fragment of this stripe (rotation guarantees one exists when the pool
+  // is at least k+m+1 wide and at most m servers are down).
+  std::set<net::IpAddr> used;
+  for (const auto& loc : segments_.ec_fragments(vd, stripe)) {
+    if (loc.block_server != 0) used.insert(loc.block_server);
+  }
+  net::IpAddr target = 0;
+  for (const net::IpAddr s : segments_.stripe_servers(vd)) {
+    if (ec_.server_alive(s) && used.find(s) == used.end()) {
+      target = s;
+      break;
+    }
+  }
+  if (target == 0) {
+    stall_segment(vd, seg);
+    return;
+  }
+  ec_.set_segment_rebuilding(vd, seg, true);
+  sa::SegmentLocation loc;
+  loc.segment_id = cur->segment_id;
+  loc.block_server = target;
+  remap_(vd, seg, loc, [this, vd, seg, stripe, frag, rows] {
+    rebuild_rows(vd, seg, stripe, frag, rows, 0);
+  });
+}
+
+void MaintenanceAgent::rebuild_rows(std::uint64_t vd, std::uint64_t seg,
+                                    std::uint32_t stripe, int frag,
+                                    std::vector<std::uint32_t> rows,
+                                    int attempt) {
+  struct St {
+    std::vector<std::uint32_t> rows;
+    std::size_t next = 0;
+    int inflight = 0;
+    bool waiting = false;  ///< a token-bucket wakeup is scheduled
+    std::vector<std::uint32_t> failed;
+  };
+  auto st = std::make_shared<St>();
+  st->rows = std::move(rows);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, vd, seg, stripe, frag, attempt, st, pump] {
+    while (st->inflight < std::max(params_.rebuild_concurrency, 1) &&
+           st->next < st->rows.size()) {
+      if (params_.rebuild_bandwidth_cap > 0) {
+        const double cost = rebuild_cell_cost(params_);
+        const TimeNs now = engine_.now();
+        if (!bucket_.try_consume(now, cost)) {
+          if (!st->waiting) {
+            st->waiting = true;
+            engine_.schedule_at(bucket_.next_available(now, cost),
+                                [st, pump] {
+                                  st->waiting = false;
+                                  (*pump)();
+                                });
+          }
+          break;
+        }
+      }
+      const std::uint32_t row = st->rows[st->next++];
+      ++st->inflight;
+      ec_.reconstruct_cell(
+          vd, stripe, row, frag, [this, st, pump, row](bool ok) {
+            engine_.after(0, [this, st, pump, row, ok] {
+              --st->inflight;
+              if (ok) {
+                ++stats_.cells_rebuilt;
+              } else {
+                st->failed.push_back(row);
+              }
+              (*pump)();
+            });
+          });
+    }
+    if (st->inflight == 0 && !st->waiting && st->next >= st->rows.size()) {
+      st->next = st->rows.size() + 1;  // guard: finish exactly once
+      if (st->failed.empty()) {
+        finish_segment(vd, seg, true);
+      } else if (attempt + 1 < 3) {
+        engine_.schedule_after(
+            params_.repair_retry,
+            [this, vd, seg, stripe, frag, failed = st->failed, attempt] {
+              rebuild_rows(vd, seg, stripe, frag, failed, attempt + 1);
+            });
+      } else {
+        finish_segment(vd, seg, false);
+      }
+    }
+  };
+  (*pump)();
+}
+
+void MaintenanceAgent::finish_segment(std::uint64_t vd, std::uint64_t seg,
+                                      bool ok) {
+  if (!ok) {
+    stall_segment(vd, seg);
+    return;
+  }
+  ec_.set_segment_rebuilding(vd, seg, false);
+  queued_.erase({vd, seg});
+  ++stats_.segments_rebuilt;
+  rebuild_active_ = false;
+  engine_.after(0, [this] { pump_rebuild(); });
+}
+
+void MaintenanceAgent::stall_segment(std::uint64_t vd, std::uint64_t seg) {
+  // Keep the rebuilding flag (if set): the fragment's new location does not
+  // hold complete data, so reads must keep decoding around it.
+  queued_.erase({vd, seg});
+  stalled_.insert({vd, seg});
+  ++stats_.segments_stalled;
+  rebuild_active_ = false;
+  engine_.after(0, [this] { pump_rebuild(); });
+}
+
+void MaintenanceAgent::pump_repairs() {
+  if (repair_active_ || damage_q_.empty()) return;
+  repair_active_ = true;
+  const RowKey r = damage_q_.front();
+  damage_q_.pop_front();
+  damage_queued_.erase(r);
+  ec_.repair_row(r.vd, r.stripe, r.row, [this, r](bool ok) {
+    engine_.after(0, [this, r, ok] {
+      repair_active_ = false;
+      if (ok) {
+        ++stats_.rows_repaired;
+        repair_attempts_.erase(r);
+      } else {
+        ++stats_.repair_failures;
+        const int attempts = ++repair_attempts_[r];
+        if (attempts < 3) {
+          engine_.schedule_after(params_.repair_retry, [this, r] {
+            if (damage_queued_.insert(r).second) damage_q_.push_back(r);
+            pump_repairs();
+          });
+        } else {
+          repair_attempts_.erase(r);
+          stalled_rows_.insert(r);
+        }
+      }
+      pump_repairs();
+    });
+  });
+}
+
+}  // namespace repro::ec

@@ -1,0 +1,163 @@
+// Background maintenance plane of the EC server family: watches fragment
+// health (probes + foreground failure signals), declares servers dead after
+// repeated failures, and turns fragment loss into real rebuild traffic —
+// remapping the lost segment to a healthy spare server and reconstructing
+// every written cell from k survivors, throttled by a token bucket
+// (`rebuild_bandwidth_cap`) and classed best-effort by QoS so foreground
+// guarantees win under contention. Torn parity rows reported by the
+// EcClient are repaired here too (re-encode from the data fragments).
+//
+// Determinism: the agent lives on its VDs' compute node and is driven only
+// by engine timers and I/O completions; every container it iterates is an
+// ordered map/set. The probe timer self-gates on activity so an idle
+// cluster still quiesces (runs end when the guest workload does).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/token_bucket.h"
+#include "ec/client.h"
+#include "ec/params.h"
+#include "sa/segment_table.h"
+#include "sim/engine.h"
+
+namespace repro::ec {
+
+class MaintenanceAgent {
+ public:
+  /// Installs a segment-location override (rebuild remap). In sharded runs
+  /// the cluster routes this through a global barrier op (the SegmentTable
+  /// is shared state); `done` fires on the agent's home shard afterwards.
+  using RemapFn =
+      std::function<void(std::uint64_t vd, std::uint64_t seg_index,
+                         sa::SegmentLocation loc, std::function<void()> done)>;
+
+  MaintenanceAgent(sim::Engine& engine, EcClient& ec,
+                   sa::SegmentTable& segments, const EcParams& params,
+                   EcClient::SubmitFn probe_submit, RemapFn remap);
+
+  // --- signals from the data path --------------------------------------
+  /// Foreground I/O touched `vd` (arms the probe timer).
+  void on_activity(std::uint64_t vd);
+  /// A fragment sub-I/O against `server` failed (fast-path detection).
+  void on_fragment_failure(net::IpAddr server);
+  /// The EcClient left a row with stale parity (torn RMW).
+  void on_row_damage(std::uint64_t vd, std::uint32_t stripe,
+                     std::uint32_t row);
+
+  /// Test hook: declare a server dead immediately, as if probes had
+  /// exhausted `probe_failures_to_dead`.
+  void force_server_down(net::IpAddr server);
+  /// Test hook: revive a server (probes would discover this eventually).
+  void force_server_up(net::IpAddr server);
+
+  struct Stats {
+    std::uint64_t probes = 0;
+    std::uint64_t probe_failures = 0;
+    std::uint64_t servers_died = 0;
+    std::uint64_t servers_revived = 0;
+    std::uint64_t segments_rebuilt = 0;
+    std::uint64_t segments_stalled = 0;
+    std::uint64_t cells_rebuilt = 0;
+    std::uint64_t rows_repaired = 0;
+    std::uint64_t repair_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t rebuild_backlog() const {
+    return rebuild_q_.size() + (rebuild_active_ ? 1 : 0);
+  }
+  std::size_t stalled_segments() const { return stalled_.size(); }
+  std::size_t pending_repairs() const {
+    return damage_q_.size() + stalled_rows_.size() + (repair_active_ ? 1 : 0);
+  }
+  /// All rebuild/repair work (including stalled) has drained.
+  bool idle() const {
+    return rebuild_backlog() == 0 && damage_q_.empty() && !repair_active_ &&
+           stalled_.empty() && stalled_rows_.empty();
+  }
+
+ private:
+  struct ServerHealth {
+    bool dead = false;
+    bool outstanding = false;    ///< a probe is in flight
+    std::uint64_t probe_gen = 0;  ///< invalidates late probe completions
+    sim::TimerId timeout_timer = 0;
+    int fails = 0;
+  };
+  struct RowKey {
+    std::uint64_t vd = 0;
+    std::uint32_t stripe = 0;
+    std::uint32_t row = 0;
+    bool operator<(const RowKey& o) const {
+      if (vd != o.vd) return vd < o.vd;
+      if (stripe != o.stripe) return stripe < o.stripe;
+      return row < o.row;
+    }
+  };
+  using FragKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (vd, seg)
+
+  void ensure_timer();
+  void tick();
+  void probe_all();
+  void probe(net::IpAddr server);
+  void probe_done(net::IpAddr server, std::uint64_t gen, bool ok);
+  void note_failure(net::IpAddr server);
+  void note_ok(net::IpAddr server);
+  void declare_dead(net::IpAddr server);
+  void declare_alive(net::IpAddr server);
+  /// Health changed: stalled segments/rows get another chance.
+  void requeue_stalled();
+  /// Physical offset of a cell currently mapped to `server`, if any.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> probe_target(
+      net::IpAddr server);
+  /// Every server any registered VD stripes over, ordered.
+  std::vector<net::IpAddr> tracked_servers() const;
+
+  void pump_rebuild();
+  void start_segment_rebuild(std::uint64_t vd, std::uint64_t seg);
+  void rebuild_rows(std::uint64_t vd, std::uint64_t seg, std::uint32_t stripe,
+                    int frag, std::vector<std::uint32_t> rows, int attempt);
+  void finish_segment(std::uint64_t vd, std::uint64_t seg, bool ok);
+  void stall_segment(std::uint64_t vd, std::uint64_t seg);
+
+  void pump_repairs();
+
+  sim::Engine& engine_;
+  EcClient& ec_;
+  sa::SegmentTable& segments_;
+  EcParams params_;
+  EcClient::SubmitFn probe_submit_;
+  RemapFn remap_;
+  TokenBucket bucket_;
+
+  std::set<std::uint64_t> vds_;  ///< VDs seen via on_activity
+  std::map<net::IpAddr, ServerHealth> health_;
+  std::map<net::IpAddr, std::pair<std::uint64_t, std::uint64_t>>
+      probe_cache_;  ///< server -> (vd, phys offset)
+
+  bool timer_armed_ = false;
+  bool activity_ = false;
+
+  std::deque<FragKey> rebuild_q_;
+  std::set<FragKey> queued_;  ///< dedup for rebuild_q_ + active segment
+  bool rebuild_active_ = false;
+  std::set<FragKey> stalled_;
+
+  std::deque<RowKey> damage_q_;
+  std::set<RowKey> damage_queued_;
+  bool repair_active_ = false;
+  std::map<RowKey, int> repair_attempts_;
+  std::set<RowKey> stalled_rows_;
+
+  Stats stats_;
+};
+
+}  // namespace repro::ec

@@ -1,0 +1,61 @@
+#include "ec/params.h"
+
+#include "obs/json.h"
+#include "obs/json_reader.h"
+
+namespace repro::ec {
+
+void write_ec_params(obs::JsonWriter& w, const EcParams& p) {
+  w.begin_object();
+  w.field("enabled", p.enabled);
+  w.field("k", p.k);
+  w.field("m", p.m);
+  w.field("rebuild_bandwidth_cap", p.rebuild_bandwidth_cap);
+  w.field("probe_interval_us", static_cast<double>(p.probe_interval) / 1e3);
+  w.field("probe_timeout_us", static_cast<double>(p.probe_timeout) / 1e3);
+  w.field("probe_failures_to_dead", p.probe_failures_to_dead);
+  w.field("rebuild_concurrency", p.rebuild_concurrency);
+  w.field("repair_retry_us", static_cast<double>(p.repair_retry) / 1e3);
+  w.end_object();
+}
+
+bool read_ec_params(const obs::JsonValue& v, EcParams* p) {
+  if (v.type != obs::JsonValue::Type::kObject) return false;
+  obs::json_bool(v, "enabled", &p->enabled);
+  double num = 0.0;
+  if (obs::json_number(v, "k", &num)) p->k = static_cast<int>(num);
+  if (obs::json_number(v, "m", &num)) p->m = static_cast<int>(num);
+  obs::json_number(v, "rebuild_bandwidth_cap", &p->rebuild_bandwidth_cap);
+  if (obs::json_number(v, "probe_interval_us", &num)) {
+    p->probe_interval = static_cast<TimeNs>(num * 1e3);
+  }
+  if (obs::json_number(v, "probe_timeout_us", &num)) {
+    p->probe_timeout = static_cast<TimeNs>(num * 1e3);
+  }
+  if (obs::json_number(v, "probe_failures_to_dead", &num)) {
+    p->probe_failures_to_dead = static_cast<int>(num);
+  }
+  if (obs::json_number(v, "rebuild_concurrency", &num)) {
+    p->rebuild_concurrency = static_cast<int>(num);
+  }
+  if (obs::json_number(v, "repair_retry_us", &num)) {
+    p->repair_retry = static_cast<TimeNs>(num * 1e3);
+  }
+  if (p->k < 1 || p->m < 1 || p->k + p->m > 128) return false;
+  return true;
+}
+
+bool ec_params_key_allowed(const std::string& key) {
+  static const char* const kKeys[] = {
+      "enabled",        "k",
+      "m",              "rebuild_bandwidth_cap",
+      "probe_interval_us", "probe_timeout_us",
+      "probe_failures_to_dead", "rebuild_concurrency",
+      "repair_retry_us"};
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+}  // namespace repro::ec

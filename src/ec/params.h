@@ -1,0 +1,52 @@
+// Fleet-wide erasure-coding knobs. Lives on stack::StackParams (and thus
+// ebs::ClusterParams / ScenarioSpec) the same way the qos subsystem's
+// params do: `enabled == false` means no EC object is ever built and the
+// run is bit-identical to a spec that predates the field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace repro::obs {
+struct JsonValue;
+class JsonWriter;
+}  // namespace repro::obs
+
+namespace repro::ec {
+
+struct EcParams {
+  bool enabled = false;
+  /// Stripe geometry: k data + m parity fragments, placed on k+m distinct
+  /// block servers. Degraded reads reconstruct from any k.
+  int k = 4;
+  int m = 2;
+  /// Rebuild throttle in rebuilt bytes per simulated second (token bucket
+  /// over the maintenance agent's reconstruct-writes). 0 = unthrottled —
+  /// the `bench/ec_rebuild` trade-off knob.
+  double rebuild_bandwidth_cap = 0.0;
+  /// Fragment-health probing (maintenance agent): a probe read per tracked
+  /// server every `probe_interval`; a server is declared dead after
+  /// `probe_failures_to_dead` consecutive timeouts/errors.
+  TimeNs probe_interval = ms(5);
+  TimeNs probe_timeout = ms(15);
+  int probe_failures_to_dead = 2;
+  /// Concurrent reconstruct operations per maintenance agent.
+  int rebuild_concurrency = 2;
+  /// Backoff before retrying a failed row repair / reconstruct.
+  TimeNs repair_retry = ms(10);
+
+  /// Fragment cell: EC math runs per 4 KB block, the granularity every
+  /// workload and the durability oracle already use. Fixed, not a knob.
+  static constexpr std::uint32_t kCellBytes = 4096;
+};
+
+/// JSON round-trip (ScenarioSpec "ec" object). Mirrors qos::write_qos_params.
+void write_ec_params(obs::JsonWriter& w, const EcParams& p);
+bool read_ec_params(const obs::JsonValue& v, EcParams* p);
+/// Keys `read_ec_params` understands — the scenario strict parser rejects
+/// anything else.
+bool ec_params_key_allowed(const std::string& key);
+
+}  // namespace repro::ec

@@ -9,6 +9,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <utility>
@@ -228,6 +229,36 @@ inline bool json_bool(const JsonValue& obj, const char* key, bool* out) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr || v->type != JsonValue::Type::kBool) return false;
   *out = v->b;
+  return true;
+}
+
+/// Strict-parse guard: verifies every member of object `obj` is named in
+/// `allowed`. A misspelled knob in a hand-edited spec must fail loudly, not
+/// silently fall back to the default. On the first unknown key sets `*error`
+/// to `<where>: unrecognized field "<key>"` and returns false. `pred` (when
+/// non-null) extends the allow-list for keys a subsystem validates itself.
+inline bool json_check_keys(const JsonValue& obj,
+                            std::initializer_list<const char*> allowed,
+                            const char* where, std::string* error,
+                            bool (*pred)(const std::string&) = nullptr) {
+  if (obj.type != JsonValue::Type::kObject) return true;
+  for (const auto& [key, value] : *obj.obj) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && pred != nullptr) ok = pred(key);
+    if (!ok) {
+      if (error != nullptr) {
+        *error = std::string(where) + ": unrecognized field \"" + key + "\"";
+      }
+      return false;
+    }
+  }
   return true;
 }
 

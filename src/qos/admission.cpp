@@ -34,7 +34,10 @@ void NodeAdmission::submit(transport::IoRequest io,
                            transport::IoCompleteFn done, const PassFn& pass) {
   const TimeNs now = engine_.now();
   Tenant& t = tenant(io.vd_id);
-  const SloSpec& slo = *t.slo;
+  // Background maintenance traffic (EC rebuild, scrub) never inherits the
+  // VD's contract: it is classed best-effort and gets no admission floor —
+  // a rebuild storm must shed before foreground guarantees do.
+  const SloSpec& slo = io.background ? default_slo_ : *t.slo;
   const int cls = static_cast<int>(slo.cls);
 
   bool reject = false;

@@ -27,6 +27,11 @@ namespace repro::qos {
 enum class SloClass : std::uint8_t { kGuaranteed = 0, kBestEffort = 1 };
 inline constexpr int kSloClasses = 2;
 
+/// Tenant key used for background maintenance traffic (EC rebuild, scrub).
+/// No VD ever carries this id, so SloTable lookups miss and the work is
+/// scheduled best-effort regardless of the originating VD's contract.
+inline constexpr std::uint64_t kBackgroundTenant = ~0ull;
+
 const char* to_string(SloClass c);
 bool slo_class_from_string(const std::string& s, SloClass* out);
 

@@ -1,6 +1,7 @@
 #include "sa/segment_table.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace repro::sa {
 
@@ -28,10 +29,79 @@ void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
   VdMeta& vd = vds_[vd_id];
   vd.base_segment_id = next_segment_id_;
   vd.num_segments = static_cast<std::uint32_t>(segments);
+  vd.num_data_segments = vd.num_segments;
   vd.pool_off = intern_stripe(servers);
   vd.pool_len = static_cast<std::uint32_t>(servers.size());
   next_segment_id_ += segments;
   flat_segments_ += segments;
+}
+
+void SegmentTable::map_disk_ec(std::uint64_t vd_id, std::uint64_t size_bytes,
+                               const std::vector<net::IpAddr>& servers, int k,
+                               int m) {
+  if (k < 1 || m < 1 ||
+      servers.size() < static_cast<std::size_t>(k) + static_cast<std::size_t>(m)) {
+    std::abort();  // a stripe needs k+m distinct servers
+  }
+  const std::uint64_t data_segments =
+      (size_bytes + kSegmentBytes - 1) / kSegmentBytes;
+  const std::uint64_t stripes =
+      (data_segments + static_cast<std::uint64_t>(k) - 1) /
+      static_cast<std::uint64_t>(k);
+  const std::uint64_t total =
+      data_segments + stripes * static_cast<std::uint64_t>(m);
+  if (vd_id >= vds_.size()) vds_.resize(vd_id + 1);
+  VdMeta& vd = vds_[vd_id];
+  vd.base_segment_id = next_segment_id_;
+  vd.num_segments = static_cast<std::uint32_t>(total);
+  vd.num_data_segments = static_cast<std::uint32_t>(data_segments);
+  vd.pool_off = intern_stripe(servers);
+  vd.pool_len = static_cast<std::uint32_t>(servers.size());
+  vd.ec_k = static_cast<std::uint8_t>(k);
+  vd.ec_m = static_cast<std::uint8_t>(m);
+  next_segment_id_ += total;
+  flat_segments_ += total;
+}
+
+std::optional<EcInfo> SegmentTable::ec_info(std::uint64_t vd_id) const {
+  if (vd_id >= vds_.size() || vds_[vd_id].ec_k == 0) return std::nullopt;
+  const VdMeta& vd = vds_[vd_id];
+  EcInfo info;
+  info.k = vd.ec_k;
+  info.m = vd.ec_m;
+  info.num_data_segments = vd.num_data_segments;
+  info.num_stripes =
+      (vd.num_data_segments + vd.ec_k - 1) / static_cast<std::uint32_t>(vd.ec_k);
+  return info;
+}
+
+std::vector<SegmentLocation> SegmentTable::ec_fragments(
+    std::uint64_t vd_id, std::uint32_t stripe) const {
+  std::vector<SegmentLocation> frags;
+  if (vd_id >= vds_.size() || vds_[vd_id].ec_k == 0) return frags;
+  const VdMeta& vd = vds_[vd_id];
+  const std::uint32_t k = vd.ec_k;
+  const std::uint32_t m = vd.ec_m;
+  frags.resize(k + m);
+  for (std::uint32_t c = 0; c < k + m; ++c) {
+    const std::uint64_t seg =
+        c < k ? static_cast<std::uint64_t>(stripe) * k + c
+              : vd.num_data_segments +
+                    static_cast<std::uint64_t>(stripe) * m + (c - k);
+    if (c < k && seg >= vd.num_data_segments) continue;  // tail stripe
+    if (const auto loc = lookup(vd_id, seg * kSegmentBytes)) {
+      frags[c] = *loc;
+    }
+  }
+  return frags;
+}
+
+std::vector<net::IpAddr> SegmentTable::stripe_servers(
+    std::uint64_t vd_id) const {
+  if (vd_id >= vds_.size() || vds_[vd_id].pool_len == 0) return {};
+  const VdMeta& vd = vds_[vd_id];
+  return {pool_.begin() + vd.pool_off,
+          pool_.begin() + vd.pool_off + vd.pool_len};
 }
 
 std::optional<SegmentLocation> SegmentTable::lookup(
@@ -46,7 +116,24 @@ std::optional<SegmentLocation> SegmentTable::lookup(
     if (seg < vd.num_segments) {
       SegmentLocation loc;
       loc.segment_id = vd.base_segment_id + seg;
-      loc.block_server = pool_[vd.pool_off + seg % vd.pool_len];
+      if (vd.ec_k == 0) {
+        loc.block_server = pool_[vd.pool_off + seg % vd.pool_len];
+      } else {
+        // Rotated EC placement: fragment c of stripe g sits on server
+        // (g + c) % W, so one stripe spans k+m distinct servers and
+        // consecutive stripes shift by one (RAID-5-style parity rotation).
+        std::uint64_t g;
+        std::uint64_t c;
+        if (seg < vd.num_data_segments) {
+          g = seg / vd.ec_k;
+          c = seg % vd.ec_k;
+        } else {
+          const std::uint64_t pi = seg - vd.num_data_segments;
+          g = pi / vd.ec_m;
+          c = vd.ec_k + pi % vd.ec_m;
+        }
+        loc.block_server = pool_[vd.pool_off + (g + c) % vd.pool_len];
+      }
       return loc;
     }
   }

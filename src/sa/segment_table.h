@@ -38,6 +38,14 @@ struct Extent {
   std::uint32_t len = 0;
 };
 
+/// Stripe geometry of an erasure-coded VD (see `map_disk_ec`).
+struct EcInfo {
+  int k = 0;
+  int m = 0;
+  std::uint32_t num_data_segments = 0;
+  std::uint32_t num_stripes = 0;
+};
+
 class SegmentTable {
  public:
   static constexpr std::uint64_t kSegmentBytes = storage::kSegmentBytes;
@@ -49,6 +57,28 @@ class SegmentTable {
   /// round-robin across `servers` with ids drawn from `next_segment_id`.
   void map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
                 const std::vector<net::IpAddr>& servers);
+
+  /// Erasure-coded layout: the VD's physical offset space is the data
+  /// region [0, nd·2MB) followed by a parity region of ceil(nd/k)·m
+  /// segments. Stripe g covers data segments g·k .. g·k+k-1 plus parity
+  /// segments nd + g·m .. nd + g·m + m-1, and fragment c of stripe g
+  /// (data c < k, parity c = k+q) lands on servers[(g + c) % W] — the
+  /// classic rotated placement, guaranteeing k+m distinct servers per
+  /// stripe when W >= k+m (required; aborts otherwise).
+  void map_disk_ec(std::uint64_t vd_id, std::uint64_t size_bytes,
+                   const std::vector<net::IpAddr>& servers, int k, int m);
+
+  /// Stripe geometry of an EC VD; nullopt for replication VDs.
+  std::optional<EcInfo> ec_info(std::uint64_t vd_id) const;
+
+  /// Current location of every fragment of stripe `g` (index 0..k+m-1,
+  /// overrides honored). Fragments past the end of a tail stripe come back
+  /// zero-initialized (block_server == 0).
+  std::vector<SegmentLocation> ec_fragments(std::uint64_t vd_id,
+                                            std::uint32_t stripe) const;
+
+  /// The server set an EC VD rotates its stripes over (pool slice).
+  std::vector<net::IpAddr> stripe_servers(std::uint64_t vd_id) const;
 
   std::optional<SegmentLocation> lookup(std::uint64_t vd_id,
                                         std::uint64_t offset) const;
@@ -64,11 +94,16 @@ class SegmentTable {
  private:
   /// One bulk-mapped VD: `num_segments` sequential ids from
   /// `base_segment_id`, striped over pool_[pool_off .. pool_off+pool_len).
+  /// EC VDs (ec_k > 0) count data + parity segments in `num_segments` and
+  /// use the rotated stripe placement instead of plain round-robin.
   struct VdMeta {
     std::uint64_t base_segment_id = 0;
     std::uint32_t num_segments = 0;
+    std::uint32_t num_data_segments = 0;  ///< == num_segments unless EC
     std::uint32_t pool_off = 0;
     std::uint32_t pool_len = 0;
+    std::uint8_t ec_k = 0;  ///< 0 = replication layout
+    std::uint8_t ec_m = 0;
   };
 
   static std::uint64_t key(std::uint64_t vd_id, std::uint64_t seg_index) {

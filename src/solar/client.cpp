@@ -5,6 +5,7 @@
 #include "common/crc32.h"
 #include "obs/obs.h"
 #include "qos/scheduler.h"
+#include "qos/slo.h"
 
 namespace repro::solar {
 
@@ -17,6 +18,12 @@ using transport::IoRequest;
 using transport::IoResult;
 using transport::OpType;
 using transport::StorageStatus;
+
+/// QoS tenant key of an I/O: background maintenance traffic is keyed under
+/// the reserved best-effort tenant so it never rides a VD's guarantee.
+static std::uint64_t tenant_of(const IoRequest& io) {
+  return io.background ? qos::kBackgroundTenant : io.vd_id;
+}
 
 namespace {
 constexpr std::uint8_t kFlagEncrypted = 0x1;
@@ -229,7 +236,7 @@ void SolarClient::start_rpc(const std::shared_ptr<IoCtx>& io,
   // RPC issue cost on the DPU CPU (§4.5: the CPU polls the I/O to issue an
   // RPC), then the Block-table lookup in the FPGA.
   const TimeNs cpu_t0 = engine_.now();
-  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_rpc,
+  cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, params_.cpu_per_rpc,
              [this, rpc, cpu_t0] {
     const TimeNs cpu_t1 = engine_.now();
     if (obs::Tracer* t = trc()) {
@@ -298,7 +305,7 @@ void SolarClient::send_write_block(const std::shared_ptr<RpcCtx>& rpc,
   }
 
   rpc->st[pkt_id].stage_t0 = engine_.now();
-  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, cpu_cost,
+  cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, cpu_cost,
              [this, rpc, pkt_id, port, software_path, fpga_lat] {
     const DataBlock& blk = rpc->wire[pkt_id];
     if (obs::Tracer* t = trc()) {
@@ -372,7 +379,7 @@ void SolarClient::send_read_request(const std::shared_ptr<RpcCtx>& rpc,
   rpc->st[pkt_id].request_acked = false;
   const std::uint16_t port = path->port;
   rpc->st[pkt_id].stage_t0 = engine_.now();
-  cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_packet,
+  cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, params_.cpu_per_packet,
              [this, rpc, pkt_id, port] {
     rpc->st[pkt_id].stage_t1 = engine_.now();
     if (obs::Tracer* t = trc()) {
@@ -489,7 +496,7 @@ void SolarClient::handle_ack(const Frame& f, const net::IntTrail& int_recs) {
     if (st.acked) return;  // duplicate ACK
     // Window/CC update per data ACK (§4.7). Read request-ACKs cost nothing
     // here — they carry no CC signal; the read side pays per data response.
-    cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_ack, [] {});
+    cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, params_.cpu_per_ack, [] {});
     st.acked = true;
     if (obs::Tracer* t = trc()) {
       t->span_with_id(st.span, "blk.net", rpc->span, st.sent_at,
@@ -577,7 +584,7 @@ void SolarClient::handle_write_response(const Frame& f) {
       std::all_of(rpc->original.begin(), rpc->original.end(),
                   [](const DataBlock& b) { return b.has_payload(); });
   cpu_submit(
-      rpc->io->io.vd_id, rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
+      tenant_of(rpc->io->io), rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
       [this, rpc, all_payloads] {
         if (params_.aggregate_check && all_payloads) {
           std::vector<std::vector<std::uint8_t>> blocks;
@@ -594,7 +601,7 @@ void SolarClient::handle_write_response(const Frame& f) {
             // Fall back to software per-block CRCs to find the culprits.
             TimeNs sw_cost = params_.sw_crc_per_block *
                              static_cast<TimeNs>(rpc->original.size());
-            cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, sw_cost,
+            cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, sw_cost,
                        [this, rpc] {
               rpc->response_received = false;
               int resent = 0;
@@ -695,7 +702,7 @@ void SolarClient::handle_read_response(const Frame& f,
                                f.server_ssd);
       rpc->wire[pkt_id] = std::move(block);
       rpc->outstanding--;
-      cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, params_.cpu_per_ack,
+      cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, params_.cpu_per_ack,
                  [] {});
       drain_queue(rpc->dst);
       if (rpc->outstanding == 0) maybe_complete_read(rpc);
@@ -710,7 +717,7 @@ void SolarClient::handle_read_response(const Frame& f,
         engine_.after(fpga_lat, std::move(finish));
       });
     } else {
-      const std::uint64_t vd = rpc->io->io.vd_id;
+      const std::uint64_t vd = tenant_of(rpc->io->io);
       dpu_.internal_pcie().transfer(len, [this, len, vd,
                                           finish = std::move(finish)]() mutable {
         dpu_.internal_pcie().transfer(len, [this, vd,
@@ -729,7 +736,7 @@ void SolarClient::maybe_complete_read(const std::shared_ptr<RpcCtx>& rpc) {
       std::all_of(rpc->wire.begin(), rpc->wire.end(),
                   [](const DataBlock& b) { return b.has_payload(); });
   cpu_submit(
-      rpc->io->io.vd_id, rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
+      tenant_of(rpc->io->io), rpc->io->io.vd_id, params_.cpu_agg_crc_per_rpc,
       [this, rpc, all_payloads] {
         if (params_.aggregate_check && all_payloads) {
           std::vector<std::vector<std::uint8_t>> blocks;
@@ -744,7 +751,7 @@ void SolarClient::maybe_complete_read(const std::shared_ptr<RpcCtx>& rpc) {
             ++stats_.agg_check_failures;
             const TimeNs sw_cost = params_.sw_crc_per_block *
                                    static_cast<TimeNs>(rpc->wire.size());
-            cpu_submit(rpc->io->io.vd_id, rpc->rpc_id, sw_cost,
+            cpu_submit(tenant_of(rpc->io->io), rpc->rpc_id, sw_cost,
                        [this, rpc] {
               for (std::uint16_t i = 0; i < rpc->st.size(); ++i) {
                 if (crc32_raw(rpc->wire[i].data) != rpc->wire[i].crc) {

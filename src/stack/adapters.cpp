@@ -139,6 +139,7 @@ class SolarFamilyStack final : public ComputeStackBase {
   }
 
   solar::SolarClient* solar() override { return solar_.get(); }
+  qos::CpuScheduler* scheduler() override { return sched_.get(); }
 
  private:
   void register_stack_observables(obs::Obs& obs, net::Nic& nic,
@@ -323,6 +324,23 @@ class SolarServerStack final : public ServerStack {
   std::unique_ptr<solar::SolarServer> solar_;
 };
 
+/// EC fragment server: fragments are plain blocks in the node's
+/// SegmentStore, served by the wrapped transport family's engine
+/// (`ctx.ec_inner`). All EC-specific behavior — striping, parity RMW,
+/// degraded decode, rebuild — is compute-side, so the server family only
+/// changes the fleet's identity (and replication factor: EC nodes store
+/// one copy per fragment).
+class EcServerStack final : public ServerStack {
+ public:
+  explicit EcServerStack(std::unique_ptr<ServerStack> inner)
+      : inner_(std::move(inner)) {}
+
+  ServerFamily family() const override { return ServerFamily::kEcServer; }
+
+ private:
+  std::unique_ptr<ServerStack> inner_;
+};
+
 }  // namespace
 
 StackFactory::StackFactory() {
@@ -348,6 +366,14 @@ StackFactory::StackFactory() {
   });
   register_server(ServerFamily::kSolar, [](ServerContext& ctx) {
     return std::unique_ptr<ServerStack>(new SolarServerStack(ctx));
+  });
+  register_server(ServerFamily::kEcServer, [](ServerContext& ctx) {
+    if (ctx.ec_inner == ServerFamily::kEcServer) {
+      std::abort();  // the wrapped family must be a transport family
+    }
+    auto inner =
+        StackFactory::instance().make_server(ctx.ec_inner, std::move(ctx));
+    return std::unique_ptr<ServerStack>(new EcServerStack(std::move(inner)));
   });
 }
 

@@ -37,10 +37,18 @@ bool has_fpga_datapath(StackKind kind);
 
 /// Which server-side engine a generation talks to. Kernel TCP and LUNA
 /// share the byte-stream server (profile differs), the SOLAR pair shares
-/// the one-block-one-packet server.
-enum class ServerFamily { kTcp, kRdma, kSolar };
+/// the one-block-one-packet server. `kEcServer` is the erasure-coding
+/// family: fragment storage served through one of the transport families
+/// (`ServerContext.ec_inner`), with the compute side striping k+m fragments
+/// across servers instead of replicating.
+enum class ServerFamily { kTcp, kRdma, kSolar, kEcServer };
+
+inline constexpr int kNumServerFamilies = 4;
 
 ServerFamily server_family(StackKind kind);
+
+/// Display name: "tcp", "rdma", "solar", "ec".
+std::string to_string(ServerFamily family);
 
 /// UDP/TCP destination port the family's server listens on — the demux key
 /// for heterogeneous storage nodes serving several generations at once.

@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "dpu/dpu.h"
+#include "ec/params.h"
 #include "obs/resettable.h"
 #include "qos/slo.h"
 #include "rdma/rdma.h"
@@ -34,6 +35,10 @@ namespace repro::obs {
 class Obs;
 }
 
+namespace repro::qos {
+class CpuScheduler;
+}
+
 namespace repro::stack {
 
 /// Per-fleet stack configuration shared by every node. `ebs::ClusterParams`
@@ -47,6 +52,7 @@ struct StackParams {
   solar::SolarParams solar;
   rdma::RdmaParams rdma;
   qos::QosParams qos;
+  ec::EcParams ec;
 };
 
 /// Everything a compute-side adapter needs from the node that hosts it.
@@ -103,6 +109,8 @@ class ComputeStack : public obs::Resettable {
   virtual dpu::AliDpu* dpu() { return nullptr; }
   virtual solar::SolarClient* solar() { return nullptr; }
   virtual sa::StorageAgent* agent() { return nullptr; }
+  /// The tenant-aware WFQ CPU scheduler, when `sched_enabled` built one.
+  virtual qos::CpuScheduler* scheduler() { return nullptr; }
   virtual transport::TcpStack* tcp() { return nullptr; }
 };
 
@@ -119,6 +127,10 @@ struct ServerContext {
   /// shipped; only an all-kernel-TCP fleet runs kernel TCP there too.
   bool kernel_generation;
   Rng rng;
+  /// Transport family the EC server wraps (fragments are served by a plain
+  /// transport engine; EC logic lives compute-side). Only read when
+  /// constructing ServerFamily::kEcServer.
+  ServerFamily ec_inner = ServerFamily::kSolar;
 };
 
 /// Server-side engine of one stack family in front of the block server.

@@ -100,6 +100,10 @@ struct IoRequest {
   std::uint32_t len = 0;     ///< bytes
   std::vector<DataBlock> payload;  ///< for writes; block-granular
   TimeNs issued_at = 0;
+  /// Background maintenance traffic (EC rebuild, scrub): scheduled
+  /// best-effort by QoS regardless of the VD's tenant class, and never
+  /// eligible for the guaranteed-floor admission bypass.
+  bool background = false;
 };
 
 struct IoResult {

@@ -103,5 +103,76 @@ INSTANTIATE_TEST_SUITE_P(
                  1e-3}),
     case_name);
 
+// ---------------------------------------------------------------------------
+// Erasure-coded fleet under the same recovery contract. The run carries
+// the extra EC durability oracle: any ≤m concurrent fragment-holder
+// outage must stay green (degraded reads + background rebuild), and a
+// minimized m+1 plan must fire it — validating the oracle the same way
+// sim_fuzz validates the hang oracle with a planted bug.
+
+HarnessConfig ec_config() {
+  HarnessConfig cfg = base_config();
+  cfg.seed = 405;
+  cfg.ec.enabled = true;
+  cfg.ec.k = 2;
+  cfg.ec.m = 1;  // pool of 4 storage nodes = k + m + 1: one spare
+  return cfg;
+}
+
+FaultEvent ec_fault(FaultKind kind, TargetKind target, int index,
+                    TimeNs duration) {
+  FaultEvent e;
+  e.at = ms(50);
+  e.duration = duration;
+  e.kind = kind;
+  e.target.kind = target;
+  e.target.index = index;
+  e.target.sub = -1;
+  return e;
+}
+
+TEST(EcRecovery, SsdStallOnFragmentHolderStaysGreen) {
+  HarnessConfig cfg = ec_config();
+  cfg.plan.name = "ec-ssd-stall";
+  cfg.plan.events.push_back(
+      ec_fault(FaultKind::kSsdStall, TargetKind::kStorageSsd, 0, ms(300)));
+  const RunReport r = run_chaos(cfg);
+  ASSERT_TRUE(r.ok()) << r.violations.front().oracle << ": "
+                      << r.violations.front().detail;
+  EXPECT_EQ(r.faults_applied, 1u);
+  EXPECT_EQ(r.faults_reverted, 1u);
+  EXPECT_GT(r.crc_checks, 0u);
+}
+
+TEST(EcRecovery, FailStopWithinBudgetRepairsAndRebuilds) {
+  HarnessConfig cfg = ec_config();
+  cfg.plan.name = "ec-fail-stop";
+  cfg.plan.events.push_back(
+      ec_fault(FaultKind::kDeviceStop, TargetKind::kStorageNic, 1, ms(300)));
+  const RunReport r = run_chaos(cfg);
+  ASSERT_TRUE(r.ok()) << r.violations.front().oracle << ": "
+                      << r.violations.front().detail;
+  EXPECT_EQ(r.faults_reverted, 1u);
+  EXPECT_GT(r.ios_completed, 0u);
+}
+
+TEST(EcRecovery, MinimizedPlanAtMPlusOneTripsOracle) {
+  HarnessConfig cfg = ec_config();
+  cfg.plan.name = "ec-m-plus-one-minimized";
+  // Two permanent concurrent fail-stops: the smallest plan that exceeds
+  // m = 1. Still down at the mid-run audit → real data loss, detected.
+  cfg.plan.events.push_back(
+      ec_fault(FaultKind::kDeviceStop, TargetKind::kStorageNic, 0, 0));
+  cfg.plan.events.push_back(
+      ec_fault(FaultKind::kDeviceStop, TargetKind::kStorageNic, 1, 0));
+  const RunReport r = run_chaos(cfg);
+  EXPECT_FALSE(r.ok());
+  bool fired = false;
+  for (const Violation& v : r.violations) {
+    if (v.oracle == "ec_durability") fired = true;
+  }
+  EXPECT_TRUE(fired) << "m+1 concurrent losses must trip the EC oracle";
+}
+
 }  // namespace
 }  // namespace repro::chaos

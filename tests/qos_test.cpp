@@ -16,14 +16,19 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_plan.h"
 #include "chaos/harness.h"
+#include "common/crc32.h"
 #include "ebs/cluster.h"
 #include "ebs/scenario.h"
+#include "ec/maintenance.h"
 #include "obs/json.h"
 #include "obs/json_reader.h"
 #include "qos/admission.h"
 #include "qos/predictor.h"
+#include "qos/scheduler.h"
 #include "qos/slo.h"
+#include "sa/segment_table.h"
 #include "sim/shard_context.h"
 #include "sim/sharded.h"
 #include "workload/fio.h"
@@ -307,6 +312,133 @@ TEST(QosChaos, RejectionStormKeepsOraclesGreen) {
   // The storm must have tripped the gate: rejections surface as errors.
   EXPECT_GT(report.errors, 0u);
   EXPECT_EQ(report.hangs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EC rebuild traffic is strictly best-effort: every sub-I/O the
+// maintenance agent issues carries `background`, keys under
+// kBackgroundTenant (which no SloTable maps), and is served from the
+// best-effort WFQ class — even when every real VD holds a guaranteed
+// contract. A rebuild storm must never consume guaranteed-class service.
+
+std::vector<std::uint8_t> qe_pattern(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> v(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (auto& b : v) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  return v;
+}
+
+TEST(QosEc, RebuildTrafficServedBestEffort) {
+  sim::Engine eng;
+  ebs::ClusterParams p;
+  p.topo.compute_servers = 1;
+  p.topo.storage_servers = 4;  // k + m + 1: one spare for the rebuild
+  p.topo.servers_per_rack = 4;
+  p.stack = ebs::StackKind::kSolar;
+  p.seed = 31;
+  p.block_server.store_payload = true;
+  p.ec.enabled = true;
+  p.ec.k = 2;
+  p.ec.m = 1;
+  p.qos.enabled = true;
+  p.qos.sched_enabled = true;
+  ebs::Cluster cluster(eng, p);
+  const std::uint64_t vd = cluster.create_vd(32ull << 20);
+  SloSpec slo;
+  slo.cls = SloClass::kGuaranteed;
+  slo.guaranteed_iops = 1000.0;
+  cluster.set_slo(vd, slo);
+
+  // Foreground writes covering both data fragments of stripe 0, under the
+  // guaranteed contract.
+  for (const std::uint64_t off :
+       {std::uint64_t{0}, sa::SegmentTable::kSegmentBytes}) {
+    IoRequest io;
+    io.vd_id = vd;
+    io.op = transport::OpType::kWrite;
+    io.offset = off;
+    io.len = 8192;
+    io.payload = transport::make_placeholder_blocks(off, io.len, 4096);
+    for (auto& blk : io.payload) {
+      blk.data = qe_pattern(blk.len, blk.lba + 1);
+      blk.crc = crc32_raw(blk.data);
+    }
+    bool done = false;
+    eng.at(eng.now(), [&] {
+      cluster.compute(0).submit_io(std::move(io), [&](IoResult r) {
+        EXPECT_EQ(r.status, transport::StorageStatus::kOk);
+        done = true;
+      });
+    });
+    while (!done && eng.step()) {
+    }
+    ASSERT_TRUE(done);
+  }
+  eng.run();
+
+  qos::CpuScheduler* sched = cluster.compute(0).stack().scheduler();
+  ASSERT_NE(sched, nullptr);
+  const std::uint64_t fg_before = sched->served_ns(SloClass::kGuaranteed);
+  const std::uint64_t bg_before = sched->served_ns(SloClass::kBestEffort);
+  EXPECT_GT(fg_before, 0u);  // foreground ran under the contract
+
+  // Lose a fragment holder (belief-only, so the real server still answers
+  // the reconstruction reads) and let the rebuild storm drain.
+  const auto frags = cluster.segments().ec_fragments(vd, 0);
+  cluster.compute(0).maintenance()->force_server_down(frags[0].block_server);
+  eng.run();
+  EXPECT_GT(cluster.compute(0).maintenance()->stats().segments_rebuilt, 0u);
+  // The rebuild consumed best-effort service time only: the guaranteed
+  // class served not one extra nanosecond.
+  EXPECT_GT(sched->served_ns(SloClass::kBestEffort), bg_before);
+  EXPECT_EQ(sched->served_ns(SloClass::kGuaranteed), fg_before);
+}
+
+// An EC fleet under QoS with a mid-run fragment-holder outage (rebuild
+// storm + admission + WFQ) is bit-identical across worker-thread counts:
+// threads are a speed knob, never a schedule input.
+TEST(QosEc, RebuildStormDeterministicAcrossThreads) {
+  auto config = [](int threads) {
+    chaos::HarnessConfig cfg;
+    cfg.stack = ebs::StackKind::kSolar;
+    cfg.seed = 19;
+    cfg.active = ms(300);
+    cfg.fio_max_ios = 120;
+    cfg.poisson_iops = 800.0;
+    cfg.readback_samples = 16;
+    cfg.ec.enabled = true;
+    cfg.ec.k = 2;
+    cfg.ec.m = 1;
+    cfg.qos.enabled = true;
+    cfg.qos.sched_enabled = true;
+    cfg.slo_all = true;
+    cfg.slo.cls = SloClass::kGuaranteed;
+    cfg.slo.target_p99 = ms(5);
+    cfg.slo.guaranteed_iops = 200.0;
+    chaos::FaultEvent e;
+    e.at = ms(50);
+    e.duration = ms(150);
+    e.kind = chaos::FaultKind::kDeviceStop;
+    e.target.kind = chaos::TargetKind::kStorageNic;
+    e.target.index = 1;
+    cfg.plan.name = "qos-ec-rebuild-storm";
+    cfg.plan.events.push_back(e);
+    cfg.shards = 2;
+    cfg.threads = threads;
+    return cfg;
+  };
+  const chaos::RunReport t1 = chaos::run_chaos(config(1));
+  ASSERT_TRUE(t1.ok()) << t1.violations.front().oracle << ": "
+                       << t1.violations.front().detail;
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(t1.signature(), chaos::run_chaos(config(threads)).signature())
+        << "threads=" << threads;
+  }
 }
 
 // A rejection-storm run is itself deterministic (same signature twice).

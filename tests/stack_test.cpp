@@ -100,6 +100,11 @@ ScenarioSpec full_spec() {
   spec.workload.max_ios = 123;
   spec.workload.poisson_iops = 450.0;
   spec.fault_plan_file = "plans/p1.json";
+  spec.ec.enabled = true;
+  spec.ec.k = 4;
+  spec.ec.m = 2;
+  spec.ec.rebuild_bandwidth_cap = 64e6;
+  spec.ec.rebuild_concurrency = 3;
   return spec;
 }
 
@@ -137,6 +142,51 @@ TEST(ScenarioSpec, RejectsUnknownStackAndMalformedInput) {
   EXPECT_FALSE(scenario_from_json(R"({"compute_stacks":"luna"})", &out, &err));
   EXPECT_FALSE(scenario_from_json("[1,2]", &out, &err));
   EXPECT_FALSE(scenario_from_json("{", &out, &err));
+}
+
+// Strict parsing: an unrecognized field anywhere in the document is an
+// error, not a silent no-op — a typo'd knob must never quietly run the
+// default config.
+TEST(ScenarioSpec, RejectsUnrecognizedFieldsAtEveryLevel) {
+  ScenarioSpec out;
+  std::string err;
+  // Root level.
+  EXPECT_FALSE(scenario_from_json(R"({"sede":7})", &out, &err));
+  EXPECT_NE(err.find("sede"), std::string::npos) << err;
+  // Nested objects.
+  EXPECT_FALSE(
+      scenario_from_json(R"({"topology":{"comput":2}})", &out, &err));
+  EXPECT_NE(err.find("comput"), std::string::npos) << err;
+  EXPECT_FALSE(
+      scenario_from_json(R"({"workload":{"blocksize":512}})", &out, &err));
+  EXPECT_FALSE(scenario_from_json(
+      R"({"vds":[{"size_bytes":1048576,"sloo":{}}]})", &out, &err));
+  EXPECT_FALSE(scenario_from_json(
+      R"({"vds":[{"size_bytes":1048576,"qos":{"iops":100}}]})", &out, &err));
+  EXPECT_FALSE(
+      scenario_from_json(R"({"qos":{"enable":true}})", &out, &err));
+}
+
+TEST(ScenarioSpec, EcKnobsParseStrictly) {
+  ScenarioSpec out;
+  std::string err;
+  // The classic typo: must be rejected, not ignored.
+  EXPECT_FALSE(scenario_from_json(
+      R"({"ec":{"enabled":true,"k":4,"m":2,"rebuild_bandwith_cap":1.0}})",
+      &out, &err));
+  EXPECT_NE(err.find("rebuild_bandwith_cap"), std::string::npos) << err;
+  // Bad geometry is a parse error too.
+  EXPECT_FALSE(scenario_from_json(R"({"ec":{"enabled":true,"k":0,"m":2}})",
+                                  &out, &err));
+  // A well-formed EC block lands on the spec.
+  ASSERT_TRUE(scenario_from_json(
+      R"({"ec":{"enabled":true,"k":8,"m":3,"rebuild_concurrency":5}})", &out,
+      &err))
+      << err;
+  EXPECT_TRUE(out.ec.enabled);
+  EXPECT_EQ(out.ec.k, 8);
+  EXPECT_EQ(out.ec.m, 3);
+  EXPECT_EQ(out.ec.rebuild_concurrency, 5);
 }
 
 TEST(ScenarioSpec, ParamsAssignStacksPerNode) {
