@@ -44,8 +44,13 @@ void EcClient::run_locked(const RowRef& row,
   auto& q = locks_[row];
   q.push_back(std::move(op));
   if (q.size() > 1) return;  // an op holds the row; we run at its release
+  // The closure only holds a weak ref to itself (every invocation comes
+  // from a caller holding a strong one) — a strong self-capture would be a
+  // shared_ptr cycle that leaks once the queue drains.
   auto run_front = std::make_shared<std::function<void()>>();
-  *run_front = [this, row, run_front] {
+  *run_front = [this, row,
+                weak = std::weak_ptr<std::function<void()>>(run_front)] {
+    auto run_front = weak.lock();
     auto it = locks_.find(row);
     auto op = std::move(it->second.front());
     op([this, row, run_front] {
@@ -147,10 +152,19 @@ bool EcClient::row_dirty(std::uint64_t vd, std::uint64_t offset) const {
 
 void EcClient::submit_io(IoRequest io, IoCompleteFn done) {
   const auto info = segments_.ec_info(io.vd_id);
-  if (!info || io.len == 0 || io.offset % kCell != 0 || io.len % kCell != 0) {
-    // Replication VD or sub-cell addressing: the layer only stripes
-    // cell-aligned traffic (every workload in the repo is).
-    inner_(std::move(io), std::move(done));
+  if (!info) {
+    inner_(std::move(io), std::move(done));  // replication VD: pass through
+    return;
+  }
+  if (io.len == 0 || io.offset % kCell != 0 || io.len % kCell != 0) {
+    // The layer only stripes cell-aligned traffic (every workload in the
+    // repo is). Passing sub-cell I/O through would mutate data fragments
+    // behind the parity's back, so reject it rather than silently let
+    // stripe consistency rot.
+    IoResult res;
+    res.status = StorageStatus::kRejected;
+    res.completed_at = engine_.now();
+    done(std::move(res));
     return;
   }
   if (agent_ != nullptr) agent_->on_activity(io.vd_id);
@@ -191,7 +205,10 @@ void EcClient::submit_io(IoRequest io, IoCompleteFn done) {
     IoCompleteFn done;
   };
   auto agg = std::make_shared<Agg>();
-  agg->remaining = cells;
+  // One sentinel on top of the per-cell counts, released after the issue
+  // loop: completion can never fire (or double-fire) while cells are still
+  // being issued, even if a write chain ever completed synchronously.
+  agg->remaining = cells + 1;
   agg->done = std::move(done);
   for (int i = 0; i < cells; ++i) {
     const std::uint64_t off = io.offset + static_cast<std::uint64_t>(i) * kCell;
@@ -233,7 +250,7 @@ void EcClient::submit_io(IoRequest io, IoCompleteFn done) {
                  }
                });
   }
-  if (agg->remaining == 0) {  // every cell was out of range
+  if (--agg->remaining == 0) {  // release the sentinel
     agg->result.completed_at = engine_.now();
     agg->done(std::move(agg->result));
   }
@@ -479,7 +496,15 @@ void EcClient::write_cell(const RowRef& row, int p, DataBlock block,
         }
         res.trace.accumulate(wr->old_reads[0].trace);
         res.completed_at = engine_.now();
-        if (parity_failed) mark_dirty(row);
+        // A failed data write leaves the data cell's on-disk content
+        // indeterminate while the delta parity writes may have landed —
+        // the row is just as torn as when a parity write fails. Either
+        // way, repair must recompute parity from the data fragments
+        // before any degraded read may decode this row.
+        if (parity_failed ||
+            wr->old_reads[0].status != StorageStatus::kOk) {
+          mark_dirty(row);
+        }
         release();
         done(std::move(res));
       };

@@ -46,7 +46,7 @@ std::uint8_t gf_inv(std::uint8_t a) {
 }
 
 Codec::Codec(int k, int m) : k_(k), m_(m) {
-  if (k < 1 || m < 1 || k + m > 128) std::abort();
+  if (k < 1 || k > 32 || m < 1 || k + m > 128) std::abort();
   cauchy_.resize(static_cast<std::size_t>(k * m));
   for (int q = 0; q < m; ++q) {
     for (int p = 0; p < k; ++p) {

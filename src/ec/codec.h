@@ -27,8 +27,10 @@ std::uint8_t gf_inv(std::uint8_t a);
 
 class Codec {
  public:
-  /// Requires 1 <= k, 1 <= m and k + m <= 128 (Cauchy x/y sets must be
-  /// disjoint in GF(256); the fleet never goes near the bound).
+  /// Requires 1 <= k <= 32, 1 <= m and k + m <= 128 (Cauchy x/y sets must
+  /// be disjoint in GF(256); k additionally caps at 32 because the client
+  /// write directory is a 32-bit per-row coverage mask. The fleet never
+  /// goes near either bound).
   Codec(int k, int m);
 
   int k() const { return k_; }

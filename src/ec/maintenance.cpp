@@ -324,8 +324,14 @@ void MaintenanceAgent::rebuild_rows(std::uint64_t vd, std::uint64_t seg,
   };
   auto st = std::make_shared<St>();
   st->rows = std::move(rows);
+  // Weak self-capture: every invocation of the pump comes from a caller
+  // holding a strong ref (the initial call below, the token-bucket wakeup,
+  // or a reconstruct completion) — a strong self-capture would be a
+  // shared_ptr cycle that leaks the closure and its St.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, vd, seg, stripe, frag, attempt, st, pump] {
+  *pump = [this, vd, seg, stripe, frag, attempt, st,
+           weak = std::weak_ptr<std::function<void()>>(pump)] {
+    auto pump = weak.lock();
     while (st->inflight < std::max(params_.rebuild_concurrency, 1) &&
            st->next < st->rows.size()) {
       if (params_.rebuild_bandwidth_cap > 0) {

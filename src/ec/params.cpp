@@ -41,7 +41,9 @@ bool read_ec_params(const obs::JsonValue& v, EcParams* p) {
   if (obs::json_number(v, "repair_retry_us", &num)) {
     p->repair_retry = static_cast<TimeNs>(num * 1e3);
   }
-  if (p->k < 1 || p->m < 1 || p->k + p->m > 128) return false;
+  // k caps at 32: the client's write directory tracks data-fragment
+  // coverage in a 32-bit mask (one bit per data fragment of a row).
+  if (p->k < 1 || p->k > 32 || p->m < 1 || p->k + p->m > 128) return false;
   return true;
 }
 

@@ -39,9 +39,9 @@ void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
 void SegmentTable::map_disk_ec(std::uint64_t vd_id, std::uint64_t size_bytes,
                                const std::vector<net::IpAddr>& servers, int k,
                                int m) {
-  if (k < 1 || m < 1 ||
+  if (k < 1 || k > 32 || m < 1 ||
       servers.size() < static_cast<std::size_t>(k) + static_cast<std::size_t>(m)) {
-    std::abort();  // a stripe needs k+m distinct servers
+    std::abort();  // a stripe needs k+m distinct servers, k fits a 32-bit mask
   }
   const std::uint64_t data_segments =
       (size_bytes + kSegmentBytes - 1) / kSegmentBytes;

@@ -11,6 +11,7 @@
 
 #include "common/crc32.h"
 #include "ebs/cluster.h"
+#include "ec/client.h"
 #include "ec/codec.h"
 #include "ec/params.h"
 #include "obs/json.h"
@@ -177,6 +178,9 @@ TEST(EcParamsJson, RejectsBadGeometry) {
   EXPECT_FALSE(parse(R"({"enabled":true,"k":0,"m":2})"));
   EXPECT_FALSE(parse(R"({"enabled":true,"k":4,"m":0})"));
   EXPECT_FALSE(parse(R"({"enabled":true,"k":120,"m":20})"));
+  // k caps at 32 (the client write directory is a 32-bit coverage mask).
+  EXPECT_FALSE(parse(R"({"enabled":true,"k":33,"m":2})"));
+  EXPECT_TRUE(parse(R"({"enabled":true,"k":32,"m":2})"));
   EXPECT_TRUE(parse(R"({"enabled":true,"k":4,"m":2})"));
 }
 
@@ -341,6 +345,70 @@ TEST(EcCluster, DegradedReadReconstructsFromAnyK) {
   EXPECT_GT(ec->stats().degraded_reads, 0u);
 }
 
+// A failed data write whose delta parity writes land leaves parity encoding
+// the new value while the data cell's on-disk state is unknown. The row must
+// be marked dirty — so repair recomputes parity from the data fragments and
+// degraded reads fail honestly until then — or a later degraded read of a
+// *sibling* cell in the row would decode stale-data + new-parity and return
+// corrupt bytes as kOk.
+TEST(EcClientRmw, FailedDataWriteMarksRowDirty) {
+  sim::Engine eng;
+  sa::SegmentTable table;
+  const std::uint64_t vd = 1;
+  const int k = 2;
+  const int m = 1;
+  std::vector<net::IpAddr> servers = {21, 22, 23};
+  table.map_disk_ec(vd, 32ull << 20, servers, k, m);
+  const std::uint64_t data_end =
+      table.ec_info(vd)->num_data_segments * sa::SegmentTable::kSegmentBytes;
+
+  // Fake inner stack: reads always succeed; writes to the data region can
+  // be told to time out while parity writes keep landing.
+  bool fail_data_writes = false;
+  EcParams params;
+  params.enabled = true;
+  params.k = k;
+  params.m = m;
+  EcClient ec(eng, table, params,
+              [&eng, &fail_data_writes, data_end](IoRequest io,
+                                                  IoCompleteFn done) {
+                IoResult res;
+                res.status = (io.op == OpType::kWrite && fail_data_writes &&
+                              io.offset < data_end)
+                                 ? StorageStatus::kTimeout
+                                 : StorageStatus::kOk;
+                eng.after(0, [done = std::move(done),
+                              res = std::move(res)]() mutable {
+                  done(std::move(res));
+                });
+              });
+
+  auto run_write = [&](std::uint64_t off) {
+    IoResult out;
+    bool finished = false;
+    ec.submit_io(write_io(vd, off, 4096), [&](IoResult r) {
+      out = std::move(r);
+      finished = true;
+    });
+    while (!finished && eng.step()) {
+    }
+    EXPECT_TRUE(finished);
+    return out;
+  };
+
+  // Healthy write: row stays clean.
+  EXPECT_EQ(run_write(0).status, StorageStatus::kOk);
+  EXPECT_FALSE(ec.row_dirty(vd, 0));
+
+  // Data write fails, parity deltas land: the caller sees the error AND the
+  // row is pending repair — including at the sibling data cell's offset
+  // (segment 1 shares stripe 0 / row 0 with k = 2).
+  fail_data_writes = true;
+  EXPECT_EQ(run_write(0).status, StorageStatus::kTimeout);
+  EXPECT_TRUE(ec.row_dirty(vd, 0));
+  EXPECT_TRUE(ec.row_dirty(vd, sa::SegmentTable::kSegmentBytes));
+}
+
 TEST(EcCluster, DegradedReadFailsPastM) {
   sim::Engine eng;
   ebs::Cluster cluster(eng, ec_params(2, 1));
@@ -356,6 +424,32 @@ TEST(EcCluster, DegradedReadFailsPastM) {
   ec->mark_server(frags[2].block_server, false);
   auto rres = run_one_io(eng, cluster, read_io(vd, 0, 4096));
   EXPECT_NE(rres.status, StorageStatus::kOk);
+}
+
+TEST(EcCluster, RejectsUnalignedGuestIo) {
+  sim::Engine eng;
+  ebs::Cluster cluster(eng, ec_params(2, 1));
+  const std::uint64_t vd = cluster.create_vd(32ull << 20);
+
+  ASSERT_EQ(run_one_io(eng, cluster, write_io(vd, 0, 4096)).status,
+            StorageStatus::kOk);
+
+  // Sub-cell writes would mutate data fragments behind the parity's back,
+  // so non-cell-aligned guest I/O on an EC VD is rejected, never silently
+  // passed to the inner stack.
+  EXPECT_EQ(run_one_io(eng, cluster, write_io(vd, 2048, 4096)).status,
+            StorageStatus::kRejected);
+  EXPECT_EQ(run_one_io(eng, cluster, write_io(vd, 0, 2048)).status,
+            StorageStatus::kRejected);
+  EXPECT_EQ(run_one_io(eng, cluster, read_io(vd, 2048, 4096)).status,
+            StorageStatus::kRejected);
+
+  // The stripe stayed consistent: the aligned cell still verifies.
+  auto rres = run_one_io(eng, cluster, read_io(vd, 0, 4096));
+  ASSERT_EQ(rres.status, StorageStatus::kOk);
+  for (const auto& blk : rres.read_data) {
+    EXPECT_EQ(blk.crc, crc32_raw(pattern(blk.len, blk.lba + 1)));
+  }
 }
 
 TEST(EcCluster, MaintenanceRebuildsLostFragment) {
