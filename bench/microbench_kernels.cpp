@@ -1,0 +1,163 @@
+// Microbenchmarks for the dispatched data-plane kernels (src/kernels):
+// GB/s per kernel per tier — GF(256) multiply-accumulate, the fused
+// multi-row EC encode vs the row-at-a-time structure it replaced, CRC-32
+// (slice-by-8 scalar vs CLMUL-folded), and word-wide XOR accumulate.
+//
+// Every benchmark registers once per tier in `available_tiers()` (so a
+// REPRO_KERNEL_DISPATCH pin benches only the pinned tier) and reports
+// bytes/second; BENCH_kernels.json is the machine-readable mirror. The
+// perf gate this starts: best native tier >= 4x scalar on mul_acc and CRC32.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gbench_main.h"
+#include "kernels/kernels.h"
+
+namespace repro {
+namespace {
+
+namespace kn = repro::kernels;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+void bm_gf_mul_acc(benchmark::State& state, kn::Tier tier) {
+  kn::set_tier(tier);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_bytes(n, 1);
+  auto out = random_bytes(n, 2);
+  for (auto _ : state) {
+    kn::active().gf_mul_acc(0x53, in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+// The EC hot shape: one 4 KB cell per data fragment, all parity rows.
+// Fused = one kernel call; per-row = m independent mul_acc sweeps (the
+// pre-kernel Codec structure). Bytes processed = data streamed (k * n).
+constexpr int kEncK = 8;
+constexpr int kEncM = 3;
+constexpr std::size_t kCell = 4096;
+
+struct EncodeBuffers {
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::vector<std::uint8_t>> parity;
+  std::vector<std::vector<std::uint8_t>> coef;
+  std::vector<const std::uint8_t*> data_ptrs;
+  std::vector<std::uint8_t*> parity_ptrs;
+  std::vector<const std::uint8_t*> coef_rows;
+
+  EncodeBuffers() {
+    for (int p = 0; p < kEncK; ++p) {
+      data.push_back(random_bytes(kCell, static_cast<std::uint64_t>(p) + 1));
+    }
+    parity.assign(kEncM, std::vector<std::uint8_t>(kCell, 0));
+    for (int q = 0; q < kEncM; ++q) {
+      std::vector<std::uint8_t> row;
+      for (int p = 0; p < kEncK; ++p) {
+        row.push_back(static_cast<std::uint8_t>(q * 29 + p * 13 + 3));
+      }
+      coef.push_back(std::move(row));
+    }
+    for (auto& d : data) data_ptrs.push_back(d.data());
+    for (auto& pr : parity) parity_ptrs.push_back(pr.data());
+    for (auto& c : coef) coef_rows.push_back(c.data());
+  }
+};
+
+void bm_ec_encode_fused(benchmark::State& state, kn::Tier tier) {
+  kn::set_tier(tier);
+  EncodeBuffers b;
+  for (auto _ : state) {
+    kn::active().ec_encode(kEncK, kEncM, b.coef_rows.data(),
+                           b.data_ptrs.data(), b.parity_ptrs.data(), kCell);
+    benchmark::DoNotOptimize(b.parity_ptrs.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kEncK * static_cast<std::int64_t>(kCell));
+}
+
+void bm_ec_encode_per_row(benchmark::State& state, kn::Tier tier) {
+  kn::set_tier(tier);
+  EncodeBuffers b;
+  for (auto _ : state) {
+    // Row-major sweeps: every parity row re-streams all k data fragments —
+    // what Codec::encode_parity per q used to cost.
+    for (int q = 0; q < kEncM; ++q) {
+      std::memset(b.parity_ptrs[static_cast<std::size_t>(q)], 0, kCell);
+      for (int p = 0; p < kEncK; ++p) {
+        kn::active().gf_mul_acc(
+            b.coef[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)],
+            b.data_ptrs[static_cast<std::size_t>(p)],
+            b.parity_ptrs[static_cast<std::size_t>(q)], kCell);
+      }
+    }
+    benchmark::DoNotOptimize(b.parity_ptrs.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kEncK * static_cast<std::int64_t>(kCell));
+}
+
+void bm_crc32(benchmark::State& state, kn::Tier tier) {
+  kn::set_tier(tier);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto buf = random_bytes(n, 7);
+  std::uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = kn::active().crc32_update(crc, buf.data(), n);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void bm_xor_acc(benchmark::State& state, kn::Tier tier) {
+  kn::set_tier(tier);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_bytes(n, 3);
+  auto dst = random_bytes(n, 4);
+  for (auto _ : state) {
+    kn::active().xor_acc(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void register_all() {
+  for (kn::Tier tier : kn::available_tiers()) {
+    const std::string t = kn::tier_name(tier);
+    benchmark::RegisterBenchmark(("BM_GfMulAcc/" + t).c_str(), bm_gf_mul_acc,
+                                 tier)
+        ->Arg(4096)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_EcEncodeFused/" + t).c_str(),
+                                 bm_ec_encode_fused, tier);
+    benchmark::RegisterBenchmark(("BM_EcEncodePerRow/" + t).c_str(),
+                                 bm_ec_encode_per_row, tier);
+    benchmark::RegisterBenchmark(("BM_Crc32/" + t).c_str(), bm_crc32, tier)
+        ->Arg(4096)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark(("BM_XorAcc/" + t).c_str(), bm_xor_acc, tier)
+        ->Arg(4096);
+  }
+}
+
+}  // namespace
+}  // namespace repro
+
+int main(int argc, char** argv) {
+  repro::register_all();
+  return repro::bench::run_gbench_main(argc, argv, "BENCH_kernels.json");
+}

@@ -28,6 +28,9 @@ std::uint64_t OracleBoard::on_submit(const IoRequest& io, TimeNs now) {
     for (const transport::DataBlock& blk : io.payload) {
       if (!blk.has_payload()) continue;
       p.lbas.push_back(blk.lba);
+      // Shadow CRC captured at submit and compared at completion/read-back.
+      // These feed run signatures, so they lean on the src/kernels guarantee
+      // that every dispatch tier computes bit-identical CRCs.
       p.crcs.push_back(crc32_raw(blk.data));
       ShadowCell& cell = shadow_[CellKey{io.vd_id, blk.lba}];
       if (++cell.writers_inflight > 1) {

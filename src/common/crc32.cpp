@@ -2,29 +2,19 @@
 
 #include <array>
 
+#include "kernels/kernels.h"
+
 namespace repro {
 namespace {
 
 constexpr std::uint32_t kPoly = 0xEDB88320u;
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
-  }
-  return table;
-}
-
-const std::array<std::uint32_t, 256> kTable = make_table();
-
+// The byte-touching work (CRC register advance, XOR aggregation) dispatches
+// through the kernel layer — scalar slice-by-8 at minimum, CLMUL-folded on
+// the vector tiers. All tiers are bit-identical (kernels.h invariant).
 std::uint32_t crc_core(std::uint32_t state,
                        std::span<const std::uint8_t> data) {
-  for (std::uint8_t b : data) {
-    state = kTable[(state ^ b) & 0xFFu] ^ (state >> 8);
-  }
-  return state;
+  return kernels::active().crc32_update(state, data.data(), data.size());
 }
 
 // GF(2) 32x32 matrix ops for crc32_combine (after zlib).
@@ -42,6 +32,31 @@ Matrix gf2_square(const Matrix& m) {
   Matrix sq{};
   for (int i = 0; i < 32; ++i) sq[i] = gf2_times_vec(m, m[i]);
   return sq;
+}
+
+// Precomputed zero operators: op[j] advances a CRC register past 2^j zero
+// BYTES. Built once — crc32_combine used to rebuild the whole squaring chain
+// per call, which sat directly on the aggregate-CRC / segment-append path.
+struct ZeroOps {
+  Matrix op[64];
+};
+
+ZeroOps build_zero_ops() {
+  ZeroOps z;
+  // odd = matrix applying one zero bit to the CRC register.
+  Matrix odd{};
+  odd[0] = kPoly;
+  for (int i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
+  const Matrix two = gf2_square(odd);    // two zero bits
+  const Matrix four = gf2_square(two);   // four zero bits
+  z.op[0] = gf2_square(four);            // eight zero bits = one byte
+  for (int j = 1; j < 64; ++j) z.op[j] = gf2_square(z.op[j - 1]);
+  return z;
+}
+
+const ZeroOps& zero_ops() {
+  static const ZeroOps z = build_zero_ops();
+  return z;
 }
 
 }  // namespace
@@ -62,24 +77,11 @@ std::uint32_t crc32_raw(std::span<const std::uint8_t> data) {
 std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
                             std::uint64_t len_b) {
   if (len_b == 0) return crc_a;
-  // odd = matrix applying one zero bit to the CRC register.
-  Matrix odd{};
-  odd[0] = kPoly;
-  for (int i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
-  Matrix even = gf2_square(odd);  // two zero bits
-  odd = gf2_square(even);         // four zero bits
-
-  // Apply len_b zero *bytes* == 8 * len_b zero bits to crc_a.
+  const ZeroOps& z = zero_ops();
   std::uint64_t len = len_b;
-  do {
-    even = gf2_square(odd);
-    if (len & 1) crc_a = gf2_times_vec(even, crc_a);
-    len >>= 1;
-    if (len == 0) break;
-    odd = gf2_square(even);
-    if (len & 1) crc_a = gf2_times_vec(odd, crc_a);
-    len >>= 1;
-  } while (len != 0);
+  for (int j = 0; len != 0; ++j, len >>= 1) {
+    if (len & 1) crc_a = gf2_times_vec(z.op[j], crc_a);
+  }
   return crc_a ^ crc_b;
 }
 
@@ -87,9 +89,8 @@ void xor_accumulate(std::vector<std::uint8_t>& agg,
                     std::span<const std::uint8_t> block,
                     std::size_t block_len) {
   if (agg.size() != block_len) agg.assign(block_len, 0);
-  for (std::size_t i = 0; i < block_len && i < block.size(); ++i) {
-    agg[i] ^= block[i];
-  }
+  const std::size_t n = block_len < block.size() ? block_len : block.size();
+  kernels::active().xor_acc(agg.data(), block.data(), n);
 }
 
 bool crc_aggregate_check(std::span<const std::vector<std::uint8_t>> blocks,

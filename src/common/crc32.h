@@ -11,6 +11,11 @@
 //  * `crc32_combine` — concatenation: given crc(A), crc(B) and len(B),
 //    produces crc(A||B) without touching the data (zlib's GF(2) matrix
 //    trick). Used for segment-level CRC maintenance in the block server.
+//
+// Byte-touching work routes through the dispatched kernel layer
+// (src/kernels): slice-by-8 scalar at minimum, CLMUL-folded CRC and wide XOR
+// on the vector tiers — all tiers bit-identical, so every CRC the storage,
+// chaos, and DPU models compute is host-ISA independent.
 #pragma once
 
 #include <cstddef>

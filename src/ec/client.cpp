@@ -621,9 +621,14 @@ void EcClient::recompute_parity(const RowRef& row, std::vector<int> parities,
         finish();
         return;
       }
-      for (int q : parities) {
+      // Fused: all requested parity rows in one kernel pass over each data
+      // fragment, instead of one full sweep per row.
+      std::vector<std::vector<std::uint8_t>> pbytes_all;
+      if (real) pbytes_all = codec_.encode_parity_rows(parities, st->data, kCell);
+      for (std::size_t qi = 0; qi < parities.size(); ++qi) {
+        const int q = parities[qi];
         std::vector<std::uint8_t> pbytes;
-        if (real) pbytes = codec_.encode_parity(q, st->data, kCell);
+        if (real) pbytes = std::move(pbytes_all[qi]);
         inner_submit(
             cell_write(row.vd, frag_offset(geo, row, geo.k + q),
                        std::move(pbytes), !real, true),

@@ -1,49 +1,17 @@
 #include "ec/codec.h"
 
-#include <array>
 #include <cstdlib>
+
+#include "kernels/gf256.h"
+#include "kernels/kernels.h"
 
 namespace repro::ec {
 
-namespace {
-
-struct GfTables {
-  std::array<std::uint8_t, 256> log{};
-  std::array<std::uint8_t, 512> exp{};
-
-  GfTables() {
-    std::uint32_t x = 1;
-    for (int i = 0; i < 255; ++i) {
-      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
-      log[x] = static_cast<std::uint8_t>(i);
-      x <<= 1;
-      if ((x & 0x100u) != 0) x ^= 0x11Du;
-    }
-    // Doubled exp table: exp[a + b] works without a mod-255 per multiply.
-    for (int i = 255; i < 512; ++i) {
-      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
-    }
-  }
-};
-
-const GfTables& tables() {
-  static const GfTables t;
-  return t;
-}
-
-}  // namespace
-
 std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
-  if (a == 0 || b == 0) return 0;
-  const GfTables& t = tables();
-  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+  return kernels::gf256_mul(a, b);
 }
 
-std::uint8_t gf_inv(std::uint8_t a) {
-  if (a == 0) std::abort();  // division by zero: codec invariant broken
-  const GfTables& t = tables();
-  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
-}
+std::uint8_t gf_inv(std::uint8_t a) { return kernels::gf256_inv(a); }
 
 Codec::Codec(int k, int m) : k_(k), m_(m) {
   if (k < 1 || k > 32 || m < 1 || k + m > 128) std::abort();
@@ -60,31 +28,45 @@ Codec::Codec(int k, int m) : k_(k), m_(m) {
 
 void Codec::mul_acc(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
                     std::size_t n) {
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
-    return;
+  kernels::active().gf_mul_acc(c, in, out, n);
+}
+
+std::vector<std::vector<std::uint8_t>> Codec::encode_parity_rows(
+    const std::vector<int>& qs,
+    const std::vector<std::vector<std::uint8_t>>& data, std::size_t n) const {
+  const std::size_t m = qs.size();
+  std::vector<std::vector<std::uint8_t>> out(m);
+  if (m == 0) return out;
+  std::vector<const std::uint8_t*> coef_rows(m);
+  std::vector<std::uint8_t*> parity(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    coef_rows[i] = &cauchy_[static_cast<std::size_t>(qs[i] * k_)];
+    out[i].assign(n, 0);
+    parity[i] = out[i].data();
   }
-  const GfTables& t = tables();
-  const std::uint8_t lc = t.log[c];
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t v = in[i];
-    if (v != 0) {
-      out[i] ^= t.exp[static_cast<std::size_t>(lc) + t.log[v]];
-    }
+  std::vector<const std::uint8_t*> frags(static_cast<std::size_t>(k_),
+                                         nullptr);
+  for (int p = 0; p < k_ && p < static_cast<int>(data.size()); ++p) {
+    const auto& d = data[static_cast<std::size_t>(p)];
+    if (!d.empty()) frags[static_cast<std::size_t>(p)] = d.data();
   }
+  kernels::active().ec_encode(static_cast<std::size_t>(k_), m,
+                              coef_rows.data(), frags.data(), parity.data(),
+                              n);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Codec::encode_parities(
+    const std::vector<std::vector<std::uint8_t>>& data, std::size_t n) const {
+  std::vector<int> qs(static_cast<std::size_t>(m_));
+  for (int q = 0; q < m_; ++q) qs[static_cast<std::size_t>(q)] = q;
+  return encode_parity_rows(qs, data, n);
 }
 
 std::vector<std::uint8_t> Codec::encode_parity(
     int q, const std::vector<std::vector<std::uint8_t>>& data,
     std::size_t n) const {
-  std::vector<std::uint8_t> out(n, 0);
-  for (int p = 0; p < k_ && p < static_cast<int>(data.size()); ++p) {
-    const auto& d = data[static_cast<std::size_t>(p)];
-    if (d.empty()) continue;
-    mul_acc(coef(q, p), d.data(), out.data(), n);
-  }
-  return out;
+  return std::move(encode_parity_rows({q}, data, n).front());
 }
 
 std::vector<std::uint8_t> Codec::update_parity(

@@ -21,7 +21,7 @@
 
 namespace repro::ec {
 
-/// GF(256) arithmetic (polynomial 0x11D), table-driven.
+/// GF(256) arithmetic (polynomial 0x11D), table-driven (kernels/gf256).
 std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
 std::uint8_t gf_inv(std::uint8_t a);
 
@@ -42,7 +42,8 @@ class Codec {
   }
 
   /// out[i] ^= c * in[i] for n bytes — the GF multiply-accumulate every
-  /// encode/decode path reduces to.
+  /// encode/decode path reduces to. Dispatches to the active kernel tier
+  /// (scalar / SSSE3 pshufb / AVX2); all tiers are bit-identical.
   static void mul_acc(std::uint8_t c, const std::uint8_t* in,
                       std::uint8_t* out, std::size_t n);
 
@@ -51,6 +52,18 @@ class Codec {
   std::vector<std::uint8_t> encode_parity(
       int q, const std::vector<std::vector<std::uint8_t>>& data,
       std::size_t n) const;
+
+  /// Fused encode of the parity rows in `qs` (each in [0, m)): one pass over
+  /// each data fragment produces all requested rows (kernel-level cache
+  /// reuse), bit-identical to calling encode_parity per row. Returned in the
+  /// order of `qs`.
+  std::vector<std::vector<std::uint8_t>> encode_parity_rows(
+      const std::vector<int>& qs,
+      const std::vector<std::vector<std::uint8_t>>& data, std::size_t n) const;
+
+  /// All m parity rows of a stripe, fused.
+  std::vector<std::vector<std::uint8_t>> encode_parities(
+      const std::vector<std::vector<std::uint8_t>>& data, std::size_t n) const;
 
   /// Delta update: new parity bytes from old parity + the XOR-delta of data
   /// fragment `p`. Empty `old_parity` means the parity cell was never

@@ -1,0 +1,162 @@
+// AVX2 tier: 32-byte `vpshufb` split-nibble GF(256) kernels. Same algorithm
+// as the SSSE3 tier with the 16-byte nibble tables broadcast to both 128-bit
+// lanes (vpshufb shuffles within lanes, which is exactly what a 16-entry
+// table wants). See ssse3.cpp for the fused-encode structure.
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels/gf256.h"
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+namespace {
+
+void xor_acc_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+__m256i broadcast16(const std::uint8_t* table) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(table)));
+}
+
+void mul_acc_avx2(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                  std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_avx2(out, in, n);
+    return;
+  }
+  const Gf256& t = gf256();
+  const __m256i lo = broadcast16(t.nib_lo[c]);
+  const __m256i hi = broadcast16(t.nib_hi[c]);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+    const __m256i h = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+    const __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(o, _mm256_xor_si256(l, h)));
+  }
+  mul_acc_scalar(c, in + i, out + i, n - i);
+}
+
+struct Row {
+  __m256i lo;
+  __m256i hi;
+  std::uint8_t* out;
+  std::uint8_t c;
+};
+
+// One sweep of `in` updating R parity rows, R a compile-time constant so the
+// inner loop fully unrolls and the 2*R nibble tables stay in ymm registers
+// (R = 4 -> 8 table regs + v/l/h/mask/prod/o comfortably fits the 16 ymms).
+// Reloading tables from the Row array per chunk is what made a fused sweep
+// lose to row-at-a-time mul_acc on L1-resident cells.
+template <int R>
+void encode_group(const std::uint8_t* in, const Row* rows, std::size_t n,
+                  const __m256i mask) {
+  __m256i lo[R];
+  __m256i hi[R];
+  std::uint8_t* out[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = rows[r].lo;
+    hi[r] = rows[r].hi;
+    out[r] = rows[r].out;
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i l = _mm256_and_si256(v, mask);
+    const __m256i h = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    for (int r = 0; r < R; ++r) {
+      const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo[r], l),
+                                            _mm256_shuffle_epi8(hi[r], h));
+      const __m256i o =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out[r] + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out[r] + i),
+                          _mm256_xor_si256(o, prod));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    mul_acc_scalar(rows[r].c, in + i, out[r] + i, n - i);
+  }
+}
+
+void ec_encode_avx2(std::size_t k, std::size_t m,
+                    const std::uint8_t* const* coef_rows,
+                    const std::uint8_t* const* data,
+                    std::uint8_t* const* parity, std::size_t n) {
+  for (std::size_t q = 0; q < m; ++q) std::memset(parity[q], 0, n);
+  const Gf256& t = gf256();
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  constexpr std::size_t kMaxRows = 128;  // codec caps k + m at 128
+  Row rows[kMaxRows];
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::uint8_t* in = data[p];
+    if (in == nullptr) continue;
+    std::size_t nr = 0;
+    for (std::size_t q = 0; q < m; ++q) {
+      const std::uint8_t c = coef_rows[q][p];
+      if (c == 0) continue;
+      rows[nr].lo = broadcast16(t.nib_lo[c]);
+      rows[nr].hi = broadcast16(t.nib_hi[c]);
+      rows[nr].out = parity[q];
+      rows[nr].c = c;
+      ++nr;
+    }
+    std::size_t r = 0;
+    for (; r + 4 <= nr; r += 4) encode_group<4>(in, rows + r, n, mask);
+    switch (nr - r) {
+      case 3: encode_group<3>(in, rows + r, n, mask); break;
+      case 2: encode_group<2>(in, rows + r, n, mask); break;
+      case 1: encode_group<1>(in, rows + r, n, mask); break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
+
+const TierOps* avx2_ops() {
+  static const TierOps ops = {&mul_acc_avx2, &ec_encode_avx2, &xor_acc_avx2};
+  return &ops;
+}
+
+}  // namespace repro::kernels::detail
+
+#else  // !(__AVX2__ && x86)
+
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+const TierOps* avx2_ops() { return nullptr; }
+}  // namespace repro::kernels::detail
+
+#endif

@@ -1,0 +1,125 @@
+// PCLMULQDQ-folded CRC-32 (reflected, poly 0xEDB88320), after Gopal et al.,
+// "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ" (Intel,
+// 2009) — the same fold structure zlib and the kernel use. Four 128-bit
+// accumulators fold 64 input bytes per step; the accumulators then collapse
+// 4→1, 128→64 bits, and a Barrett reduction yields the 32-bit register.
+// Sub-64-byte inputs and tails ride the scalar slice-by-8 kernel, which is
+// bit-identical by construction (the cross-tier suite checks every length).
+#if defined(__PCLMUL__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <smmintrin.h>
+#include <wmmintrin.h>
+
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+namespace {
+
+// Folding constants for the reflected polynomial (bit-reversed, +1 bit):
+//   k1 = x^(4*128+32) mod P, k2 = x^(4*128-32) mod P   (64-byte fold)
+//   k3 = x^(128+32)  mod P,  k4 = x^(128-32)  mod P    (16-byte fold)
+//   k5 = x^64 mod P                                     (128 -> 64 bits)
+//   P' = reciprocal polynomial, mu = floor(x^64 / P)    (Barrett)
+alignas(16) const std::uint64_t kK1K2[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) const std::uint64_t kK3K4[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) const std::uint64_t kK5K0[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) const std::uint64_t kPolyMu[2] = {0x01db710641, 0x01f7011641};
+
+/// Requires n >= 64 and n % 16 == 0.
+std::uint32_t fold_core(std::uint32_t state, const std::uint8_t* buf,
+                        std::size_t n) {
+  const __m128i* p = reinterpret_cast<const __m128i*>(buf);
+  __m128i x1 = _mm_loadu_si128(p + 0);
+  __m128i x2 = _mm_loadu_si128(p + 1);
+  __m128i x3 = _mm_loadu_si128(p + 2);
+  __m128i x4 = _mm_loadu_si128(p + 3);
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(kK1K2));
+  p += 4;
+  n -= 64;
+
+  while (n >= 64) {
+    const __m128i f1 = _mm_clmulepi64_si128(x1, k, 0x00);
+    const __m128i f2 = _mm_clmulepi64_si128(x2, k, 0x00);
+    const __m128i f3 = _mm_clmulepi64_si128(x3, k, 0x00);
+    const __m128i f4 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f1), _mm_loadu_si128(p + 0));
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, f2), _mm_loadu_si128(p + 1));
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, f3), _mm_loadu_si128(p + 2));
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, f4), _mm_loadu_si128(p + 3));
+    p += 4;
+    n -= 64;
+  }
+
+  // Collapse the four accumulators into x1.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kK3K4));
+  __m128i f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x2);
+  f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x3);
+  f = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x4);
+
+  // Remaining 16-byte blocks.
+  while (n >= 16) {
+    f = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f), _mm_loadu_si128(p));
+    ++p;
+    n -= 16;
+  }
+
+  // 128 -> 64 bits.
+  const __m128i low32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  f = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, f);
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kK5K0));
+  f = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, low32);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, f);
+
+  // Barrett reduction to 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kPolyMu));
+  f = _mm_and_si128(x1, low32);
+  f = _mm_clmulepi64_si128(f, k, 0x10);
+  f = _mm_and_si128(f, low32);
+  f = _mm_clmulepi64_si128(f, k, 0x00);
+  x1 = _mm_xor_si128(x1, f);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+std::uint32_t crc32_clmul(std::uint32_t state, const std::uint8_t* data,
+                          std::size_t n) {
+  if (n >= 64) {
+    const std::size_t folded = n & ~static_cast<std::size_t>(15);
+    state = fold_core(state, data, folded);
+    data += folded;
+    n -= folded;
+  }
+  return crc32_slice8(state, data, n);
+}
+
+}  // namespace
+
+CrcFn crc32_clmul_fn() { return &crc32_clmul; }
+
+}  // namespace repro::kernels::detail
+
+#else  // !(__PCLMUL__ && x86)
+
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+CrcFn crc32_clmul_fn() { return nullptr; }
+}  // namespace repro::kernels::detail
+
+#endif

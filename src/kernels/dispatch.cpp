@@ -1,0 +1,134 @@
+// Runtime tier selection. Resolved exactly once, on first use: CPUID decides
+// what the host can run, REPRO_KERNEL_DISPATCH optionally pins one tier, and
+// the winning tier's table becomes `active()`. See kernels.h for the rules.
+#include "kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/internal.h"
+
+namespace repro::kernels {
+namespace {
+
+constexpr int kNumTiers = 3;
+
+struct Dispatch {
+  bool hw[kNumTiers] = {true, false, false};  // scalar always runs
+  bool pinned = false;
+  Tier pin = Tier::kScalar;
+  Kernels tables[kNumTiers] = {};
+  const Kernels* current = nullptr;
+};
+
+[[noreturn]] void die(const char* msg, const char* value) {
+  std::fprintf(stderr,
+               "repro_kernels: REPRO_KERNEL_DISPATCH=%s %s; "
+               "valid tiers: scalar, ssse3, avx2\n",
+               value, msg);
+  std::abort();  // a pinned run must never silently run a different kernel
+}
+
+Dispatch init_dispatch() {
+  Dispatch d;
+  const detail::TierOps* ops[kNumTiers] = {detail::scalar_ops(),
+                                           detail::ssse3_ops(),
+                                           detail::avx2_ops()};
+  bool clmul = false;
+#if defined(__x86_64__) || defined(__i386__)
+  d.hw[1] = ops[1] != nullptr && __builtin_cpu_supports("ssse3");
+  d.hw[2] = ops[2] != nullptr && __builtin_cpu_supports("avx2");
+  clmul = detail::crc32_clmul_fn() != nullptr &&
+          __builtin_cpu_supports("pclmul");
+#endif
+
+  for (int i = 0; i < kNumTiers; ++i) {
+    if (!d.hw[i]) continue;
+    Kernels& t = d.tables[i];
+    t.tier = static_cast<Tier>(i);
+    t.gf_mul_acc = ops[i]->gf_mul_acc;
+    t.ec_encode = ops[i]->ec_encode;
+    t.xor_acc = ops[i]->xor_acc;
+    // Scalar means scalar: only the vector tiers upgrade CRC to CLMUL, so a
+    // forced-scalar run exercises the pure reference path end to end.
+    t.crc_is_clmul = i != 0 && clmul;
+    t.crc32_update =
+        t.crc_is_clmul ? detail::crc32_clmul_fn() : &detail::crc32_slice8;
+  }
+
+  Tier chosen = Tier::kScalar;
+  for (int i = kNumTiers - 1; i >= 0; --i) {
+    if (d.hw[i]) {
+      chosen = static_cast<Tier>(i);
+      break;
+    }
+  }
+  if (const char* env = std::getenv("REPRO_KERNEL_DISPATCH");
+      env != nullptr && env[0] != '\0') {
+    const auto parsed = tier_from_string(env);
+    if (!parsed.has_value()) die("is not a known tier", env);
+    if (!d.hw[static_cast<int>(*parsed)]) {
+      die("is not available on this host", env);
+    }
+    d.pinned = true;
+    d.pin = *parsed;
+    chosen = *parsed;
+  }
+  d.current = &d.tables[static_cast<int>(chosen)];
+  return d;
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = init_dispatch();
+  return d;
+}
+
+}  // namespace
+
+const Kernels& active() { return *dispatch().current; }
+
+std::vector<Tier> available_tiers() {
+  Dispatch& d = dispatch();
+  if (d.pinned) return {d.pin};
+  std::vector<Tier> tiers;
+  for (int i = 0; i < kNumTiers; ++i) {
+    if (d.hw[i]) tiers.push_back(static_cast<Tier>(i));
+  }
+  return tiers;
+}
+
+bool set_tier(Tier tier) {
+  Dispatch& d = dispatch();
+  const int i = static_cast<int>(tier);
+  if (i < 0 || i >= kNumTiers || !d.hw[i]) return false;
+  if (d.pinned && tier != d.pin) return false;
+  d.current = &d.tables[i];
+  return true;
+}
+
+Tier best_tier() {
+  const auto tiers = available_tiers();
+  return tiers.back();
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSsse3:
+      return "ssse3";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Tier> tier_from_string(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "ssse3") return Tier::kSsse3;
+  if (name == "avx2") return Tier::kAvx2;
+  return std::nullopt;
+}
+
+}  // namespace repro::kernels

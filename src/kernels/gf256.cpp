@@ -1,0 +1,64 @@
+#include "kernels/gf256.h"
+
+#include <cstdlib>
+
+namespace repro::kernels {
+namespace {
+
+Gf256 build_tables() {
+  Gf256 t{};
+  std::uint32_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if ((x & 0x100u) != 0) x ^= 0x11Du;
+  }
+  // Doubled exp: exp[a + b] works without a mod-255 per multiply.
+  for (int i = 255; i < 510; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = t.exp[static_cast<std::size_t>(i - 255)];
+  }
+
+  // Padded pair: log_pad[0] parks v == 0 in the zero region of exp_pad.
+  for (int v = 0; v < 256; ++v) {
+    t.log_pad[v] = v == 0 ? 512 : t.log[v];
+  }
+  for (int i = 0; i < 510; ++i) t.exp_pad[i] = t.exp[i];
+  for (int i = 510; i < 768; ++i) t.exp_pad[i] = 0;
+
+  // Split-nibble pshufb tables.
+  auto mul = [&t](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+    if (a == 0 || b == 0) return 0;
+    return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+  };
+  for (int c = 0; c < 256; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      t.nib_lo[c][i] = mul(static_cast<std::uint8_t>(c),
+                           static_cast<std::uint8_t>(i));
+      t.nib_hi[c][i] = mul(static_cast<std::uint8_t>(c),
+                           static_cast<std::uint8_t>(i << 4));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Gf256& gf256() {
+  static const Gf256 t = build_tables();
+  return t;
+}
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Gf256& t = gf256();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t gf256_inv(std::uint8_t a) {
+  if (a == 0) std::abort();  // division by zero: codec invariant broken
+  const Gf256& t = gf256();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+}  // namespace repro::kernels

@@ -1,0 +1,40 @@
+// GF(256) arithmetic tables (polynomial 0x11D), shared by every kernel tier.
+//
+// Beyond the classic log/exp pair this carries two derived forms:
+//
+//  * a PADDED log/exp pair making scalar multiply-accumulate branch-free:
+//    log_pad[0] = 512 and exp_pad[510..767] = 0, so
+//        exp_pad[log[c] + log_pad[v]]
+//    is c*v for every v INCLUDING v == 0 (index <= 254 + 512 = 766) — no
+//    per-byte `if (v != 0)` mispredicting on random payloads;
+//
+//  * per-coefficient split-nibble tables for `pshufb`: for each c,
+//    nib_lo[c][i] = c * i and nib_hi[c][i] = c * (i << 4), so
+//        c * v == nib_lo[c][v & 0xF] ^ nib_hi[c][v >> 4]
+//    (GF(256) multiply distributes over the XOR-decomposition of v). 16-byte
+//    aligned so the vector tiers can load them straight into registers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repro::kernels {
+
+struct Gf256 {
+  std::uint8_t exp[512];       ///< doubled: exp[i] = g^(i mod 255), i < 510
+  std::uint8_t log[256];       ///< log[0] unused (callers check)
+  std::uint16_t log_pad[256];  ///< log_pad[0] = 512, else log[v]
+  std::uint8_t exp_pad[768];   ///< exp_pad[0..509] = exp, exp_pad[510..] = 0
+  alignas(16) std::uint8_t nib_lo[256][16];
+  alignas(16) std::uint8_t nib_hi[256][16];
+};
+
+/// The singleton tables (built on first use, ~24 KB).
+const Gf256& gf256();
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; aborts on 0 (a codec invariant, never data-driven).
+std::uint8_t gf256_inv(std::uint8_t a);
+
+}  // namespace repro::kernels

@@ -1,0 +1,43 @@
+// Internal seams between the dispatcher and the per-tier translation units.
+// Each vector TU is compiled with its own -m flags and exports either its op
+// table or nullptr when the compiler/arch can't build it; dispatch.cpp snaps
+// the pieces together after CPUID.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repro::kernels::detail {
+
+/// The GF/XOR portion of a tier (CRC is composed separately so the CLMUL
+/// kernel can ride any vector tier).
+struct TierOps {
+  void (*gf_mul_acc)(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                     std::size_t n);
+  void (*ec_encode)(std::size_t k, std::size_t m,
+                    const std::uint8_t* const* coef_rows,
+                    const std::uint8_t* const* data,
+                    std::uint8_t* const* parity, std::size_t n);
+  void (*xor_acc)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+};
+
+const TierOps* scalar_ops();
+const TierOps* ssse3_ops();  ///< nullptr when not compiled for x86+SSSE3
+const TierOps* avx2_ops();   ///< nullptr when not compiled for x86+AVX2
+
+using CrcFn = std::uint32_t (*)(std::uint32_t state, const std::uint8_t* data,
+                                std::size_t n);
+
+/// Slice-by-8 scalar CRC-32 (raw register form) — the reference kernel and
+/// the sub-64-byte / tail path of the CLMUL kernel.
+std::uint32_t crc32_slice8(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n);
+
+/// PCLMULQDQ 64-byte folding kernel, or nullptr when not compiled in.
+CrcFn crc32_clmul_fn();
+
+/// Branch-free scalar multiply-accumulate — also the vector tiers' tail.
+void mul_acc_scalar(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t n);
+
+}  // namespace repro::kernels::detail

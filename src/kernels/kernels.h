@@ -1,0 +1,100 @@
+// Dispatched data-plane kernel library (`repro_kernels`).
+//
+// The simulator *really* computes the bytes its data plane claims to move:
+// every EC write multiplies 4 KB cells over GF(256), every SOLAR block and
+// chaos shadow-CRC audit runs a CRC-32, every aggregate check XORs blocks.
+// Those inner loops are the software analogue of the paper's offload story —
+// the work SOLAR pushes onto the FPGA/P4 engines is exactly the work a host
+// burns general-purpose cycles on. This library gives the repo an ISA-L-style
+// kernel layer: one scalar reference tier plus SSSE3 (`pshufb` split-nibble)
+// and AVX2 vector tiers, selected once at process start.
+//
+// Hard invariant (carried from PR 1/2's determinism work): every tier returns
+// BIT-IDENTICAL results. GF(256) and CRC arithmetic are exact, so a seeded
+// simulation's metrics, traces, and chaos signatures can never depend on the
+// host ISA. The cross-tier property suite (tests/kernels_test.cpp) and the
+// forced-scalar CI job enforce this.
+//
+// Dispatch rules:
+//  * The tier is chosen once, on first use, from CPUID: AVX2 > SSSE3 >
+//    scalar. CRC-32 additionally upgrades to a CLMUL-folded kernel on the
+//    vector tiers when the CPU has PCLMULQDQ (scalar tier always runs
+//    slice-by-8, so pinning "scalar" pins *everything* scalar).
+//  * `REPRO_KERNEL_DISPATCH=scalar|ssse3|avx2` pins the process to one tier
+//    so CI can force the reference tier or test a specific one. A pin that
+//    names an unknown or hardware-unavailable tier aborts loudly — a pinned
+//    run must never silently fall back to a different kernel.
+//  * `set_tier()` lets tests and benches sweep tiers programmatically, but
+//    only within `available_tiers()` — which an env pin narrows to the
+//    pinned tier, so a pinned process stays pinned even through the sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace repro::kernels {
+
+enum class Tier : int {
+  kScalar = 0,  ///< portable reference; branch-free table walk
+  kSsse3 = 1,   ///< 16-byte `pshufb` split-nibble GF(256)
+  kAvx2 = 2,    ///< 32-byte `vpshufb` GF(256)
+};
+
+/// One tier's kernel table. All function pointers are non-null.
+struct Kernels {
+  Tier tier;
+  bool crc_is_clmul;  ///< CRC-32 runs the PCLMULQDQ folding kernel
+
+  /// out[i] ^= c * in[i] over GF(256) for n bytes — the multiply-accumulate
+  /// every RS encode/decode path reduces to. c == 0 is a no-op, c == 1 is a
+  /// pure XOR.
+  void (*gf_mul_acc)(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                     std::size_t n);
+
+  /// Fused multi-row encode: parity[q][i] = XOR_p coef_rows[q][p] * data[p][i]
+  /// for q in [0, m), p in [0, k), i in [0, n). Parity buffers are zeroed
+  /// first; data[p] == nullptr means an absent (all-zero) fragment. Each data
+  /// fragment is swept ONCE with all m parity rows updated in the same pass
+  /// (nibble extraction shared across rows), instead of m separate mul_acc
+  /// sweeps re-streaming every fragment.
+  void (*ec_encode)(std::size_t k, std::size_t m,
+                    const std::uint8_t* const* coef_rows,
+                    const std::uint8_t* const* data,
+                    std::uint8_t* const* parity, std::size_t n);
+
+  /// Raw-register CRC-32 (reflected, poly 0xEDB88320): no init/final XOR,
+  /// feed the return value back in as `state` to stream. Scalar tier is
+  /// slice-by-8; vector tiers fold 64 bytes per step with PCLMULQDQ when
+  /// available.
+  std::uint32_t (*crc32_update)(std::uint32_t state, const std::uint8_t* data,
+                                std::size_t n);
+
+  /// dst[i] ^= src[i] for n bytes, word-wide.
+  void (*xor_acc)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+};
+
+/// The active tier's kernels. First call resolves dispatch (CPUID + the
+/// REPRO_KERNEL_DISPATCH pin); later calls are a pointer read. Thread-safe
+/// to call; `set_tier` must not race in-flight kernels (tests/benches switch
+/// tiers only between runs).
+const Kernels& active();
+
+/// Tiers usable in this process: hardware-supported, narrowed to the pinned
+/// tier when REPRO_KERNEL_DISPATCH is set. Always contains kScalar or is
+/// exactly {pinned}. Ordered scalar first.
+std::vector<Tier> available_tiers();
+
+/// Repoints `active()` at `tier`. Returns false (and changes nothing) if the
+/// tier is not in `available_tiers()`.
+bool set_tier(Tier tier);
+
+/// Highest tier in `available_tiers()` — what first-use dispatch picks.
+Tier best_tier();
+
+const char* tier_name(Tier tier);
+std::optional<Tier> tier_from_string(std::string_view name);
+
+}  // namespace repro::kernels

@@ -1,0 +1,115 @@
+// Scalar reference tier. Portable, allocation-free, and the semantic ground
+// truth every vector tier must match bit-for-bit.
+#include <bit>
+#include <cstring>
+
+#include "kernels/gf256.h"
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+namespace {
+
+void xor_acc_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void ec_encode_scalar(std::size_t k, std::size_t m,
+                      const std::uint8_t* const* coef_rows,
+                      const std::uint8_t* const* data,
+                      std::uint8_t* const* parity, std::size_t n) {
+  for (std::size_t q = 0; q < m; ++q) std::memset(parity[q], 0, n);
+  // Fragment-major: each 4 KB data fragment stays cache-hot across all m
+  // parity rows instead of being re-streamed once per row.
+  for (std::size_t p = 0; p < k; ++p) {
+    if (data[p] == nullptr) continue;
+    for (std::size_t q = 0; q < m; ++q) {
+      mul_acc_scalar(coef_rows[q][p], data[p], parity[q], n);
+    }
+  }
+}
+
+// --- CRC-32, slice-by-8 -----------------------------------------------------
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+struct CrcTables {
+  std::uint32_t t[8][256];
+};
+
+CrcTables build_crc_tables() {
+  CrcTables tab{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int j = 0; j < 8; ++j) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    tab.t[0][i] = c;
+  }
+  for (int s = 1; s < 8; ++s) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tab.t[s][i] = tab.t[0][tab.t[s - 1][i] & 0xFFu] ^ (tab.t[s - 1][i] >> 8);
+    }
+  }
+  return tab;
+}
+
+const CrcTables& crc_tables() {
+  static const CrcTables tab = build_crc_tables();
+  return tab;
+}
+
+}  // namespace
+
+void mul_acc_scalar(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_scalar(out, in, n);
+    return;
+  }
+  const Gf256& t = gf256();
+  const std::uint16_t lc = t.log[c];
+  // Branch-free: v == 0 indexes the zero region of exp_pad via log_pad.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] ^= t.exp_pad[static_cast<std::size_t>(lc) + t.log_pad[in[i]]];
+  }
+}
+
+std::uint32_t crc32_slice8(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t n) {
+  const CrcTables& tab = crc_tables();
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; i + 8 <= n; i += 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, data + i, 4);
+      std::memcpy(&hi, data + i + 4, 4);
+      lo ^= state;
+      state = tab.t[7][lo & 0xFFu] ^ tab.t[6][(lo >> 8) & 0xFFu] ^
+              tab.t[5][(lo >> 16) & 0xFFu] ^ tab.t[4][lo >> 24] ^
+              tab.t[3][hi & 0xFFu] ^ tab.t[2][(hi >> 8) & 0xFFu] ^
+              tab.t[1][(hi >> 16) & 0xFFu] ^ tab.t[0][hi >> 24];
+    }
+  }
+  for (; i < n; ++i) {
+    state = tab.t[0][(state ^ data[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+const TierOps* scalar_ops() {
+  static const TierOps ops = {&mul_acc_scalar, &ec_encode_scalar,
+                              &xor_acc_scalar};
+  return &ops;
+}
+
+}  // namespace repro::kernels::detail

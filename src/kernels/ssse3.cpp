@@ -1,0 +1,155 @@
+// SSSE3 tier: 16-byte `pshufb` split-nibble GF(256) kernels.
+//
+// A pshufb against the per-coefficient nibble tables is a 16-wide GF(256)
+// multiply: product = nib_lo[c][v & 0xF] ^ nib_hi[c][v >> 4] lane-wise. The
+// fused encode extracts each data vector's nibbles ONCE and replays them
+// against every parity row's tables, so m rows cost one load + two pshufb/
+// xor pairs per row instead of m full passes over the fragment.
+//
+// Compiled with -mssse3 only; nothing here runs unless CPUID said the host
+// has SSSE3 (dispatch.cpp). Falls out as a nullptr stub off x86.
+#if defined(__SSSE3__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <tmmintrin.h>
+
+#include <cstring>
+
+#include "kernels/gf256.h"
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+namespace {
+
+void xor_acc_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_acc_ssse3(std::uint8_t c, const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_ssse3(out, in, n);
+    return;
+  }
+  const Gf256& t = gf256();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    const __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    const __m128i o =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(o, _mm_xor_si128(l, h)));
+  }
+  mul_acc_scalar(c, in + i, out + i, n - i);
+}
+
+struct Row {
+  __m128i lo;
+  __m128i hi;
+  std::uint8_t* out;
+  std::uint8_t c;
+};
+
+// One sweep of `in` updating R parity rows with the 2*R nibble tables held in
+// xmm registers (R is a compile-time constant so the row loop fully unrolls).
+// See avx2.cpp for why: per-chunk table reloads from the Row array made a
+// fused sweep lose to row-at-a-time mul_acc on L1-resident cells.
+template <int R>
+void encode_group(const std::uint8_t* in, const Row* rows, std::size_t n,
+                  const __m128i mask) {
+  __m128i lo[R];
+  __m128i hi[R];
+  std::uint8_t* out[R];
+  for (int r = 0; r < R; ++r) {
+    lo[r] = rows[r].lo;
+    hi[r] = rows[r].hi;
+    out[r] = rows[r].out;
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i l = _mm_and_si128(v, mask);
+    const __m128i h = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    for (int r = 0; r < R; ++r) {
+      const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo[r], l),
+                                         _mm_shuffle_epi8(hi[r], h));
+      const __m128i o =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(out[r] + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out[r] + i),
+                       _mm_xor_si128(o, prod));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    mul_acc_scalar(rows[r].c, in + i, out[r] + i, n - i);
+  }
+}
+
+void ec_encode_ssse3(std::size_t k, std::size_t m,
+                     const std::uint8_t* const* coef_rows,
+                     const std::uint8_t* const* data,
+                     std::uint8_t* const* parity, std::size_t n) {
+  for (std::size_t q = 0; q < m; ++q) std::memset(parity[q], 0, n);
+  const Gf256& t = gf256();
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  constexpr std::size_t kMaxRows = 128;  // codec caps k + m at 128
+  Row rows[kMaxRows];
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::uint8_t* in = data[p];
+    if (in == nullptr) continue;
+    std::size_t nr = 0;
+    for (std::size_t q = 0; q < m; ++q) {
+      const std::uint8_t c = coef_rows[q][p];
+      if (c == 0) continue;
+      rows[nr].lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+      rows[nr].hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+      rows[nr].out = parity[q];
+      rows[nr].c = c;
+      ++nr;
+    }
+    std::size_t r = 0;
+    for (; r + 4 <= nr; r += 4) encode_group<4>(in, rows + r, n, mask);
+    switch (nr - r) {
+      case 3: encode_group<3>(in, rows + r, n, mask); break;
+      case 2: encode_group<2>(in, rows + r, n, mask); break;
+      case 1: encode_group<1>(in, rows + r, n, mask); break;
+      default: break;
+    }
+  }
+}
+
+}  // namespace
+
+const TierOps* ssse3_ops() {
+  static const TierOps ops = {&mul_acc_ssse3, &ec_encode_ssse3,
+                              &xor_acc_ssse3};
+  return &ops;
+}
+
+}  // namespace repro::kernels::detail
+
+#else  // !(__SSSE3__ && x86)
+
+#include "kernels/internal.h"
+
+namespace repro::kernels::detail {
+const TierOps* ssse3_ops() { return nullptr; }
+}  // namespace repro::kernels::detail
+
+#endif

@@ -40,7 +40,11 @@ class SegmentStore {
                                  std::uint64_t offset) const;
 
   /// Running segment-level CRC maintained via crc32_combine as blocks are
-  /// appended in offset order (exercised by the integrity tests).
+  /// appended in offset order (exercised by the integrity tests). Cheap to
+  /// keep per append: combine is a handful of precomputed GF(2) matrix-vector
+  /// products, and the per-block CRC rides the dispatched kernels
+  /// (src/kernels), whose tiers are bit-identical — a segment CRC can never
+  /// depend on the host ISA.
   std::optional<std::uint32_t> segment_crc(std::uint64_t segment_id) const;
 
   std::size_t segment_count() const { return segments_.size(); }

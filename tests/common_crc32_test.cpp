@@ -98,6 +98,24 @@ TEST(Crc32, CombineWithEmptyTail) {
   EXPECT_EQ(crc32_combine(crc32_ieee(a), crc32_ieee({}), 0), crc32_ieee(a));
 }
 
+TEST(Crc32, CombineZeroOperatorComposesAtHighLengths) {
+  // combine(crc, 0, len) applies the "advance past len zero bytes" operator,
+  // which must compose: zeros(l1 + l2) == zeros(l2) ∘ zeros(l1). Huge
+  // lengths exercise every precomputed per-bit operator table up to bit 63 —
+  // a regression net for the one-time table build replacing the old
+  // per-call squaring chain.
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint32_t crc = static_cast<std::uint32_t>(rng.next());
+    const std::uint64_t l1 = rng.next() >> (1 + trial % 3);  // sum can't wrap
+    const std::uint64_t l2 = rng.next() >> (3 - trial % 3);
+    const std::uint32_t once = crc32_combine(crc, 0, l1 + l2);
+    const std::uint32_t twice =
+        crc32_combine(crc32_combine(crc, 0, l1), 0, l2);
+    EXPECT_EQ(once, twice) << "l1=" << l1 << " l2=" << l2;
+  }
+}
+
 TEST(CrcAggregate, AcceptsCorrectBlockCrcs) {
   Rng rng(23);
   std::vector<std::vector<std::uint8_t>> blocks;

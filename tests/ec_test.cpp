@@ -14,6 +14,7 @@
 #include "ec/client.h"
 #include "ec/codec.h"
 #include "ec/params.h"
+#include "kernels/kernels.h"
 #include "obs/json.h"
 #include "obs/json_reader.h"
 #include "sa/segment_table.h"
@@ -39,7 +40,31 @@ std::vector<std::uint8_t> pattern(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-TEST(EcCodec, GfFieldAlgebra) {
+// Codec algebra runs under EVERY available kernel dispatch tier, not just
+// the default: a tier whose GF multiply-accumulate drifted from the scalar
+// reference would corrupt parity silently, so each property is re-proved per
+// tier (the tier sweep narrows to the pinned tier under
+// REPRO_KERNEL_DISPATCH, keeping forced-scalar CI genuinely scalar).
+class EcCodecTiers : public ::testing::TestWithParam<kernels::Tier> {
+ protected:
+  void SetUp() override {
+    entry_ = kernels::active().tier;
+    ASSERT_TRUE(kernels::set_tier(GetParam()))
+        << kernels::tier_name(GetParam());
+  }
+  void TearDown() override { kernels::set_tier(entry_); }
+
+ private:
+  kernels::Tier entry_ = kernels::Tier::kScalar;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, EcCodecTiers, ::testing::ValuesIn(kernels::available_tiers()),
+    [](const ::testing::TestParamInfo<kernels::Tier>& info) {
+      return std::string(kernels::tier_name(info.param));
+    });
+
+TEST_P(EcCodecTiers, GfFieldAlgebra) {
   for (int a = 1; a < 256; ++a) {
     const auto ua = static_cast<std::uint8_t>(a);
     EXPECT_EQ(gf_mul(ua, gf_inv(ua)), 1) << a;
@@ -104,13 +129,37 @@ void check_all_loss_patterns(int k, int m) {
   }
 }
 
-TEST(EcCodec, ReconstructAnyKOfKPlusM) {
+TEST_P(EcCodecTiers, ReconstructAnyKOfKPlusM) {
   check_all_loss_patterns(2, 1);
   check_all_loss_patterns(4, 2);
   check_all_loss_patterns(3, 3);
 }
 
-TEST(EcCodec, DeltaParityMatchesFullReencode) {
+TEST_P(EcCodecTiers, FusedEncodeMatchesPerRowEncode) {
+  const int k = 7;
+  const int m = 4;
+  const std::size_t n = 4096 + 13;  // vector main loop + scalar tail
+  Codec codec(k, m);
+  std::vector<std::vector<std::uint8_t>> data;
+  for (int p = 0; p < k; ++p) {
+    data.push_back(p == 4 ? std::vector<std::uint8_t>{}
+                          : pattern(n, static_cast<std::uint64_t>(p) + 3));
+  }
+  const auto fused = codec.encode_parities(data, n);
+  ASSERT_EQ(fused.size(), static_cast<std::size_t>(m));
+  for (int q = 0; q < m; ++q) {
+    EXPECT_EQ(fused[static_cast<std::size_t>(q)],
+              codec.encode_parity(q, data, n))
+        << q;
+  }
+  // Subset rows come back in request order.
+  const auto subset = codec.encode_parity_rows({3, 1}, data, n);
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0], fused[3]);
+  EXPECT_EQ(subset[1], fused[1]);
+}
+
+TEST_P(EcCodecTiers, DeltaParityMatchesFullReencode) {
   const int k = 4;
   const int m = 2;
   const std::size_t n = 96;
