@@ -16,7 +16,10 @@
 // plus bit-determinism (the tightest arm re-run must fingerprint equal).
 // Writes BENCH_ec_rebuild.json. --smoke shrinks for CI; --scenario replays
 // a ScenarioSpec JSON (e.g. the checked-in bench/data/ec_smoke.json) and
-// exercises the strict scenario parser on a real file.
+// exercises the strict scenario parser on a real file; --policy <name>
+// runs the same fleet under a placement policy (legacy / rack-aware /
+// exposure) so CI can byte-diff the legacy arm against the policy-free
+// baseline and exercise the spread policies on the rebuild path.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +35,7 @@
 #include "common/crc32.h"
 #include "ebs/scenario.h"
 #include "ec/maintenance.h"
+#include "placement/policy.h"
 #include "workload/fio.h"
 
 namespace {
@@ -44,6 +48,7 @@ using transport::IoResult;
 struct Options {
   bool smoke = false;
   std::string scenario_file;
+  std::string policy;
 };
 
 struct ArmResult {
@@ -232,8 +237,12 @@ int main(int argc, char** argv) {
       o.smoke = true;
     } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       o.scenario_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      o.policy = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--scenario spec.json]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--scenario spec.json] "
+                   "[--policy legacy|rack-aware|exposure]\n",
                    argv[0]);
       return 2;
     }
@@ -256,6 +265,14 @@ int main(int argc, char** argv) {
     }
     if (!spec.ec.enabled) {
       std::fprintf(stderr, "scenario has no EC fleet (ec.enabled=false)\n");
+      return 2;
+    }
+  }
+  if (!o.policy.empty()) {
+    spec.placement.enabled = true;
+    if (!placement::policy_from_string(o.policy, &spec.placement.policy)) {
+      std::fprintf(stderr, "unknown placement policy: %s\n",
+                   o.policy.c_str());
       return 2;
     }
   }

@@ -54,6 +54,7 @@ std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
       const int k = info->k;
       const int m = info->m;
       int audited = 0;
+      std::vector<sa::SegmentLocation> frags;  // reused across the row sweep
       for (const auto& [rowid, mask] : dir.rows) {
         if (max_rows_per_vd > 0 && audited >= max_rows_per_vd) break;
         ++audited;
@@ -68,8 +69,7 @@ std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
         // A held row lock means a write/repair never acknowledged (e.g.
         // wedged against a dead server): durability is not owed yet.
         if (ec->row_busy(vd, stripe, row)) continue;
-        const std::vector<sa::SegmentLocation> frags =
-            table.ec_fragments(vd, stripe);
+        table.ec_fragments(vd, stripe, &frags);
         int known = 0;
         for (int c = 0; c < k; ++c) {
           if ((mask & (1u << c)) == 0) {
@@ -92,6 +92,23 @@ std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
     }
   }
   return out;
+}
+
+std::set<net::IpAddr> rack_down_set(ebs::Cluster& cluster, int rack) {
+  std::set<net::IpAddr> down;
+  for (int i = 0; i < cluster.num_storage(); ++i) {
+    if (cluster.clos().rack_of_server(i) == rack) {
+      down.insert(cluster.storage(i).nic().ip());
+    }
+  }
+  return down;
+}
+
+std::vector<Violation> audit_ec_rack_durability(ebs::Cluster& cluster,
+                                                int rack, TimeNs now,
+                                                int max_rows_per_vd) {
+  return audit_ec_durability(cluster, rack_down_set(cluster, rack), now,
+                             max_rows_per_vd);
 }
 
 }  // namespace repro::chaos

@@ -42,4 +42,17 @@ std::vector<Violation> audit_ec_durability(ebs::Cluster& cluster,
                                            TimeNs now,
                                            int max_rows_per_vd = 0);
 
+/// The storage-server IPs of rack `rack` (per the cluster's Clos rack
+/// arithmetic) — the down set a whole-rack fail-stop produces.
+std::set<net::IpAddr> rack_down_set(ebs::Cluster& cluster, int rack);
+
+/// Rack-domain variant of the durability audit: every server of `rack`
+/// fail-stopped at once. Under RackAwareSpread a single rack holds at most
+/// ceil((k+m)/racks) fragments of any stripe, so the audit stays green
+/// whenever that bound is <= m; the legacy rotated layout makes no such
+/// promise and can lose a whole stripe's quorum to one rack.
+std::vector<Violation> audit_ec_rack_durability(ebs::Cluster& cluster,
+                                                int rack, TimeNs now,
+                                                int max_rows_per_vd = 0);
+
 }  // namespace repro::chaos

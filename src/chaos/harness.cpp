@@ -87,7 +87,9 @@ ebs::ScenarioSpec HarnessConfig::scenario() const {
   spec.name = "chaos";
   spec.compute_nodes = compute_nodes;
   spec.storage_nodes = storage_nodes;
-  spec.servers_per_rack = servers_per_rack;
+  spec.servers_per_rack = servers_per_rack > 0
+                              ? servers_per_rack
+                              : std::max(1, (storage_nodes + 1) / 2);
   spec.stack = stack;
   spec.compute_stacks = compute_stacks;
   spec.seed = seed;
@@ -103,6 +105,7 @@ ebs::ScenarioSpec HarnessConfig::scenario() const {
   spec.threads = threads;
   spec.qos = qos;
   spec.ec = ec;
+  spec.placement = placement;
   return spec;
 }
 

@@ -37,7 +37,11 @@ struct HarnessConfig {
   // Topology (kept small: fault coverage, not throughput, is the point).
   int compute_nodes = 2;
   int storage_nodes = 4;
-  int servers_per_rack = 2;
+  /// Rack width. 0 (default) derives a two-rack storage pod from
+  /// `storage_nodes` — the same ⌈n/2⌉ the harness used to hardcode as 2
+  /// for its 4-node default, but now one knob instead of two that could
+  /// silently disagree (net::ClosConfig defaults to 8/rack on its own).
+  int servers_per_rack = 0;
 
   // Workload: one open-loop Poisson stream per compute node (rate-bounded,
   // and open-loop arrivals keep probing a broken path the way guests do)
@@ -58,6 +62,9 @@ struct HarnessConfig {
   /// "ec_durability") and again at post-repair quiesce once the
   /// maintenance agents have drained.
   ec::EcParams ec;
+  /// Cluster-level placement knobs; forwarded into the scenario so chaos
+  /// runs exercise the same policies as every other harness.
+  placement::PlacementParams placement;
   bool slo_all = false;  ///< attach `slo` to every VD the harness creates
   qos::SloSpec slo;
   /// Capacity throttle for rejection-storm runs: saturating the default

@@ -70,6 +70,14 @@ ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
   if (p.qos.enabled) {
     admission_ = std::make_unique<qos::NodeAdmission>(
         cluster.engine(), cluster.slos_, cluster.qos_, p.qos);
+    // Cluster-level admission reads/writes one shared counter per I/O, so
+    // it is only wired on single-shard builds (a barrier per doorbell would
+    // serialize the simulation; cross-shard reads would break determinism).
+    if (p.placement.enabled && p.placement.cluster_admission &&
+        (cluster.sharded_ == nullptr || cluster.sharded_->shards() <= 1)) {
+      admission_->set_cluster_gate(&cluster.view_,
+                                   p.placement.cluster_inflight_limit);
+    }
   }
   // EC striping layer between admission and the stack. Every sub-I/O it
   // issues (parity RMW, degraded decode, rebuild) is guest-shaped traffic
@@ -108,6 +116,25 @@ ComputeNode::ComputeNode(Cluster& cluster, int index, net::Nic& nic)
     maintenance_ = std::make_unique<ec::MaintenanceAgent>(
         cluster.engine(), *ec_, cluster.segments_, p.ec, inner,
         std::move(remap));
+    if (p.placement.enabled) {
+      // The maintenance plane reads the view (exposure-ordered drain under
+      // the exposure policy) and reports health changes into it. Health
+      // writes mutate shared state, so sharded builds route them through
+      // the same global-barrier mechanism as segment remaps.
+      maintenance_->set_cluster_view(
+          &cluster.view_,
+          p.placement.policy == placement::PolicyKind::kExposureAware);
+      placement::ClusterView* view = &cluster.view_;
+      maintenance_->set_health_listener(
+          [sharded, view](net::IpAddr server, bool alive) {
+            if (sharded != nullptr && sharded->shards() > 1) {
+              sharded->post_global(
+                  [view, server, alive] { view->set_health(server, alive); });
+              return;
+            }
+            view->set_health(server, alive);
+          });
+    }
   }
 }
 
@@ -260,6 +287,16 @@ Cluster::Cluster(sim::ShardedEngine& se, ClusterParams params)
 void Cluster::init() {
   if (params_.obs != nullptr) network_->set_obs(params_.obs);
   clos_ = net::build_clos(*network_, params_.topo);
+  // Rack membership is static topology: feed the view once, at build time
+  // (serial — no shard has started running), for policies and oracles.
+  for (int i = 0; i < static_cast<int>(clos_.storage.size()); ++i) {
+    view_.set_rack(clos_.storage[static_cast<std::size_t>(i)]->ip(),
+                   clos_.rack_of_server(i));
+  }
+  if (params_.placement.enabled) {
+    policy_ = placement::make_policy(params_.placement.policy);
+    segments_.set_policy(policy_.get(), &view_);
+  }
   for (int i = 0; i < static_cast<int>(clos_.storage.size()); ++i) {
     net::Nic& nic = *clos_.storage[static_cast<std::size_t>(i)];
     // Build the node under its NIC's home shard so every engine-bound

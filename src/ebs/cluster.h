@@ -22,6 +22,8 @@
 #include "ec/maintenance.h"
 #include "net/topology.h"
 #include "obs/registry.h"
+#include "placement/cluster_view.h"
+#include "placement/params.h"
 #include "qos/admission.h"
 #include "sim/shard_context.h"
 #include "sim/sharded.h"
@@ -46,6 +48,9 @@ struct ClusterParams : stack::StackParams {
   /// repeats cyclically.
   std::vector<StackKind> compute_stacks;
   storage::BlockServerParams block_server;
+  /// Cluster-level placement control plane (src/placement). Disabled =
+  /// the historical inline layout, bit-identical.
+  placement::PlacementParams placement;
   std::uint64_t seed = 1;
   /// Servers each virtual disk stripes across. 0 (default) = every storage
   /// node, the historical behaviour. Fleet-scale runs set a small width so
@@ -199,6 +204,11 @@ class Cluster {
   const ClusterParams& params() const { return params_; }
   sa::SegmentTable& segments() { return segments_; }
   sa::QosTable& qos() { return qos_; }
+  /// The cluster-wide placement/health view. Always populated with rack
+  /// membership (even when no policy is enabled) so oracles and benches
+  /// can ask rack questions; fragment counts and health flow only when the
+  /// placement subsystem is on.
+  placement::ClusterView& placement_view() { return view_; }
   Rng& rng() { return rng_; }
 
  private:
@@ -219,6 +229,8 @@ class Cluster {
   std::unique_ptr<net::Network> network_;
   net::Clos clos_;
   sa::SegmentTable segments_;
+  placement::ClusterView view_;
+  std::unique_ptr<placement::Policy> policy_;
   sa::QosTable qos_;
   qos::SloTable slos_;
   sa::BlockCipher cipher_;

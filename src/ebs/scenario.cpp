@@ -106,6 +106,10 @@ std::string ScenarioSpec::to_json() const {
     w.key("ec");
     ec::write_ec_params(w, ec);
   }
+  if (placement.enabled) {
+    w.key("placement");
+    placement::write_placement_params(w, placement);
+  }
   if (!fault_plan_file.empty()) w.field("fault_plan_file", fault_plan_file);
   w.end_object();
   return os.str();
@@ -127,7 +131,7 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
           root,
           {"name", "topology", "vd_stripe_width", "stack", "compute_stacks",
            "on_dpu", "seed", "store_payload", "vd_size_bytes", "vds",
-           "workload", "qos", "ec", "fault_plan_file"},
+           "workload", "qos", "ec", "placement", "fault_plan_file"},
           "scenario", error)) {
     return false;
   }
@@ -290,6 +294,16 @@ bool scenario_from_json(const std::string& text, ScenarioSpec* out,
       return false;
     }
   }
+  if (const obs::JsonValue* v = root.find("placement")) {
+    if (!obs::json_check_keys(*v, {}, "scenario.placement", error,
+                              &placement::placement_params_key_allowed)) {
+      return false;
+    }
+    if (!placement::read_placement_params(*v, &spec.placement)) {
+      *error = "scenario: placement must be an object with a known policy";
+      return false;
+    }
+  }
   obs::json_string(root, "fault_plan_file", &spec.fault_plan_file);
   *out = std::move(spec);
   return true;
@@ -311,6 +325,7 @@ ClusterParams params_from(const ScenarioSpec& spec) {
   p.vd_stripe_width = spec.vd_stripe_width;
   p.qos = spec.qos;
   p.ec = spec.ec;
+  p.placement = spec.placement;
   return p;
 }
 

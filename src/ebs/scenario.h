@@ -74,6 +74,9 @@ struct ScenarioSpec {
   /// Erasure-coding knobs (src/ec). Disabled by default: the fleet then
   /// runs 3-replica like every spec that predates the field.
   ec::EcParams ec;
+  /// Cluster-level placement knobs (src/placement). Disabled by default:
+  /// no policy is built and layouts are bit-identical to pre-field specs.
+  placement::PlacementParams placement;
   /// Optional path to a chaos::FaultPlan JSON to inject during the run.
   std::string fault_plan_file;
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "placement/cluster_view.h"
+
 namespace repro::ec {
 
 using transport::IoRequest;
@@ -93,7 +95,7 @@ void MaintenanceAgent::tick() {
 std::vector<net::IpAddr> MaintenanceAgent::tracked_servers() const {
   std::set<net::IpAddr> set;
   for (const std::uint64_t vd : vds_) {
-    for (const net::IpAddr s : segments_.stripe_servers(vd)) set.insert(s);
+    for (const net::IpAddr s : segments_.stripe_server_span(vd)) set.insert(s);
   }
   return {set.begin(), set.end()};
 }
@@ -184,6 +186,7 @@ void MaintenanceAgent::declare_dead(net::IpAddr server) {
   h.fails = 0;
   ++stats_.servers_died;
   ec_.mark_server(server, false);
+  if (health_fn_) health_fn_(server, false);
   // Queue every fragment currently placed on the dead server.
   for (const std::uint64_t vd : vds_) {
     const auto info = segments_.ec_info(vd);
@@ -210,6 +213,7 @@ void MaintenanceAgent::declare_alive(net::IpAddr server) {
   h.fails = 0;
   ++stats_.servers_revived;
   ec_.mark_server(server, true);
+  if (health_fn_) health_fn_(server, true);
   requeue_stalled();
   ensure_timer();
   pump_rebuild();
@@ -227,11 +231,39 @@ void MaintenanceAgent::requeue_stalled() {
   stalled_rows_.clear();
 }
 
+int MaintenanceAgent::exposure_of(std::uint64_t vd, std::uint64_t seg) {
+  if (view_ == nullptr) return 0;
+  const auto info = segments_.ec_info(vd);
+  if (!info) return 0;
+  const std::uint64_t nd = info->num_data_segments;
+  const std::uint32_t stripe =
+      seg < nd ? static_cast<std::uint32_t>(seg / info->k)
+               : static_cast<std::uint32_t>((seg - nd) / info->m);
+  segments_.ec_fragments(vd, stripe, &frag_scratch_);
+  return view_->exposure(frag_scratch_);
+}
+
 void MaintenanceAgent::pump_rebuild() {
   if (rebuild_active_ || rebuild_q_.empty()) return;
   rebuild_active_ = true;
-  const FragKey f = rebuild_q_.front();
-  rebuild_q_.pop_front();
+  std::size_t pick = 0;
+  active_exposure_ = view_ == nullptr
+                         ? 0
+                         : exposure_of(rebuild_q_[0].first,
+                                       rebuild_q_[0].second);
+  if (exposure_order_ && view_ != nullptr) {
+    // Most-exposed segment first; strict `>` keeps FIFO order among ties,
+    // so the legacy drain order is preserved whenever exposure is uniform.
+    for (std::size_t i = 1; i < rebuild_q_.size(); ++i) {
+      const int e = exposure_of(rebuild_q_[i].first, rebuild_q_[i].second);
+      if (e > active_exposure_) {
+        active_exposure_ = e;
+        pick = i;
+      }
+    }
+  }
+  const FragKey f = rebuild_q_[pick];
+  rebuild_q_.erase(rebuild_q_.begin() + static_cast<std::ptrdiff_t>(pick));
   start_segment_rebuild(f.first, f.second);
 }
 
@@ -288,11 +320,12 @@ void MaintenanceAgent::start_segment_rebuild(std::uint64_t vd,
   // fragment of this stripe (rotation guarantees one exists when the pool
   // is at least k+m+1 wide and at most m servers are down).
   std::set<net::IpAddr> used;
-  for (const auto& loc : segments_.ec_fragments(vd, stripe)) {
+  segments_.ec_fragments(vd, stripe, &frag_scratch_);
+  for (const auto& loc : frag_scratch_) {
     if (loc.block_server != 0) used.insert(loc.block_server);
   }
   net::IpAddr target = 0;
-  for (const net::IpAddr s : segments_.stripe_servers(vd)) {
+  for (const net::IpAddr s : segments_.stripe_server_span(vd)) {
     if (ec_.server_alive(s) && used.find(s) == used.end()) {
       target = s;
       break;
@@ -387,6 +420,11 @@ void MaintenanceAgent::finish_segment(std::uint64_t vd, std::uint64_t seg,
   if (!ok) {
     stall_segment(vd, seg);
     return;
+  }
+  if (view_ != nullptr && ec_.segment_rebuilding(vd, seg)) {
+    // Genuine rebuild (not a dropped/no-op pop): log the at-pop exposure
+    // for the drain-order invariant the placement tests assert.
+    rebuild_log_.push_back({vd, seg, active_exposure_});
   }
   ec_.set_segment_rebuilding(vd, seg, false);
   queued_.erase({vd, seg});

@@ -28,6 +28,10 @@
 #include "sa/segment_table.h"
 #include "sim/engine.h"
 
+namespace repro::placement {
+class ClusterView;
+}  // namespace repro::placement
+
 namespace repro::ec {
 
 class MaintenanceAgent {
@@ -42,6 +46,37 @@ class MaintenanceAgent {
   MaintenanceAgent(sim::Engine& engine, EcClient& ec,
                    sa::SegmentTable& segments, const EcParams& params,
                    EcClient::SubmitFn probe_submit, RemapFn remap);
+
+  using FragKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (vd, seg)
+
+  /// Health-change notification (server, alive). In sharded runs the
+  /// cluster routes the ClusterView write through a global barrier op, the
+  /// same way RemapFn routes SegmentTable overrides.
+  using HealthFn = std::function<void(net::IpAddr, bool)>;
+  void set_health_listener(HealthFn fn) { health_fn_ = std::move(fn); }
+
+  /// Wires the cluster-level control plane in: with `exposure_order`,
+  /// `pump_rebuild` drains the most-exposed queued segment first (exposure
+  /// = dead-holder fragments of the segment's stripe per the view) instead
+  /// of FIFO. The view is read-only here; health writes go via HealthFn.
+  void set_cluster_view(const placement::ClusterView* view,
+                        bool exposure_order) {
+    view_ = view;
+    exposure_order_ = exposure_order;
+  }
+
+  /// One completed (not dropped) segment rebuild, in completion order.
+  /// `exposure` is the stripe's dead-fragment count at the moment the
+  /// segment was popped from the queue — the drain-order invariant the
+  /// placement tests assert on. Only recorded when a view is wired.
+  struct RebuildRecord {
+    std::uint64_t vd = 0;
+    std::uint64_t seg = 0;
+    int exposure = 0;
+  };
+  const std::vector<RebuildRecord>& rebuild_log() const {
+    return rebuild_log_;
+  }
 
   // --- signals from the data path --------------------------------------
   /// Foreground I/O touched `vd` (arms the probe timer).
@@ -102,8 +137,6 @@ class MaintenanceAgent {
       return row < o.row;
     }
   };
-  using FragKey = std::pair<std::uint64_t, std::uint64_t>;  ///< (vd, seg)
-
   void ensure_timer();
   void tick();
   void probe_all();
@@ -122,6 +155,8 @@ class MaintenanceAgent {
   std::vector<net::IpAddr> tracked_servers() const;
 
   void pump_rebuild();
+  /// Dead-holder fragments of the stripe containing `seg` (view required).
+  int exposure_of(std::uint64_t vd, std::uint64_t seg);
   void start_segment_rebuild(std::uint64_t vd, std::uint64_t seg);
   void rebuild_rows(std::uint64_t vd, std::uint64_t seg, std::uint32_t stripe,
                     int frag, std::vector<std::uint32_t> rows, int attempt);
@@ -136,7 +171,13 @@ class MaintenanceAgent {
   EcParams params_;
   EcClient::SubmitFn probe_submit_;
   RemapFn remap_;
+  HealthFn health_fn_;
   TokenBucket bucket_;
+  const placement::ClusterView* view_ = nullptr;  ///< not owned; may be null
+  bool exposure_order_ = false;
+  int active_exposure_ = 0;  ///< exposure of the segment being rebuilt
+  std::vector<RebuildRecord> rebuild_log_;
+  std::vector<sa::SegmentLocation> frag_scratch_;  ///< reused per pump
 
   std::set<std::uint64_t> vds_;  ///< VDs seen via on_activity
   std::map<net::IpAddr, ServerHealth> health_;

@@ -54,6 +54,11 @@ struct Clos {
     return {storage_tors[static_cast<std::size_t>(2 * rack)],
             storage_tors[static_cast<std::size_t>(2 * rack + 1)]};
   }
+
+  /// Rack index of server `i` — the fault/placement domain (both pods use
+  /// the same rack arithmetic; the shard partition and the ToR pairing
+  /// derive from it too).
+  int rack_of_server(int i) const { return i / config.servers_per_rack; }
 };
 
 /// Builds the fabric into `net` and computes routes.

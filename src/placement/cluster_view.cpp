@@ -1,0 +1,48 @@
+#include "placement/cluster_view.h"
+
+#include <algorithm>
+
+namespace repro::placement {
+
+void ClusterView::set_rack(net::IpAddr server, int rack) {
+  racks_[server] = rack;
+  num_racks_ = std::max(num_racks_, rack + 1);
+  if (rack >= 0 && static_cast<std::size_t>(rack) >= rack_fragments_.size()) {
+    rack_fragments_.resize(static_cast<std::size_t>(rack) + 1, 0);
+  }
+}
+
+int ClusterView::rack_of(net::IpAddr server) const {
+  const auto it = racks_.find(server);
+  return it != racks_.end() ? it->second : -1;
+}
+
+void ClusterView::add_rack_fragments(int rack, std::uint64_t count) {
+  if (rack < 0) return;
+  if (static_cast<std::size_t>(rack) >= rack_fragments_.size()) {
+    rack_fragments_.resize(static_cast<std::size_t>(rack) + 1, 0);
+  }
+  rack_fragments_[static_cast<std::size_t>(rack)] += count;
+}
+
+std::uint64_t ClusterView::rack_fragments(int rack) const {
+  if (rack < 0 || static_cast<std::size_t>(rack) >= rack_fragments_.size()) {
+    return 0;
+  }
+  return rack_fragments_[static_cast<std::size_t>(rack)];
+}
+
+void ClusterView::set_health(net::IpAddr server, bool alive) {
+  auto it = health_.find(server);
+  const bool was = it == health_.end() ? true : it->second;
+  if (was == alive) return;
+  health_[server] = alive;
+  servers_down_ += alive ? -1 : 1;
+}
+
+bool ClusterView::alive(net::IpAddr server) const {
+  const auto it = health_.find(server);
+  return it == health_.end() ? true : it->second;
+}
+
+}  // namespace repro::placement

@@ -1,0 +1,40 @@
+// Cluster-level placement knobs. Lives on ebs::ClusterParams / ScenarioSpec
+// the same way the qos and ec subsystems' params do: `enabled == false`
+// (no "placement" key in the scenario) means no policy object is ever
+// built and the run is bit-identical to a spec that predates the field.
+#pragma once
+
+#include <string>
+
+#include "placement/policy.h"
+
+namespace repro::obs {
+struct JsonValue;
+class JsonWriter;
+}  // namespace repro::obs
+
+namespace repro::placement {
+
+struct PlacementParams {
+  bool enabled = false;
+  /// Stripe-pool schedule policy (see policy.h). kLegacyRotated under
+  /// `enabled` exercises the policy plumbing while staying byte-identical
+  /// to the inline layout — the back-compat arm CI byte-diffs.
+  PolicyKind policy = PolicyKind::kLegacyRotated;
+  /// Optional cluster-level admission gate: nodes reject new I/O while the
+  /// fleet-wide inflight count (ClusterView aggregate) is at the limit.
+  /// Requires the qos subsystem (`qos.enabled`) and a single-shard build —
+  /// the per-I/O shared counter cannot cross shard barriers.
+  bool cluster_admission = false;
+  int cluster_inflight_limit = 256;
+};
+
+/// JSON round-trip (ScenarioSpec "placement" object). Mirrors
+/// ec::write_ec_params.
+void write_placement_params(obs::JsonWriter& w, const PlacementParams& p);
+bool read_placement_params(const obs::JsonValue& v, PlacementParams* p);
+/// Keys `read_placement_params` understands — the scenario strict parser
+/// rejects anything else.
+bool placement_params_key_allowed(const std::string& key);
+
+}  // namespace repro::placement

@@ -1,0 +1,137 @@
+#include "placement/policy.h"
+
+#include <algorithm>
+#include <map>
+
+namespace repro::placement {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLegacyRotated:
+      return "legacy";
+    case PolicyKind::kRackAwareSpread:
+      return "rack-aware";
+    case PolicyKind::kExposureAware:
+      return "exposure";
+  }
+  return "legacy";
+}
+
+bool policy_from_string(const std::string& name, PolicyKind* out) {
+  if (name == "legacy") {
+    *out = PolicyKind::kLegacyRotated;
+  } else if (name == "rack-aware") {
+    *out = PolicyKind::kRackAwareSpread;
+  } else if (name == "exposure") {
+    *out = PolicyKind::kExposureAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<net::IpAddr> LegacyRotated::pick_stripe(
+    std::uint64_t /*vd*/, const StripeGeometry& /*geo*/,
+    const std::vector<net::IpAddr>& candidates, ClusterView& /*view*/) {
+  return candidates;
+}
+
+std::vector<net::IpAddr> RackAwareSpread::rack_schedule(
+    const std::vector<net::IpAddr>& candidates, const ClusterView& view,
+    int need, bool least_loaded_first) {
+  // Group candidates by rack, keeping candidate order within a rack (the
+  // per-VD rotation start survives into the schedule, so VDs still spread
+  // their load across servers the way the legacy layout did).
+  std::map<int, std::vector<net::IpAddr>> by_rack;
+  for (const net::IpAddr s : candidates) {
+    const int rack = view.rack_of(s);
+    if (rack < 0) return candidates;  // unknown topology: legacy layout
+    by_rack[rack].push_back(s);
+  }
+  const int racks = static_cast<int>(by_rack.size());
+  if (racks <= 1) return candidates;  // nothing to spread across
+  std::size_t min_size = candidates.size();
+  for (const auto& [rack, servers] : by_rack) {
+    min_size = std::min(min_size, servers.size());
+  }
+  // Feasible only when a stripe fits with at most ceil(need/racks)
+  // fragments per rack; otherwise keep the legacy layout rather than
+  // silently doubling fragments onto one server.
+  if (need > 0 &&
+      (need + racks - 1) / racks > static_cast<int>(min_size)) {
+    return candidates;
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(racks));
+  for (const auto& [rack, servers] : by_rack) order.push_back(rack);
+  if (least_loaded_first) {
+    // Rotate (not sort) so adjacent racks in the cycle stay adjacent; the
+    // start point is the least-loaded rack, ties broken by rack id (the
+    // map order), keeping the schedule deterministic.
+    std::size_t start = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      if (view.rack_fragments(order[i]) < view.rack_fragments(order[start])) {
+        start = i;
+      }
+    }
+    std::rotate(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(start),
+                order.end());
+  }
+  // Rack-major fill: slot j -> rack order[j % R], server (j / R) within the
+  // rack. Truncating every rack to min_size keeps the schedule length a
+  // multiple of R * min_size, so a k+m window never revisits a server
+  // (same server implies same rack implies slot distance >= R * min_size
+  // >= need by the feasibility check above).
+  std::vector<net::IpAddr> schedule;
+  schedule.reserve(static_cast<std::size_t>(racks) * min_size);
+  for (std::size_t j = 0;
+       j < static_cast<std::size_t>(racks) * min_size; ++j) {
+    const auto& servers = by_rack[order[j % static_cast<std::size_t>(racks)]];
+    schedule.push_back(servers[j / static_cast<std::size_t>(racks)]);
+  }
+  return schedule;
+}
+
+std::vector<net::IpAddr> RackAwareSpread::pick_stripe(
+    std::uint64_t /*vd*/, const StripeGeometry& geo,
+    const std::vector<net::IpAddr>& candidates, ClusterView& view) {
+  return rack_schedule(candidates, view, geo.k + geo.m,
+                       /*least_loaded_first=*/false);
+}
+
+std::vector<net::IpAddr> ExposureAware::pick_stripe(
+    std::uint64_t /*vd*/, const StripeGeometry& geo,
+    const std::vector<net::IpAddr>& candidates, ClusterView& view) {
+  std::vector<net::IpAddr> schedule =
+      rack_schedule(candidates, view, geo.k + geo.m,
+                    /*least_loaded_first=*/true);
+  // Feed placement pressure back into the view: fragments land on schedule
+  // slot (g + c) % L, i.e. evenly over the slots up to a remainder — the
+  // per-rack totals below are exact to within one stripe, which is all the
+  // rack-rotation heuristic needs.
+  const std::size_t len = schedule.size();
+  if (len > 0 && geo.num_segments > 0) {
+    const std::uint64_t base = geo.num_segments / len;
+    const std::uint64_t rem = geo.num_segments % len;
+    for (std::size_t j = 0; j < len; ++j) {
+      view.add_rack_fragments(view.rack_of(schedule[j]),
+                              base + (j < rem ? 1 : 0));
+    }
+  }
+  return schedule;
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLegacyRotated:
+      return std::make_unique<LegacyRotated>();
+    case PolicyKind::kRackAwareSpread:
+      return std::make_unique<RackAwareSpread>();
+    case PolicyKind::kExposureAware:
+      return std::make_unique<ExposureAware>();
+  }
+  return std::make_unique<LegacyRotated>();
+}
+
+}  // namespace repro::placement

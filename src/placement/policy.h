@@ -1,0 +1,97 @@
+// Placement policies: the cluster-level control plane that decides which
+// rotation pool a VD's stripes cycle over. The data structure (the
+// SegmentTable's interned stripe pool + inline `(g+c) % W` lookup math)
+// stays exactly as it was; a policy only reorders/filters the candidate
+// server list at map time, so million-VD metadata cost is unchanged and
+// the legacy policy is bit-identical to no policy at all.
+//
+//  * LegacyRotated — returns the candidates verbatim: the historical
+//    rotated layout, byte-for-byte.
+//  * RackAwareSpread — rack-major schedule: slot j holds a server of rack
+//    order[j % R], so any window of k+m consecutive slots touches
+//    min(k+m, R) distinct racks and a whole-rack fail-stop costs at most
+//    ceil((k+m)/R) fragments of any stripe. Falls back to the legacy
+//    layout when rack membership is unknown, there is only one rack, or
+//    the spread is infeasible (ceil((k+m)/R) > smallest rack).
+//  * ExposureAware — the same spread, plus it feeds the ClusterView: the
+//    rack rotation starts at the least-loaded rack (per-rack fragment
+//    counts), and the counts are updated as VDs are placed so later VDs
+//    steer around hot racks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "placement/cluster_view.h"
+
+namespace repro::placement {
+
+enum class PolicyKind { kLegacyRotated, kRackAwareSpread, kExposureAware };
+
+const char* to_string(PolicyKind kind);
+bool policy_from_string(const std::string& name, PolicyKind* out);
+
+/// Stripe geometry handed to `pick_stripe`. `k == 0` means a replication
+/// VD (plain round-robin over the returned pool).
+struct StripeGeometry {
+  int k = 0;
+  int m = 0;
+  /// Total segments the VD maps (data + parity for EC).
+  std::uint64_t num_segments = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual PolicyKind kind() const = 0;
+  /// Returns the rotation pool the SegmentTable interns for `vd`:
+  /// `candidates` (the cluster's creation-order server list) reordered /
+  /// restructured per policy. Returning `candidates` unchanged is the
+  /// legacy layout. Must return at least k+m entries for an EC VD whenever
+  /// `candidates` has at least k+m.
+  virtual std::vector<net::IpAddr> pick_stripe(
+      std::uint64_t vd, const StripeGeometry& geo,
+      const std::vector<net::IpAddr>& candidates, ClusterView& view) = 0;
+};
+
+class LegacyRotated : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kLegacyRotated; }
+  std::vector<net::IpAddr> pick_stripe(
+      std::uint64_t vd, const StripeGeometry& geo,
+      const std::vector<net::IpAddr>& candidates, ClusterView& view) override;
+};
+
+class RackAwareSpread : public Policy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kRackAwareSpread; }
+  std::vector<net::IpAddr> pick_stripe(
+      std::uint64_t vd, const StripeGeometry& geo,
+      const std::vector<net::IpAddr>& candidates, ClusterView& view) override;
+
+ protected:
+  /// The rack-major schedule shared by both spread policies. Every rack is
+  /// truncated to the smallest rack's size so the schedule wraps cleanly
+  /// (length R * min_size, a multiple of R — the rack cycling survives the
+  /// mod-length wrap, which is what makes the spread guarantee hold for
+  /// every stripe, tail included). `least_loaded_first` rotates the rack
+  /// order to start at the rack with the fewest placed fragments.
+  static std::vector<net::IpAddr> rack_schedule(
+      const std::vector<net::IpAddr>& candidates, const ClusterView& view,
+      int need, bool least_loaded_first);
+};
+
+class ExposureAware : public RackAwareSpread {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kExposureAware; }
+  std::vector<net::IpAddr> pick_stripe(
+      std::uint64_t vd, const StripeGeometry& geo,
+      const std::vector<net::IpAddr>& candidates, ClusterView& view) override;
+};
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind);
+
+}  // namespace repro::placement

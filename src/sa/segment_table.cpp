@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "placement/policy.h"
+
 namespace repro::sa {
 
 void SegmentTable::map(std::uint64_t vd_id, std::uint64_t seg_index,
@@ -25,13 +27,21 @@ void SegmentTable::map_disk(std::uint64_t vd_id, std::uint64_t size_bytes,
   if (servers.empty()) return;
   const std::uint64_t segments =
       (size_bytes + kSegmentBytes - 1) / kSegmentBytes;
+  const std::vector<net::IpAddr>* pool = &servers;
+  std::vector<net::IpAddr> scheduled;
+  if (policy_ != nullptr) {
+    placement::StripeGeometry geo;
+    geo.num_segments = segments;
+    scheduled = policy_->pick_stripe(vd_id, geo, servers, *view_);
+    pool = &scheduled;
+  }
   if (vd_id >= vds_.size()) vds_.resize(vd_id + 1);
   VdMeta& vd = vds_[vd_id];
   vd.base_segment_id = next_segment_id_;
   vd.num_segments = static_cast<std::uint32_t>(segments);
   vd.num_data_segments = vd.num_segments;
-  vd.pool_off = intern_stripe(servers);
-  vd.pool_len = static_cast<std::uint32_t>(servers.size());
+  vd.pool_off = intern_stripe(*pool);
+  vd.pool_len = static_cast<std::uint32_t>(pool->size());
   next_segment_id_ += segments;
   flat_segments_ += segments;
 }
@@ -50,13 +60,26 @@ void SegmentTable::map_disk_ec(std::uint64_t vd_id, std::uint64_t size_bytes,
       static_cast<std::uint64_t>(k);
   const std::uint64_t total =
       data_segments + stripes * static_cast<std::uint64_t>(m);
+  const std::vector<net::IpAddr>* pool = &servers;
+  std::vector<net::IpAddr> scheduled;
+  if (policy_ != nullptr) {
+    placement::StripeGeometry geo;
+    geo.k = k;
+    geo.m = m;
+    geo.num_segments = total;
+    scheduled = policy_->pick_stripe(vd_id, geo, servers, *view_);
+    pool = &scheduled;
+    if (pool->size() < static_cast<std::size_t>(k) + static_cast<std::size_t>(m)) {
+      std::abort();  // the policy contract forbids shrinking below k+m
+    }
+  }
   if (vd_id >= vds_.size()) vds_.resize(vd_id + 1);
   VdMeta& vd = vds_[vd_id];
   vd.base_segment_id = next_segment_id_;
   vd.num_segments = static_cast<std::uint32_t>(total);
   vd.num_data_segments = static_cast<std::uint32_t>(data_segments);
-  vd.pool_off = intern_stripe(servers);
-  vd.pool_len = static_cast<std::uint32_t>(servers.size());
+  vd.pool_off = intern_stripe(*pool);
+  vd.pool_len = static_cast<std::uint32_t>(pool->size());
   vd.ec_k = static_cast<std::uint8_t>(k);
   vd.ec_m = static_cast<std::uint8_t>(m);
   next_segment_id_ += total;
@@ -78,11 +101,18 @@ std::optional<EcInfo> SegmentTable::ec_info(std::uint64_t vd_id) const {
 std::vector<SegmentLocation> SegmentTable::ec_fragments(
     std::uint64_t vd_id, std::uint32_t stripe) const {
   std::vector<SegmentLocation> frags;
-  if (vd_id >= vds_.size() || vds_[vd_id].ec_k == 0) return frags;
+  ec_fragments(vd_id, stripe, &frags);
+  return frags;
+}
+
+void SegmentTable::ec_fragments(std::uint64_t vd_id, std::uint32_t stripe,
+                                std::vector<SegmentLocation>* out) const {
+  out->clear();
+  if (vd_id >= vds_.size() || vds_[vd_id].ec_k == 0) return;
   const VdMeta& vd = vds_[vd_id];
   const std::uint32_t k = vd.ec_k;
   const std::uint32_t m = vd.ec_m;
-  frags.resize(k + m);
+  out->resize(k + m);
   for (std::uint32_t c = 0; c < k + m; ++c) {
     const std::uint64_t seg =
         c < k ? static_cast<std::uint64_t>(stripe) * k + c
@@ -90,18 +120,22 @@ std::vector<SegmentLocation> SegmentTable::ec_fragments(
                     static_cast<std::uint64_t>(stripe) * m + (c - k);
     if (c < k && seg >= vd.num_data_segments) continue;  // tail stripe
     if (const auto loc = lookup(vd_id, seg * kSegmentBytes)) {
-      frags[c] = *loc;
+      (*out)[c] = *loc;
     }
   }
-  return frags;
 }
 
 std::vector<net::IpAddr> SegmentTable::stripe_servers(
     std::uint64_t vd_id) const {
+  const auto span = stripe_server_span(vd_id);
+  return {span.begin(), span.end()};
+}
+
+std::span<const net::IpAddr> SegmentTable::stripe_server_span(
+    std::uint64_t vd_id) const {
   if (vd_id >= vds_.size() || vds_[vd_id].pool_len == 0) return {};
   const VdMeta& vd = vds_[vd_id];
-  return {pool_.begin() + vd.pool_off,
-          pool_.begin() + vd.pool_off + vd.pool_len};
+  return {pool_.data() + vd.pool_off, vd.pool_len};
 }
 
 std::optional<SegmentLocation> SegmentTable::lookup(

@@ -18,11 +18,17 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
 #include "storage/segment_store.h"
+
+namespace repro::placement {
+class Policy;
+class ClusterView;
+}  // namespace repro::placement
 
 namespace repro::sa {
 
@@ -49,6 +55,16 @@ struct EcInfo {
 class SegmentTable {
  public:
   static constexpr std::uint64_t kSegmentBytes = storage::kSegmentBytes;
+
+  /// Installs the cluster-level placement policy consulted by `map_disk` /
+  /// `map_disk_ec`: the policy turns the caller's candidate server list
+  /// into the rotation pool that gets interned (see placement/policy.h).
+  /// Null (the default) keeps the candidates verbatim — bit-identical to
+  /// the pre-placement layout. Set before any disks are mapped.
+  void set_policy(placement::Policy* policy, placement::ClusterView* view) {
+    policy_ = policy;
+    view_ = view;
+  }
 
   /// Maps segment index `seg_index` of disk `vd_id` to a location.
   void map(std::uint64_t vd_id, std::uint64_t seg_index, SegmentLocation loc);
@@ -77,8 +93,20 @@ class SegmentTable {
   std::vector<SegmentLocation> ec_fragments(std::uint64_t vd_id,
                                             std::uint32_t stripe) const;
 
+  /// Allocation-free variant for the EC hot paths (maintenance pumps, the
+  /// durability oracle's per-row sweep): fills `out` in place, reusing its
+  /// capacity. Same semantics as the copying overload, overrides included.
+  void ec_fragments(std::uint64_t vd_id, std::uint32_t stripe,
+                    std::vector<SegmentLocation>* out) const;
+
   /// The server set an EC VD rotates its stripes over (pool slice).
   std::vector<net::IpAddr> stripe_servers(std::uint64_t vd_id) const;
+
+  /// Zero-copy view of the same pool slice — the common case on the EC
+  /// hot path. Overrides never shadow the pool itself, so unlike
+  /// `ec_fragments` there is no copying case to fall back to; the copying
+  /// `stripe_servers` stays only for callers that outlive the table.
+  std::span<const net::IpAddr> stripe_server_span(std::uint64_t vd_id) const;
 
   std::optional<SegmentLocation> lookup(std::uint64_t vd_id,
                                         std::uint64_t offset) const;
@@ -119,6 +147,8 @@ class SegmentTable {
   /// Explicit `map()` entries; shadow the flat layout when present.
   std::unordered_map<std::uint64_t, SegmentLocation> overrides_;
   std::uint64_t next_segment_id_ = 1;
+  placement::Policy* policy_ = nullptr;      ///< not owned; null = legacy
+  placement::ClusterView* view_ = nullptr;   ///< not owned
 };
 
 }  // namespace repro::sa

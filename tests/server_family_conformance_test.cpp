@@ -19,6 +19,7 @@
 #include "chaos/fault_plan.h"
 #include "chaos/harness.h"
 #include "obs/obs.h"
+#include "placement/policy.h"
 
 namespace repro::chaos {
 namespace {
@@ -29,6 +30,9 @@ struct FamilyCase {
   const char* name;       ///< stack::to_string(ServerFamily) spelling
   StackKind stack;
   bool ec = false;
+  /// Placement policy name ("legacy" / "rack-aware" / "exposure"); null =
+  /// placement subsystem off entirely (the historical config).
+  const char* policy = nullptr;
 };
 
 constexpr FamilyCase kFamilies[] = {
@@ -36,6 +40,21 @@ constexpr FamilyCase kFamilies[] = {
     {"rdma", StackKind::kRdma},
     {"solar", StackKind::kSolar},
     {"ec", StackKind::kSolar, true},
+    // Placement-policy sweep: every family × every policy must honor the
+    // same conformance contract (exactly-once, CRC durability, thread-count
+    // bit-determinism, obs read-only) as the policy-free configs above.
+    {"tcp_legacy", StackKind::kKernelTcp, false, "legacy"},
+    {"tcp_rack", StackKind::kKernelTcp, false, "rack-aware"},
+    {"tcp_exposure", StackKind::kKernelTcp, false, "exposure"},
+    {"rdma_legacy", StackKind::kRdma, false, "legacy"},
+    {"rdma_rack", StackKind::kRdma, false, "rack-aware"},
+    {"rdma_exposure", StackKind::kRdma, false, "exposure"},
+    {"solar_legacy", StackKind::kSolar, false, "legacy"},
+    {"solar_rack", StackKind::kSolar, false, "rack-aware"},
+    {"solar_exposure", StackKind::kSolar, false, "exposure"},
+    {"ec_legacy", StackKind::kSolar, true, "legacy"},
+    {"ec_rack", StackKind::kSolar, true, "rack-aware"},
+    {"ec_exposure", StackKind::kSolar, true, "exposure"},
 };
 
 HarnessConfig family_config(const FamilyCase& fc, int shards = 1,
@@ -56,6 +75,11 @@ HarnessConfig family_config(const FamilyCase& fc, int shards = 1,
     cfg.ec.enabled = true;
     cfg.ec.k = 2;
     cfg.ec.m = 1;
+  }
+  if (fc.policy != nullptr) {
+    cfg.placement.enabled = true;
+    EXPECT_TRUE(
+        placement::policy_from_string(fc.policy, &cfg.placement.policy));
   }
   return cfg;
 }
@@ -144,6 +168,46 @@ TEST(EcConformance, SurvivesAnyMConcurrentFragmentLosses) {
                                          r.violations.front().detail);
     EXPECT_GT(r.ios_completed, 0u);
   }
+}
+
+// Whole-rack fail-stop: the same two-server outage (both servers of rack
+// 1 in a 3-rack, 6-server pod) is data loss under the legacy rotated
+// layout — consecutive pool slots share a rack, so one rack can hold two
+// of a stripe's k+m=3 fragments — but survivable under RackAwareSpread,
+// whose schedule bounds any rack to ceil(3/3) = 1 fragment per stripe.
+TEST(EcConformance, RackAwareSpreadSurvivesWholeRackFailStop) {
+  auto rack_fail_config = [](const char* policy) {
+    const FamilyCase ec{"ec", StackKind::kSolar, true};
+    HarnessConfig cfg = family_config(ec);
+    cfg.storage_nodes = 6;
+    cfg.servers_per_rack = 2;  // racks {0,1},{2,3},{4,5}
+    cfg.plan.name = "rack-fail";
+    cfg.plan.events.push_back(storage_stop(2));
+    cfg.plan.events.push_back(storage_stop(3));
+    if (policy != nullptr) {
+      cfg.placement.enabled = true;
+      EXPECT_TRUE(
+          placement::policy_from_string(policy, &cfg.placement.policy));
+    }
+    return cfg;
+  };
+  auto ec_durability_fired = [](const RunReport& r) {
+    return std::any_of(
+        r.violations.begin(), r.violations.end(),
+        [](const Violation& v) { return v.oracle == "ec_durability"; });
+  };
+
+  const RunReport legacy = run_chaos(rack_fail_config("legacy"));
+  EXPECT_TRUE(ec_durability_fired(legacy))
+      << "legacy rotated layout must lose data to a whole-rack fail-stop";
+
+  const RunReport spread = run_chaos(rack_fail_config("rack-aware"));
+  EXPECT_FALSE(ec_durability_fired(spread))
+      << (spread.violations.empty()
+              ? std::string()
+              : spread.violations.front().oracle + ": " +
+                    spread.violations.front().detail);
+  EXPECT_GT(spread.ios_completed, 0u);
 }
 
 // m+1 concurrent losses exceed the code's correction budget: the
